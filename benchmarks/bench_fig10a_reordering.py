@@ -1,0 +1,21 @@
+"""Benchmark E9 — Fig. 10a: net speed-up of vertex-reordering techniques (cost included)."""
+
+from repro.experiments.figures import fig10a_reordering_speedup
+from repro.experiments.reporting import format_table
+
+
+def bench(config):
+    # Gorder on the full benchmark datasets is expensive; two datasets and the
+    # two iterative applications are enough to show the amortisation story.
+    reduced = config.with_overrides(high_skew_datasets=config.high_skew_datasets[:2])
+    return fig10a_reordering_speedup(reduced)
+
+
+def test_fig10a_reordering(benchmark, bench_config):
+    rows = benchmark.pedantic(bench, args=(bench_config,), iterations=1, rounds=1)
+    benchmark.extra_info["table"] = format_table(rows)
+    for row in rows:
+        # Gorder's reordering cost dominates: always a large net slowdown,
+        # and always worse than the skew-aware DBG.
+        assert row["gorder"] < 0.0
+        assert row["gorder"] < row["dbg"]

@@ -1,0 +1,17 @@
+"""Benchmark E2 — Fig. 2: LLC access/miss breakdown inside vs outside the Property Array."""
+
+from repro.experiments.figures import fig2_llc_breakdown
+from repro.experiments.reporting import format_table
+
+
+def bench(config):
+    return fig2_llc_breakdown(config, datasets=("pl",), apps=config.apps)
+
+
+def test_fig2_llc_breakdown(benchmark, bench_config):
+    rows = benchmark.pedantic(bench, args=(bench_config,), iterations=1, rounds=1)
+    benchmark.extra_info["table"] = format_table(rows)
+    # The Property Array dominates LLC accesses (78-94% in the paper).
+    for row in rows:
+        assert row["property_access_pct"] > 55.0
+        assert row["property_miss_pct"] > 0.0

@@ -1,0 +1,22 @@
+"""Benchmark E4 — Fig. 5: LLC miss reduction over RRIP for prior schemes and GRASP."""
+
+from repro.experiments.figures import fig5_miss_reduction
+from repro.experiments.reporting import format_table, pivot_by_scheme
+from repro.experiments.runner import average_miss_reduction
+
+
+def bench(config):
+    return fig5_miss_reduction(config)
+
+
+def test_fig5_miss_reduction(benchmark, bench_config):
+    points = benchmark.pedantic(bench, args=(bench_config,), iterations=1, rounds=1)
+    benchmark.extra_info["table"] = format_table(pivot_by_scheme(points, "miss_reduction_pct"))
+    grasp = [p for p in points if p.scheme == "GRASP"]
+    ship = [p for p in points if p.scheme == "SHiP-MEM"]
+    # GRASP reduces misses on average; SHiP-MEM does not (its region-based
+    # prediction is defeated by the irregular accesses).
+    assert average_miss_reduction(grasp) > 0.0
+    assert average_miss_reduction(grasp) > average_miss_reduction(ship)
+    # GRASP never increases misses dramatically on any datapoint.
+    assert min(p.miss_reduction_pct for p in grasp) > -1.0

@@ -1,0 +1,26 @@
+"""Benchmark E5 — Fig. 6: speed-up over RRIP for prior schemes and GRASP."""
+
+from repro.experiments.figures import fig6_speedup
+from repro.experiments.reporting import format_table, pivot_by_scheme
+from repro.experiments.runner import geometric_mean_speedup
+
+
+def bench(config):
+    return fig6_speedup(config)
+
+
+def test_fig6_speedup(benchmark, bench_config):
+    points = benchmark.pedantic(bench, args=(bench_config,), iterations=1, rounds=1)
+    benchmark.extra_info["table"] = format_table(pivot_by_scheme(points, "speedup_pct"))
+    by_scheme = {
+        scheme: geometric_mean_speedup([p for p in points if p.scheme == scheme])
+        for scheme in {p.scheme for p in points}
+    }
+    benchmark.extra_info["geomean_speedup_pct"] = {k: round(v, 2) for k, v in by_scheme.items()}
+    # Headline result: GRASP provides a positive average speed-up and beats
+    # every domain-agnostic scheme.
+    assert by_scheme["GRASP"] > 0.0
+    for scheme in ("SHiP-MEM", "Hawkeye", "Leeway"):
+        assert by_scheme["GRASP"] >= by_scheme[scheme]
+    # GRASP does not cause a slowdown on any datapoint (max slowdown 0.1% in the paper).
+    assert min(p.speedup_pct for p in points if p.scheme == "GRASP") > -1.0

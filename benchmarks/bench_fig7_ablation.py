@@ -1,0 +1,25 @@
+"""Benchmark E6 — Fig. 7: contribution of each GRASP feature (hints, insertion, hit-promotion)."""
+
+from repro.experiments.figures import fig7_ablation
+from repro.experiments.reporting import format_table, pivot_by_scheme
+from repro.experiments.runner import geometric_mean_speedup
+
+
+def bench(config):
+    return fig7_ablation(config)
+
+
+def test_fig7_ablation(benchmark, bench_config):
+    points = benchmark.pedantic(bench, args=(bench_config,), iterations=1, rounds=1)
+    benchmark.extra_info["table"] = format_table(pivot_by_scheme(points, "speedup_pct"))
+    means = {
+        scheme: geometric_mean_speedup([p for p in points if p.scheme == scheme])
+        for scheme in ("RRIP+Hints", "GRASP (Insertion-Only)", "GRASP")
+    }
+    benchmark.extra_info["geomean_speedup_pct"] = {k: round(v, 2) for k, v in means.items()}
+    # Every variant improves on the RRIP baseline, and the full design is at
+    # least as good as hints alone (the paper reports 3.3% / 5.0% / 5.2%).
+    assert means["RRIP+Hints"] > 0.0
+    assert means["GRASP (Insertion-Only)"] > 0.0
+    assert means["GRASP"] > 0.0
+    assert means["GRASP"] >= means["RRIP+Hints"] - 1.0

@@ -1,0 +1,23 @@
+"""Benchmark E7 — Fig. 8: XMem-style pinning (PIN-25..PIN-100) vs GRASP on high-skew datasets."""
+
+from repro.experiments.figures import fig8_pinning
+from repro.experiments.reporting import format_table, pivot_by_scheme
+from repro.experiments.runner import geometric_mean_speedup
+
+
+def bench(config):
+    return fig8_pinning(config)
+
+
+def test_fig8_pinning(benchmark, bench_config):
+    points = benchmark.pedantic(bench, args=(bench_config,), iterations=1, rounds=1)
+    benchmark.extra_info["table"] = format_table(pivot_by_scheme(points, "speedup_pct"))
+    means = {
+        scheme: geometric_mean_speedup([p for p in points if p.scheme == scheme])
+        for scheme in ("PIN-25", "PIN-50", "PIN-75", "PIN-100", "GRASP")
+    }
+    benchmark.extra_info["geomean_speedup_pct"] = {k: round(v, 2) for k, v in means.items()}
+    # GRASP provides a positive average speed-up and is competitive with the
+    # best pinning configuration on high-skew inputs.
+    assert means["GRASP"] > 0.0
+    assert means["GRASP"] >= min(means["PIN-25"], means["PIN-50"])

@@ -1,0 +1,24 @@
+"""Benchmark E8 — Fig. 9: robustness on low-/no-skew (adversarial) datasets."""
+
+from repro.experiments.figures import fig9_low_skew
+from repro.experiments.reporting import format_table, pivot_by_scheme
+from repro.experiments.runner import geometric_mean_speedup
+
+
+def bench(config):
+    return fig9_low_skew(config)
+
+
+def test_fig9_low_skew(benchmark, bench_config):
+    points = benchmark.pedantic(bench, args=(bench_config,), iterations=1, rounds=1)
+    benchmark.extra_info["table"] = format_table(pivot_by_scheme(points, "speedup_pct"))
+    grasp = [p for p in points if p.scheme == "GRASP"]
+    pin100 = [p for p in points if p.scheme == "PIN-100"]
+    benchmark.extra_info["grasp_worst_pct"] = round(min(p.speedup_pct for p in grasp), 2)
+    benchmark.extra_info["pin100_worst_pct"] = round(min(p.speedup_pct for p in pin100), 2)
+    benchmark.extra_info["grasp_geomean_pct"] = round(geometric_mean_speedup(grasp), 2)
+    # Robustness: GRASP must not cause a meaningful slowdown on adversarial
+    # low-/no-skew inputs (the paper's max slowdown is 0.1%).  The PIN-vs-GRASP
+    # gap only emerges at full scale, so it is recorded but not asserted here.
+    assert min(p.speedup_pct for p in grasp) > -3.0
+    assert geometric_mean_speedup(grasp) > -1.0

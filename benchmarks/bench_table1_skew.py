@@ -1,0 +1,17 @@
+"""Benchmark E1 — Table I: degree skew of the evaluated datasets."""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import table1_skew
+
+
+def bench(config):
+    return table1_skew(config)
+
+
+def test_table1_skew(benchmark, bench_config):
+    rows = benchmark.pedantic(bench, args=(bench_config,), iterations=1, rounds=1)
+    benchmark.extra_info["table"] = format_table(rows)
+    # Table I regime: hot vertices are a small minority yet cover most edges.
+    for row in rows:
+        assert row["out_hot_vertices_pct"] < 35.0
+        assert row["out_edge_coverage_pct"] > 70.0

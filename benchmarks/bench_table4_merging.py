@@ -1,0 +1,22 @@
+"""Benchmark E3 — Table IV: speed-up from merging the Property Arrays."""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import table4_merging
+
+
+def bench(config):
+    return table4_merging(
+        config, apps=("PR", "SSSP", "BC"), datasets=config.high_skew_datasets[:2]
+    )
+
+
+def test_table4_merging(benchmark, bench_config):
+    rows = benchmark.pedantic(bench, args=(bench_config,), iterations=1, rounds=1)
+    benchmark.extra_info["table"] = format_table(rows)
+    by_app = {row["app"]: row for row in rows}
+    # PR and SSSP have a merging opportunity and must not slow down; BC has none.
+    assert by_app["PR"]["merging_opportunity"] == "Yes"
+    assert by_app["PR"]["max_speedup_pct"] > 0.0
+    assert by_app["SSSP"]["merging_opportunity"] == "Yes"
+    assert by_app["SSSP"]["max_speedup_pct"] > 0.0
+    assert by_app["BC"]["merging_opportunity"] == "No"

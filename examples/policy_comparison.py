@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Compare every LLC management scheme the paper evaluates on one workload.
+
+Mirrors Figs. 5/6/8 for a single (application, dataset) pair: the
+domain-agnostic history-based schemes (SHiP-MEM, Hawkeye, Leeway), the
+XMem-style pinning configurations, GRASP's ablation variants and full GRASP,
+plus Belady's OPT as the offline upper bound.
+
+Run with:  python examples/policy_comparison.py [app] [dataset]
+"""
+
+import sys
+
+from repro.experiments import ExperimentConfig, build_workload
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import llc_trace_for, simulate_llc_policy, simulate_opt, workload_cycles
+from repro.experiments.schemes import POLICY_SPECS, scheme_policy
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "PR"
+    dataset = sys.argv[2] if len(sys.argv) > 2 else "pl"
+    config = ExperimentConfig.default().with_overrides(scale=0.5)
+
+    print(f"Workload: {app} on {dataset} (DBG-reordered), scaled LLC = "
+          f"{config.hierarchy.llc.size_bytes // 1024} KiB")
+    workload = build_workload(app, dataset, reorder="dbg", config=config)
+    llc_trace = llc_trace_for(workload, config)
+
+    baseline_stats = simulate_llc_policy(llc_trace, scheme_policy("RRIP"), config.hierarchy.llc)
+    baseline_cycles = workload_cycles(workload, baseline_stats, config)
+
+    rows = []
+    for scheme in POLICY_SPECS:
+        stats = simulate_llc_policy(llc_trace, scheme_policy(scheme), config.hierarchy.llc)
+        cycles = workload_cycles(workload, stats, config)
+        rows.append(
+            {
+                "scheme": scheme,
+                "misses": stats.misses,
+                "miss_rate": round(stats.miss_rate, 3),
+                "miss_reduction_vs_RRIP_pct": round((1 - stats.misses / baseline_stats.misses) * 100, 2),
+                "speedup_vs_RRIP_pct": round((baseline_cycles / cycles - 1) * 100, 2),
+            }
+        )
+    opt = simulate_opt(llc_trace, config.hierarchy.llc)
+    rows.append(
+        {
+            "scheme": "OPT (offline bound)",
+            "misses": opt.misses,
+            "miss_rate": round(opt.miss_rate, 3),
+            "miss_reduction_vs_RRIP_pct": round((1 - opt.misses / baseline_stats.misses) * 100, 2),
+            "speedup_vs_RRIP_pct": "-",
+        }
+    )
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim so that ``pip install -e .`` works on environments without the
+``wheel`` package (legacy ``setup.py develop`` path).  All project metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — a reproduction of GRASP (HPCA 2020).
+
+GRASP is domain-specialized last-level-cache management for graph analytics
+on power-law ("natural") graphs.  This library reimplements the paper's
+contribution and every substrate it depends on:
+
+* ``repro.graph`` — CSR graphs, synthetic dataset generators, skew analysis.
+* ``repro.reorder`` — skew-aware vertex reordering (Sort, HubSort, DBG) and
+  a Gorder approximation.
+* ``repro.analytics`` — a Ligra-style vertex-centric framework with the five
+  applications the paper evaluates (PR, PRD, BC, SSSP, Radii) plus extras.
+* ``repro.cache`` — a trace-driven set-associative cache simulator with the
+  full set of replacement policies the paper compares against (LRU, DRRIP,
+  SHiP-MEM, Hawkeye, Leeway, XMem pinning, Belady's OPT).
+* ``repro.core`` — GRASP itself: the Address Bound Register interface, the
+  reuse-region classifier and the specialized insertion / hit-promotion
+  policies, plus the ablation variants from Fig. 7.
+* ``repro.trace`` — memory-layout modelling and LLC access-trace generation.
+* ``repro.perf`` — analytical timing and reordering-cost models.
+* ``repro.experiments`` — drivers that regenerate every table and figure in
+  the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,50 @@
+"""Ligra-style shared-memory graph analytics framework and applications.
+
+The paper evaluates five Ligra applications (Table III): Betweenness
+Centrality, Single-Source Shortest Paths, PageRank, PageRank-Delta and Radii
+Estimation.  This subpackage reimplements the programming model they rely on:
+
+* :class:`~repro.analytics.frontier.VertexSubset` — sparse/dense frontiers.
+* :mod:`~repro.analytics.framework` — edge-map helpers for pull- and
+  push-based traversal with Ligra's direction-switching heuristic.
+* :mod:`~repro.analytics.apps` — the five paper applications plus BFS and
+  Connected Components, each returning per-iteration execution records that
+  the trace generator replays against the cache simulator.
+"""
+
+from repro.analytics.apps import (
+    APPLICATIONS,
+    BetweennessCentrality,
+    BreadthFirstSearch,
+    ConnectedComponents,
+    PageRank,
+    PageRankDelta,
+    RadiiEstimation,
+    SingleSourceShortestPaths,
+    get_application,
+    list_applications,
+)
+from repro.analytics.base import AccessProfile, AppResult, GraphApplication, IterationRecord, PropertySpec
+from repro.analytics.framework import gather_edges, select_direction
+from repro.analytics.frontier import VertexSubset
+
+__all__ = [
+    "APPLICATIONS",
+    "AccessProfile",
+    "AppResult",
+    "BetweennessCentrality",
+    "BreadthFirstSearch",
+    "ConnectedComponents",
+    "GraphApplication",
+    "IterationRecord",
+    "PageRank",
+    "PageRankDelta",
+    "PropertySpec",
+    "RadiiEstimation",
+    "SingleSourceShortestPaths",
+    "VertexSubset",
+    "gather_edges",
+    "get_application",
+    "list_applications",
+    "select_direction",
+]

@@ -1,0 +1,73 @@
+"""Graph applications (Table III of the paper, plus extras).
+
+* :class:`PageRank` (PR) — iterative rank computation, pull-based.
+* :class:`PageRankDelta` (PRD) — incremental PageRank processing only
+  vertices whose rank changed enough, pull/push.
+* :class:`BetweennessCentrality` (BC) — Brandes-style forward/backward pass
+  from a root vertex.
+* :class:`SingleSourceShortestPaths` (SSSP) — Bellman-Ford, push-based.
+* :class:`RadiiEstimation` (Radii) — multi-source BFS with bit-parallel
+  visited masks.
+* :class:`BreadthFirstSearch` (BFS) and :class:`ConnectedComponents` (CC) —
+  extra applications exercising the same framework.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.analytics.apps.bc import BetweennessCentrality
+from repro.analytics.apps.bfs import BreadthFirstSearch
+from repro.analytics.apps.cc import ConnectedComponents
+from repro.analytics.apps.pagerank import PageRank
+from repro.analytics.apps.pagerank_delta import PageRankDelta
+from repro.analytics.apps.radii import RadiiEstimation
+from repro.analytics.apps.sssp import SingleSourceShortestPaths
+from repro.analytics.base import GraphApplication
+
+#: Registry of application short names (as used in the paper's figures).
+APPLICATIONS: Dict[str, Type[GraphApplication]] = {
+    "BC": BetweennessCentrality,
+    "SSSP": SingleSourceShortestPaths,
+    "PR": PageRank,
+    "PRD": PageRankDelta,
+    "Radii": RadiiEstimation,
+    "BFS": BreadthFirstSearch,
+    "CC": ConnectedComponents,
+}
+
+#: The five applications evaluated in the paper, in presentation order.
+PAPER_APPLICATIONS = ("BC", "SSSP", "PR", "PRD", "Radii")
+
+
+def list_applications(paper_only: bool = False) -> List[str]:
+    """Names of available applications."""
+    if paper_only:
+        return list(PAPER_APPLICATIONS)
+    return list(APPLICATIONS)
+
+
+def get_application(name: str, **kwargs) -> GraphApplication:
+    """Instantiate an application by its short name (``"PR"``, ``"BC"`` ...)."""
+    try:
+        cls = APPLICATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; available: {', '.join(APPLICATIONS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "APPLICATIONS",
+    "PAPER_APPLICATIONS",
+    "BetweennessCentrality",
+    "BreadthFirstSearch",
+    "ConnectedComponents",
+    "PageRank",
+    "PageRankDelta",
+    "RadiiEstimation",
+    "SingleSourceShortestPaths",
+    "get_application",
+    "list_applications",
+]

@@ -1,0 +1,71 @@
+"""Breadth-First Search with Ligra-style direction switching."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.base import PULL, PUSH, AccessProfile, AppResult, GraphApplication, IterationRecord, PropertySpec
+from repro.analytics.frontier import VertexSubset
+from repro.analytics.framework import gather_edges, select_direction
+from repro.graph.csr import CSRGraph, VERTEX_DTYPE
+
+
+class BreadthFirstSearch(GraphApplication):
+    """Level-synchronous BFS producing per-vertex distance and parent."""
+
+    name = "BFS"
+    dominant_direction = PULL
+
+    def base_access_profile(self) -> AccessProfile:
+        return AccessProfile(
+            edge_properties=(PropertySpec("parent", 8),),
+            vertex_properties=(PropertySpec("distance", 8),),
+        )
+
+    def run(self, graph: CSRGraph, root: int = 0, **params) -> AppResult:
+        """Run BFS from ``root``."""
+        n = graph.num_vertices
+        result = AppResult(name=self.name)
+        if n == 0:
+            result.values["distance"] = np.empty(0, dtype=np.int64)
+            result.values["parent"] = np.empty(0, dtype=np.int64)
+            return result
+        if not 0 <= root < n:
+            raise ValueError(f"root {root} out of range")
+
+        distance = np.full(n, -1, dtype=np.int64)
+        parent = np.full(n, -1, dtype=np.int64)
+        distance[root] = 0
+        parent[root] = root
+        frontier = np.array([root], dtype=VERTEX_DTYPE)
+        level = 0
+
+        while frontier.size:
+            subset = VertexSubset(n, frontier)
+            direction = select_direction(graph, subset)
+            if direction == PUSH:
+                sources, targets, _ = gather_edges(graph, frontier, PUSH)
+                fresh = distance[targets] < 0
+                new_vertices, first_index = np.unique(targets[fresh], return_index=True)
+                parent[new_vertices] = sources[fresh][first_index]
+            else:
+                unvisited = np.flatnonzero(distance < 0).astype(VERTEX_DTYPE)
+                sources, targets, _ = gather_edges(graph, unvisited, PULL)
+                in_frontier = distance[sources] == level
+                new_vertices, first_index = np.unique(targets[in_frontier], return_index=True)
+                parent[new_vertices] = sources[in_frontier][first_index]
+            level += 1
+            distance[new_vertices] = level
+            result.iterations.append(
+                IterationRecord(
+                    index=level - 1,
+                    direction=direction,
+                    frontier=frontier,
+                    edges_traversed=int(sources.shape[0]),
+                )
+            )
+            frontier = new_vertices.astype(VERTEX_DTYPE)
+
+        result.values["distance"] = distance
+        result.values["parent"] = parent
+        return result

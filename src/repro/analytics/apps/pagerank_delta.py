@@ -1,0 +1,105 @@
+"""PageRank-Delta (PRD): incremental PageRank over an active frontier.
+
+Vertices stay active only while the change (delta) in their rank exceeds a
+small fraction of the rank itself, so later iterations touch progressively
+fewer vertices.  The paper evaluates the pull/push variant after merging the
+Property Arrays (Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.base import PULL, AccessProfile, AppResult, GraphApplication, IterationRecord, PropertySpec
+from repro.analytics.frontier import VertexSubset
+from repro.analytics.framework import edge_map_pull_sum, select_direction
+from repro.graph.csr import CSRGraph, VERTEX_DTYPE
+
+
+class PageRankDelta(GraphApplication):
+    """Delta-based PageRank with Ligra-style frontier filtering."""
+
+    name = "PRD"
+    dominant_direction = PULL
+
+    def __init__(
+        self,
+        merged_properties: bool = True,
+        damping: float = 0.85,
+        epsilon: float = 1e-2,
+        min_delta: float = 1e-9,
+        max_iterations: int = 100,
+    ) -> None:
+        super().__init__(merged_properties)
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must lie in (0, 1)")
+        if epsilon <= 0 or min_delta <= 0:
+            raise ValueError("epsilon and min_delta must be positive")
+        self.damping = damping
+        self.epsilon = epsilon
+        self.min_delta = min_delta
+        self.max_iterations = max_iterations
+
+    def base_access_profile(self) -> AccessProfile:
+        return AccessProfile(
+            edge_properties=(
+                PropertySpec("delta", 8),
+                PropertySpec("out_degree", 8),
+            ),
+            vertex_properties=(PropertySpec("rank", 8),),
+        )
+
+    def run(self, graph: CSRGraph, **params) -> AppResult:
+        """Run PageRank-Delta until the active frontier is empty."""
+        n = graph.num_vertices
+        result = AppResult(name=self.name)
+        if n == 0:
+            result.values["rank"] = np.empty(0)
+            return result
+
+        out_degrees = graph.out_degrees.astype(np.float64)
+        safe_degrees = np.where(out_degrees > 0, out_degrees, 1.0)
+        dangling = out_degrees == 0
+        all_vertices = np.arange(n, dtype=VERTEX_DTYPE)
+
+        # Iteration 0 is a full PageRank step; afterwards only the rank
+        # *changes* (deltas) of active vertices propagate.
+        ranks = np.full(n, 1.0 / n)
+        contributions = ranks / safe_degrees
+        contributions[dangling] = 0.0
+        sums = edge_map_pull_sum(graph, contributions)
+        dangling_mass = ranks[dangling].sum() / n
+        new_ranks = (1.0 - self.damping) / n + self.damping * (sums + dangling_mass)
+        delta = new_ranks - ranks
+        ranks = new_ranks
+        active_mask = np.abs(delta) > self.epsilon * np.maximum(ranks, self.min_delta)
+        result.iterations.append(
+            IterationRecord(index=0, direction=PULL, frontier=all_vertices, edges_traversed=graph.num_edges)
+        )
+
+        for iteration in range(1, self.max_iterations):
+            frontier = np.flatnonzero(active_mask).astype(VERTEX_DTYPE)
+            if frontier.size == 0:
+                break
+            subset = VertexSubset(n, frontier)
+            direction = select_direction(graph, subset)
+            contributions = delta / safe_degrees
+            contributions[dangling] = 0.0
+            sums = edge_map_pull_sum(graph, contributions, active_mask=active_mask)
+            dangling_delta = delta[dangling & active_mask].sum() / n
+            new_delta = self.damping * (sums + dangling_delta)
+            ranks = ranks + new_delta
+            active_mask = np.abs(new_delta) > self.epsilon * np.maximum(ranks, self.min_delta)
+            delta = new_delta
+            result.iterations.append(
+                IterationRecord(
+                    index=iteration,
+                    direction=direction,
+                    frontier=frontier,
+                    edges_traversed=graph.num_edges,
+                )
+            )
+
+        result.values["rank"] = ranks
+        result.values["delta"] = delta
+        return result

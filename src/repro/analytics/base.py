@@ -1,0 +1,151 @@
+"""Common types for graph applications.
+
+Every application records, per iteration, which vertices were active and
+whether the iteration ran pull- or push-based.  The experiment runner uses
+those records to regenerate the LLC access stream of the paper's region of
+interest (the iteration with the most active vertices — Sec. IV-C) without
+re-running the algorithm inside the cache simulator.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+#: Traversal directions.
+PULL = "pull"
+PUSH = "push"
+
+
+@dataclass(frozen=True)
+class PropertySpec:
+    """One per-vertex property array used by an application.
+
+    Attributes
+    ----------
+    name:
+        Human-readable array name (``"rank"``, ``"distance"``, ...).
+    element_bytes:
+        Size of one vertex's entry in bytes.
+    """
+
+    name: str
+    element_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.element_bytes <= 0:
+            raise ValueError("element_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """The memory-access signature of an application's inner loop.
+
+    ``edge_properties`` are the Property Arrays indexed by the *neighbour*
+    vertex on every edge traversal (the irregular accesses the paper studies);
+    ``vertex_properties`` are arrays accessed once per active vertex.  When
+    ``merged`` is True the edge properties have been merged into a single
+    array of wider elements — the software optimization of Sec. IV-A
+    (Table IV).
+    """
+
+    edge_properties: tuple[PropertySpec, ...]
+    vertex_properties: tuple[PropertySpec, ...] = ()
+    merged: bool = False
+
+    def merge(self) -> "AccessProfile":
+        """Return the merged-array variant of this profile."""
+        if self.merged or len(self.edge_properties) <= 1:
+            return AccessProfile(self.edge_properties, self.vertex_properties, merged=True)
+        combined = PropertySpec(
+            name="+".join(spec.name for spec in self.edge_properties),
+            element_bytes=sum(spec.element_bytes for spec in self.edge_properties),
+        )
+        return AccessProfile((combined,), self.vertex_properties, merged=True)
+
+    @property
+    def num_property_arrays(self) -> int:
+        """Number of distinct Property Arrays touched per edge."""
+        return len(self.edge_properties)
+
+
+@dataclass
+class IterationRecord:
+    """What happened in one iteration of an application."""
+
+    index: int
+    direction: str
+    frontier: np.ndarray
+    edges_traversed: int = 0
+
+    @property
+    def active_vertices(self) -> int:
+        """Number of active vertices in this iteration."""
+        return int(self.frontier.shape[0])
+
+
+@dataclass
+class AppResult:
+    """Output of one application run."""
+
+    name: str
+    values: Dict[str, np.ndarray] = field(default_factory=dict)
+    iterations: List[IterationRecord] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of iterations executed."""
+        return len(self.iterations)
+
+    def busiest_iteration(self) -> Optional[IterationRecord]:
+        """The iteration with the most active vertices (the paper's ROI)."""
+        if not self.iterations:
+            return None
+        best = max(self.iterations, key=lambda record: record.active_vertices)
+        if best.active_vertices == 0:
+            return None
+        return best
+
+    def iterations_in_direction(self, direction: str) -> List[IterationRecord]:
+        """All iterations that ran in the given traversal direction."""
+        return [record for record in self.iterations if record.direction == direction]
+
+
+class GraphApplication(abc.ABC):
+    """Base class for graph applications.
+
+    Subclasses implement :meth:`run` and describe their memory behaviour via
+    :meth:`access_profile`.  ``merged_properties`` selects the Property-Array
+    merging optimization of Sec. IV-A; it changes the access profile (and thus
+    the generated trace) but not the computed results.
+    """
+
+    name: str = "app"
+    #: Direction the application spends most of its time in (Sec. IV-C): the
+    #: ROI simulated by the paper is a pull iteration for every application
+    #: except SSSP, which is push-dominant.
+    dominant_direction: str = PULL
+
+    def __init__(self, merged_properties: bool = True) -> None:
+        self.merged_properties = merged_properties
+
+    @abc.abstractmethod
+    def run(self, graph: CSRGraph, **params) -> AppResult:
+        """Execute the application and return results plus iteration records."""
+
+    @abc.abstractmethod
+    def base_access_profile(self) -> AccessProfile:
+        """The unmerged memory-access signature of the application."""
+
+    def access_profile(self) -> AccessProfile:
+        """The access profile honouring the ``merged_properties`` setting."""
+        profile = self.base_access_profile()
+        return profile.merge() if self.merged_properties else profile
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(merged_properties={self.merged_properties})"

@@ -1,0 +1,131 @@
+"""Edge-map helpers: vectorised pull/push traversal and direction switching.
+
+Ligra's ``edgeMap`` applies an update function over the edges incident to a
+frontier, choosing between a *sparse* (push) implementation that scans the
+out-edges of active vertices and a *dense* (pull) implementation that scans
+the in-edges of all destinations.  The applications in this package use the
+same structure, but the per-edge work is expressed with NumPy scatter/gather
+primitives instead of per-edge callbacks so that full-size runs stay fast in
+pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.analytics.base import PULL, PUSH
+from repro.analytics.frontier import VertexSubset
+from repro.graph.csr import CSRGraph, VERTEX_DTYPE
+
+#: Ligra switches from push to pull when the frontier (plus its out-edges)
+#: exceeds |E| / DIRECTION_THRESHOLD_DENOMINATOR.
+DIRECTION_THRESHOLD_DENOMINATOR = 20
+
+
+def gather_edges(
+    graph: CSRGraph,
+    vertices: np.ndarray,
+    direction: str,
+    with_weights: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Return the edges incident to ``vertices`` in the given direction.
+
+    For ``direction == "push"`` the out-edges of the vertices are returned as
+    ``(sources, targets, weights)``; for ``"pull"`` the in-edges are returned
+    (``sources`` are the neighbours, ``targets`` the given vertices).  The
+    gather is fully vectorised (no per-vertex Python loop).
+    """
+    vertices = np.asarray(vertices, dtype=VERTEX_DTYPE)
+    if direction == PUSH:
+        index, adjacency, weights = graph.out_index, graph.out_targets, graph.out_weights
+    elif direction == PULL:
+        index, adjacency, weights = graph.in_index, graph.in_sources, graph.in_weights
+    else:
+        raise ValueError(f"unknown direction {direction!r}; use 'push' or 'pull'")
+
+    if vertices.size == 0:
+        empty = np.empty(0, dtype=VERTEX_DTYPE)
+        return empty, empty, (np.empty(0) if with_weights else None)
+
+    starts = index[vertices]
+    counts = index[vertices + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=VERTEX_DTYPE)
+        return empty, empty, (np.empty(0) if with_weights else None)
+
+    # Ragged gather: edge_positions[i] enumerates every incident edge index.
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    edge_positions = np.repeat(starts - offsets[:-1], counts) + np.arange(total)
+    owners = np.repeat(vertices, counts)
+    neighbours = adjacency[edge_positions]
+
+    edge_weights = None
+    if with_weights:
+        if weights is None:
+            raise ValueError("graph has no edge weights")
+        edge_weights = weights[edge_positions]
+
+    if direction == PUSH:
+        return owners, neighbours, edge_weights
+    return neighbours, owners, edge_weights
+
+
+def frontier_out_edges(graph: CSRGraph, frontier: VertexSubset) -> int:
+    """Total number of out-edges of the frontier (Ligra's direction metric)."""
+    members = frontier.to_sparse()
+    if members.size == 0:
+        return 0
+    return int((graph.out_index[members + 1] - graph.out_index[members]).sum())
+
+
+def select_direction(graph: CSRGraph, frontier: VertexSubset) -> str:
+    """Ligra's direction-switching heuristic.
+
+    Push (sparse) when the frontier and its out-edges are small; pull (dense)
+    when they exceed ``|E| / 20``.
+    """
+    threshold = max(1, graph.num_edges // DIRECTION_THRESHOLD_DENOMINATOR)
+    work = frontier.size + frontier_out_edges(graph, frontier)
+    return PULL if work > threshold else PUSH
+
+
+def edge_map_pull_sum(
+    graph: CSRGraph,
+    contributions: np.ndarray,
+    active_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Dense pull-mode gather: ``result[v] = Σ contributions[u]`` over in-edges ``u→v``.
+
+    ``active_mask`` restricts the sum to contributions from active sources
+    (inactive sources contribute zero), which is how PageRank-Delta's pull
+    iterations are expressed.
+    """
+    per_edge = contributions[graph.in_sources]
+    if active_mask is not None:
+        per_edge = per_edge * active_mask[graph.in_sources]
+    destinations = np.repeat(
+        np.arange(graph.num_vertices, dtype=VERTEX_DTYPE), graph.in_degrees
+    )
+    return np.bincount(destinations, weights=per_edge, minlength=graph.num_vertices)
+
+
+def edge_map_pull_any(
+    graph: CSRGraph,
+    in_frontier: np.ndarray,
+    candidates: np.ndarray,
+) -> np.ndarray:
+    """Dense pull-mode existence check.
+
+    For every candidate vertex, returns True when at least one in-neighbour is
+    in the frontier (the BFS/BC bottom-up step).
+    """
+    sources, targets, _ = gather_edges(graph, np.flatnonzero(candidates), PULL)
+    reachable = np.zeros(graph.num_vertices, dtype=bool)
+    if targets.size == 0:
+        return reachable
+    hit = in_frontier[sources]
+    reachable[targets[hit]] = True
+    return reachable

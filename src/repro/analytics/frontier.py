@@ -1,0 +1,97 @@
+"""Vertex subsets (frontiers) in sparse or dense representation.
+
+Ligra's central abstraction is the *vertexSubset*: the set of active vertices
+in an iteration, stored sparsely (an array of vertex IDs) when small and
+densely (a boolean per vertex) when large.  The representation also drives
+the push/pull direction decision.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.graph.csr import VERTEX_DTYPE
+
+
+class VertexSubset:
+    """A set of active vertices over a universe of ``num_vertices``."""
+
+    def __init__(self, num_vertices: int, members: np.ndarray | Iterable[int] | None = None):
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self.num_vertices = num_vertices
+        if members is None:
+            self._sparse = np.empty(0, dtype=VERTEX_DTYPE)
+        else:
+            members = np.asarray(list(members) if not isinstance(members, np.ndarray) else members)
+            members = np.unique(members.astype(VERTEX_DTYPE))
+            if members.size and (members[0] < 0 or members[-1] >= num_vertices):
+                raise ValueError("vertex IDs out of range for this subset")
+            self._sparse = members
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "VertexSubset":
+        """An empty frontier."""
+        return cls(num_vertices)
+
+    @classmethod
+    def single(cls, num_vertices: int, vertex: int) -> "VertexSubset":
+        """A frontier containing one root vertex."""
+        return cls(num_vertices, np.array([vertex]))
+
+    @classmethod
+    def full(cls, num_vertices: int) -> "VertexSubset":
+        """A frontier containing every vertex (e.g. PageRank iterations)."""
+        return cls(num_vertices, np.arange(num_vertices, dtype=VERTEX_DTYPE))
+
+    @classmethod
+    def from_dense(cls, mask: np.ndarray) -> "VertexSubset":
+        """Build a frontier from a boolean membership mask."""
+        mask = np.asarray(mask, dtype=bool)
+        return cls(mask.shape[0], np.flatnonzero(mask))
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of active vertices."""
+        return int(self._sparse.shape[0])
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the frontier has no active vertices."""
+        return self.size == 0
+
+    def to_sparse(self) -> np.ndarray:
+        """Sorted array of active vertex IDs."""
+        return self._sparse.copy()
+
+    def to_dense(self) -> np.ndarray:
+        """Boolean membership mask of length ``num_vertices``."""
+        mask = np.zeros(self.num_vertices, dtype=bool)
+        mask[self._sparse] = True
+        return mask
+
+    def __contains__(self, vertex: int) -> bool:
+        index = np.searchsorted(self._sparse, vertex)
+        return bool(index < self.size and self._sparse[index] == vertex)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._sparse.tolist())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VertexSubset):
+            return NotImplemented
+        return self.num_vertices == other.num_vertices and np.array_equal(
+            self._sparse, other._sparse
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VertexSubset({self.size}/{self.num_vertices})"

@@ -1,0 +1,28 @@
+"""Trace-driven cache simulator.
+
+This subpackage models the on-chip cache hierarchy the paper simulates with
+Sniper (Table VI): private L1-D and L2 filters in front of a shared
+last-level cache whose replacement policy is the subject of the study.
+
+* :class:`~repro.cache.config.CacheConfig` / :class:`~repro.cache.config.HierarchyConfig`
+  — geometry of each level (scaled down per DESIGN.md Sec. 5).
+* :class:`~repro.cache.cache.SetAssociativeCache` — a single set-associative
+  cache driven by a pluggable :class:`~repro.cache.policies.base.ReplacementPolicy`.
+* :class:`~repro.cache.hierarchy.CacheHierarchy` — L1 → L2 → LLC lookup path
+  with per-level statistics.
+* :mod:`~repro.cache.policies` — every replacement scheme the paper
+  evaluates: LRU, SRRIP/BRRIP/DRRIP, SHiP-MEM, Hawkeye, Leeway, XMem-style
+  pinning and Belady's OPT.
+"""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "SetAssociativeCache",
+]

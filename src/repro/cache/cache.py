@@ -1,0 +1,96 @@
+"""A single set-associative cache driven by a pluggable replacement policy."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.config import CacheConfig
+from repro.cache.policies.base import BYPASS, ReplacementPolicy
+from repro.cache.stats import CacheStats
+
+
+class SetAssociativeCache:
+    """Set-associative cache with pluggable replacement.
+
+    The cache owns the tag array and the statistics; all replacement state
+    lives inside the policy object.  Addresses are byte addresses; the cache
+    reduces them to block addresses before consulting tags or the policy.
+    """
+
+    __slots__ = ("config", "policy", "stats", "_tags", "_num_sets", "_ways", "_offset_bits", "_set_mask")
+
+    def __init__(self, config: CacheConfig, policy: ReplacementPolicy) -> None:
+        self.config = config
+        self.policy = policy
+        self.stats = CacheStats(name=config.name)
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        self._offset_bits = config.block_offset_bits
+        self._set_mask = self._num_sets - 1
+        policy.bind(self._num_sets, self._ways)
+        # -1 marks an invalid way.
+        self._tags = [[-1] * self._ways for _ in range(self._num_sets)]
+
+    # -- queries ---------------------------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        """Whether the block holding ``address`` is currently resident."""
+        block = address >> self._offset_bits
+        return block in self._tags[block & self._set_mask]
+
+    def resident_blocks(self) -> list[int]:
+        """All resident block addresses (order unspecified); used by tests."""
+        return [tag for ways in self._tags for tag in ways if tag != -1]
+
+    # -- the access path ---------------------------------------------------------
+
+    def access(self, address: int, pc: int = 0, hint: int = 0, region: Optional[int] = None) -> bool:
+        """Perform one access; return ``True`` on a hit.
+
+        ``pc`` is the (synthetic) program counter of the instruction making
+        the access, ``hint`` the 2-bit GRASP reuse hint and ``region`` an
+        optional label used only for statistics breakdowns (Fig. 2).
+        """
+        block = address >> self._offset_bits
+        return self.access_block(block, pc, hint, region)
+
+    def access_block(self, block: int, pc: int = 0, hint: int = 0, region: Optional[int] = None) -> bool:
+        """Same as :meth:`access` but takes an already block-aligned address."""
+        set_index = block & self._set_mask
+        tags = self._tags[set_index]
+        policy = self.policy
+        try:
+            way = tags.index(block)
+        except ValueError:
+            way = -1
+
+        if way >= 0:
+            self.stats.record(True, region)
+            policy.on_hit(set_index, way, block, pc, hint)
+            return True
+
+        self.stats.record(False, region)
+        try:
+            way = tags.index(-1)
+        except ValueError:
+            way = policy.choose_victim(set_index, block, pc, hint)
+            if way == BYPASS:
+                self.stats.bypasses += 1
+                return False
+            policy.on_evict(set_index, way, tags[way])
+            self.stats.evictions += 1
+        tags[way] = block
+        policy.on_insert(set_index, way, block, pc, hint)
+        return False
+
+    def reset(self) -> None:
+        """Invalidate all blocks and clear statistics and policy state."""
+        self._tags = [[-1] * self._ways for _ in range(self._num_sets)]
+        self.stats = CacheStats(name=self.config.name)
+        self.policy.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache({self.config.name}: {self.config.size_bytes} B, "
+            f"{self._ways}-way, policy={self.policy.name})"
+        )

@@ -1,0 +1,141 @@
+"""Cache geometry configuration.
+
+The paper's simulated system (Table VI) uses 32 KB L1-D, 256 KB L2 and a
+16 MB 16-way LLC.  The Python reproduction scales every level down by the
+same factor as the graph datasets (DESIGN.md Sec. 5) so that the ratio of
+hot-vertex footprint to LLC capacity — the quantity GRASP's benefit depends
+on — is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Attributes
+    ----------
+    size_bytes:
+        Total capacity in bytes.
+    ways:
+        Associativity.
+    block_bytes:
+        Cache block (line) size; 64 bytes throughout, as in the paper.
+    name:
+        Label used in statistics ("L1D", "L2", "LLC").
+    """
+
+    size_bytes: int
+    ways: int
+    block_bytes: int = 64
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.block_bytes <= 0:
+            raise ValueError("cache dimensions must be positive")
+        if not _is_power_of_two(self.block_bytes):
+            raise ValueError("block_bytes must be a power of two")
+        if self.size_bytes % (self.ways * self.block_bytes) != 0:
+            raise ValueError(
+                "size_bytes must be divisible by ways * block_bytes "
+                f"({self.size_bytes} % {self.ways * self.block_bytes} != 0)"
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.ways * self.block_bytes)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of cache blocks."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def block_offset_bits(self) -> int:
+        """Number of address bits covered by the block offset."""
+        return self.block_bytes.bit_length() - 1
+
+    def block_address(self, address: int) -> int:
+        """Return the block-aligned address (address without the offset bits)."""
+        return address >> self.block_offset_bits
+
+    def set_index(self, block_address: int) -> int:
+        """Map a block address to its set index."""
+        return block_address & (self.num_sets - 1)
+
+    def scaled(self, factor: float, name: str | None = None) -> "CacheConfig":
+        """Return a copy scaled to ``size_bytes * factor`` (rounded to a valid size)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        set_bytes = self.ways * self.block_bytes
+        target_sets = max(1, int(round(self.num_sets * factor)))
+        # Round to the nearest power of two so the index function stays a mask.
+        rounded_sets = 1 << max(0, int(round(math.log2(target_sets))))
+        return CacheConfig(
+            size_bytes=rounded_sets * set_bytes,
+            ways=self.ways,
+            block_bytes=self.block_bytes,
+            name=name or self.name,
+        )
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Three-level hierarchy configuration (L1-D, L2, LLC).
+
+    The defaults scale the paper's Table VI configuration (32 KB L1-D,
+    256 KB L2, 16 MB 16-way LLC) down to 1 KB / 4 KB / 16 KB, keeping the
+    associativities and the relative ordering of the levels.  The LLC is
+    deliberately a few times smaller than the scaled Property Arrays of the
+    registry datasets so the "hot footprint exceeds the LLC" thrashing regime
+    of the paper is preserved (DESIGN.md Sec. 5).
+    """
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=1 * 1024, ways=4, name="L1D")
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=4 * 1024, ways=8, name="L2")
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=16 * 1024, ways=16, name="LLC")
+    )
+
+    def __post_init__(self) -> None:
+        if not (self.l1.size_bytes <= self.l2.size_bytes <= self.llc.size_bytes):
+            raise ValueError("hierarchy must be inclusive-capacity ordered: L1 <= L2 <= LLC")
+        if len({self.l1.block_bytes, self.l2.block_bytes, self.llc.block_bytes}) != 1:
+            raise ValueError("all levels must share one block size")
+
+    @property
+    def block_bytes(self) -> int:
+        """Common block size of the hierarchy."""
+        return self.llc.block_bytes
+
+    def with_llc_size(self, size_bytes: int) -> "HierarchyConfig":
+        """Return a copy with a different LLC capacity (used for Table VII)."""
+        return HierarchyConfig(
+            l1=self.l1,
+            l2=self.l2,
+            llc=CacheConfig(
+                size_bytes=size_bytes,
+                ways=self.llc.ways,
+                block_bytes=self.llc.block_bytes,
+                name=self.llc.name,
+            ),
+        )
+
+
+#: Default scaled hierarchy used by experiments and benchmarks.
+DEFAULT_HIERARCHY = HierarchyConfig()

@@ -1,0 +1,34 @@
+"""Software-provided reuse hints carried with each LLC request.
+
+GRASP's classification logic (Sec. III-B of the paper) tags every LLC access
+with a 2-bit hint derived from the Address Bound Registers.  The hint values
+are defined here, in the cache substrate, so that hint-aware policies (GRASP,
+the XMem-style pinning adaptation) and the hint-agnostic baselines share one
+vocabulary; :mod:`repro.core` re-exports them as part of the public GRASP API.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class ReuseHint(IntEnum):
+    """The four classification outcomes encoded in GRASP's 2-bit hint."""
+
+    #: ABRs not configured (non-graph application) — policies behave as their
+    #: unmodified baselines.
+    DEFAULT = 0
+    #: Address falls in the LLC-sized *High Reuse Region* at the start of a
+    #: Property Array (the hottest vertices).
+    HIGH_REUSE = 1
+    #: Address falls in the next LLC-sized *Moderate Reuse Region*.
+    MODERATE_REUSE = 2
+    #: Any other graph-application access (cold vertices, Vertex/Edge arrays).
+    LOW_REUSE = 3
+
+
+#: Convenience integer aliases used in hot loops (IntEnum comparisons are slow).
+HINT_DEFAULT = int(ReuseHint.DEFAULT)
+HINT_HIGH = int(ReuseHint.HIGH_REUSE)
+HINT_MODERATE = int(ReuseHint.MODERATE_REUSE)
+HINT_LOW = int(ReuseHint.LOW_REUSE)

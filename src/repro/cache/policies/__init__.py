@@ -1,0 +1,45 @@
+"""Replacement policies evaluated by the paper.
+
+Every policy implements :class:`~repro.cache.policies.base.ReplacementPolicy`
+and is registered in a name → factory registry so experiments can be
+configured with plain strings (``"rrip"``, ``"hawkeye"``, ``"grasp"`` ...).
+
+GRASP itself and its ablation variants live in :mod:`repro.core` (they are
+the paper's contribution, not a baseline) but register themselves in the
+same registry on import.
+"""
+
+from repro.cache.policies.base import (
+    BYPASS,
+    ReplacementPolicy,
+    create_policy,
+    list_policies,
+    register_policy,
+)
+from repro.cache.policies.hawkeye import HawkeyePolicy
+from repro.cache.policies.leeway import LeewayPolicy
+from repro.cache.policies.lru import LRUPolicy
+from repro.cache.policies.opt import BeladyOptimal, simulate_opt_misses
+from repro.cache.policies.pin import PinningPolicy
+from repro.cache.policies.random_policy import RandomPolicy
+from repro.cache.policies.rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from repro.cache.policies.ship import ShipMemPolicy
+
+__all__ = [
+    "BYPASS",
+    "BeladyOptimal",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "HawkeyePolicy",
+    "LeewayPolicy",
+    "LRUPolicy",
+    "PinningPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "ShipMemPolicy",
+    "create_policy",
+    "list_policies",
+    "register_policy",
+    "simulate_opt_misses",
+]

@@ -1,0 +1,104 @@
+"""Replacement-policy interface and registry.
+
+A policy owns whatever per-block metadata it needs (RRPV counters, signatures,
+recency timestamps, predictor tables); the cache owns only the tag array.
+All addresses handed to a policy are **block addresses** (byte address with
+the block-offset bits removed).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List
+
+#: Sentinel returned by :meth:`ReplacementPolicy.choose_victim` to indicate
+#: that the incoming block should bypass the cache instead of evicting.
+BYPASS = -1
+
+
+class ReplacementPolicy(abc.ABC):
+    """Base class for cache replacement policies.
+
+    Lifecycle: the owning cache calls :meth:`bind` once with its geometry,
+    then :meth:`on_hit` / :meth:`choose_victim` / :meth:`on_evict` /
+    :meth:`on_insert` per access.  ``hint`` is the 2-bit GRASP reuse hint
+    (0 = Default for every non-graph access and for all baseline policies
+    that ignore it).
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.num_sets = 0
+        self.ways = 0
+
+    def bind(self, num_sets: int, ways: int) -> None:
+        """Allocate per-set metadata for a cache with the given geometry."""
+        self.num_sets = num_sets
+        self.ways = ways
+
+    @abc.abstractmethod
+    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        """Update state on a cache hit (the "hit promotion" policy)."""
+
+    @abc.abstractmethod
+    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        """Return the way to evict for an insertion into a full set.
+
+        May return :data:`BYPASS` to decline caching the incoming block.
+        """
+
+    @abc.abstractmethod
+    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        """Update state after the incoming block has been placed (insertion policy)."""
+
+    def on_evict(self, set_index: int, way: int, block_address: int) -> None:
+        """Notification that ``block_address`` is being evicted from ``way``."""
+
+    def reset(self) -> None:
+        """Re-initialise all metadata (equivalent to re-binding)."""
+        if self.num_sets:
+            self.bind(self.num_sets, self.ways)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+PolicyFactory = Callable[..., ReplacementPolicy]
+
+_POLICIES: Dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str) -> Callable[[PolicyFactory], PolicyFactory]:
+    """Decorator registering a policy class (or factory) under ``name``."""
+
+    def decorator(factory: PolicyFactory) -> PolicyFactory:
+        _POLICIES[name] = factory
+        return factory
+
+    return decorator
+
+
+def list_policies() -> List[str]:
+    """Names of all registered replacement policies."""
+    return sorted(_POLICIES)
+
+
+def create_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Instantiate a registered policy by name.
+
+    GRASP and its ablations register themselves when :mod:`repro.core` is
+    imported; importing it here keeps string-based configuration working
+    regardless of import order.
+    """
+    if name not in _POLICIES:
+        # Deferred import: repro.core registers the GRASP family of policies.
+        import repro.core  # noqa: F401  (import for registration side effect)
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown replacement policy {name!r}; available: {', '.join(list_policies())}"
+        ) from None
+    return factory(**kwargs)

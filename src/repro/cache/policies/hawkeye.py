@@ -1,0 +1,185 @@
+"""Hawkeye cache replacement [Jain & Lin, ISCA'16].
+
+Hawkeye reconstructs what Belady's OPT would have done on the recent access
+history of a few sampled sets (the "OPTgen" structure) and trains a PC-indexed
+predictor with those decisions: PCs whose loads OPT would have kept are
+*cache-friendly*, the rest are *cache-averse*.  Friendly lines are inserted
+with RRPV 0, averse lines with the maximum RRPV.
+
+The GRASP paper (Sec. V-A) shows why this backfires for graph analytics: a
+single PC streams over the Property Array touching hot and cold vertices
+alike, so the PC-based prediction cannot separate them — and a hit on a line
+whose PC is currently predicted averse re-inserts it at distant RRPV, evicting
+it even sooner than the RRIP baseline would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cache.policies.base import register_policy
+from repro.cache.policies.rrip import _RRIPBase
+
+
+class _OptGen:
+    """Belady-reconstruction structure for one sampled set.
+
+    Keeps a sliding usage-interval history (``history_length`` accesses) and
+    an occupancy vector; an access whose reuse interval never saturates the
+    cache capacity is a line OPT would have kept.
+    """
+
+    def __init__(self, capacity: int, history_length: int) -> None:
+        self.capacity = capacity
+        self.history_length = history_length
+        self.timestamp = 0
+        self.occupancy: List[int] = []
+        self.last_access: Dict[int, int] = {}
+        self.last_pc: Dict[int, int] = {}
+
+    def access(self, block_address: int, pc: int) -> tuple[int | None, bool]:
+        """Record an access; return ``(training_pc, opt_would_hit)``.
+
+        ``training_pc`` is the PC that previously touched this block (the one
+        to train), or ``None`` when the block has no usable history.
+        """
+        training_pc = None
+        opt_hit = False
+        base = self.timestamp - len(self.occupancy)
+        if block_address in self.last_access:
+            last = self.last_access[block_address]
+            start = last - base
+            if start >= 0:
+                window = self.occupancy[start:]
+                training_pc = self.last_pc.get(block_address)
+                if window and max(window) < self.capacity:
+                    opt_hit = True
+                    for i in range(start, len(self.occupancy)):
+                        self.occupancy[i] += 1
+                elif not window:
+                    # Same-timestamp re-access; treat as a hit with no interval.
+                    opt_hit = True
+
+        self.last_access[block_address] = self.timestamp
+        self.last_pc[block_address] = pc
+        self.occupancy.append(0)
+        self.timestamp += 1
+
+        if len(self.occupancy) > self.history_length:
+            overflow = len(self.occupancy) - self.history_length
+            del self.occupancy[:overflow]
+            cutoff = self.timestamp - self.history_length
+            stale = [block for block, t in self.last_access.items() if t < cutoff]
+            for block in stale:
+                del self.last_access[block]
+                self.last_pc.pop(block, None)
+        return training_pc, opt_hit
+
+
+@register_policy("hawkeye")
+class HawkeyePolicy(_RRIPBase):
+    """Hawkeye: OPTgen-trained, PC-correlated insertion on top of RRIP.
+
+    Parameters
+    ----------
+    sample_period:
+        One out of every ``sample_period`` sets feeds OPTgen (64 sampled sets
+        per 2048 in the original; the scaled cache keeps the same ratio).
+    predictor_bits:
+        Width of the per-PC saturating counters.
+    history_factor:
+        OPTgen history length as a multiple of the cache associativity
+        (8× in the original design).
+    """
+
+    name = "hawkeye"
+
+    def __init__(
+        self,
+        rrpv_bits: int = 3,
+        sample_period: int = 8,
+        predictor_bits: int = 3,
+        history_factor: int = 8,
+    ) -> None:
+        super().__init__(rrpv_bits)
+        self.sample_period = max(1, sample_period)
+        self.predictor_max = (1 << predictor_bits) - 1
+        self.history_factor = history_factor
+        self._predictor: Dict[int, int] = {}
+
+    def bind(self, num_sets: int, ways: int) -> None:
+        super().bind(num_sets, ways)
+        self._predictor = {}
+        self._samplers: Dict[int, _OptGen] = {}
+        self._block_pc = [[0] * ways for _ in range(num_sets)]
+        self._friendly = [[False] * ways for _ in range(num_sets)]
+
+    # -- prediction ------------------------------------------------------------
+
+    def _is_sampled(self, set_index: int) -> bool:
+        return set_index % self.sample_period == 0
+
+    def predictor_value(self, pc: int) -> int:
+        """Current counter for a PC (initialised to weakly friendly)."""
+        return self._predictor.get(pc, (self.predictor_max + 1) // 2)
+
+    def is_cache_friendly(self, pc: int) -> bool:
+        """Whether Hawkeye currently predicts loads from ``pc`` as cache-friendly."""
+        return self.predictor_value(pc) >= (self.predictor_max + 1) // 2
+
+    def _train(self, pc: int, positive: bool) -> None:
+        value = self.predictor_value(pc)
+        if positive:
+            self._predictor[pc] = min(self.predictor_max, value + 1)
+        else:
+            self._predictor[pc] = max(0, value - 1)
+
+    def _observe(self, set_index: int, block_address: int, pc: int) -> None:
+        if not self._is_sampled(set_index):
+            return
+        sampler = self._samplers.get(set_index)
+        if sampler is None:
+            sampler = _OptGen(self.ways, self.history_factor * self.ways)
+            self._samplers[set_index] = sampler
+        training_pc, opt_hit = sampler.access(block_address, pc)
+        if training_pc is not None:
+            self._train(training_pc, opt_hit)
+
+    # -- policy hooks ----------------------------------------------------------
+
+    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        self._observe(set_index, block_address, pc)
+        friendly = self.is_cache_friendly(pc)
+        self._friendly[set_index][way] = friendly
+        self._block_pc[set_index][way] = pc
+        # Friendly lines are kept close; averse lines are pushed out even on a
+        # hit — the behaviour the GRASP paper identifies as harmful for graphs.
+        self.set_rrpv(set_index, way, 0 if friendly else self.max_rrpv)
+
+    def insertion_rrpv(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        return 0 if self.is_cache_friendly(pc) else self.max_rrpv
+
+    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        self._observe(set_index, block_address, pc)
+        friendly = self.is_cache_friendly(pc)
+        if friendly:
+            # Age everyone else so older friendly lines eventually become victims.
+            rrpvs = self._rrpv[set_index]
+            for other in range(self.ways):
+                if other != way and rrpvs[other] < self.max_rrpv - 1:
+                    rrpvs[other] += 1
+        self._friendly[set_index][way] = friendly
+        self._block_pc[set_index][way] = pc
+        self.set_rrpv(set_index, way, 0 if friendly else self.max_rrpv)
+
+    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        rrpvs = self._rrpv[set_index]
+        # Prefer a cache-averse line (RRPV == max); otherwise evict the oldest
+        # friendly line and detrain the PC that inserted it.
+        for way, value in enumerate(rrpvs):
+            if value >= self.max_rrpv:
+                return way
+        victim = max(range(self.ways), key=rrpvs.__getitem__)
+        if self._friendly[set_index][victim]:
+            self._train(self._block_pc[set_index][victim], positive=False)
+        return victim

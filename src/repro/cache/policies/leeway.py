@@ -1,0 +1,104 @@
+"""Leeway: dead-block prediction via Live Distance [Faldu & Grot, PACT'17].
+
+Leeway tracks, per block, the deepest LRU-stack position at which the block
+received a hit — its *live distance* — and learns a per-signature (PC)
+predicted live distance.  A block whose current stack depth exceeds the
+prediction is considered dead and becomes the preferred victim.  The
+signature-level prediction is updated with *reuse-oriented* bias (grow fast,
+shrink slowly), which is the variability-tolerant behaviour that lets Leeway
+avoid the large slowdowns Hawkeye and SHiP suffer on graph workloads
+(Sec. V-A of the GRASP paper) while still providing little upside.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cache.policies.base import ReplacementPolicy, register_policy
+
+
+@register_policy("leeway")
+class LeewayPolicy(ReplacementPolicy):
+    """Dead-block-predicting replacement driven by per-PC live distances.
+
+    Parameters
+    ----------
+    decay_period:
+        A signature's predicted live distance shrinks by one only after this
+        many consecutive observations below the prediction (the slow-shrink,
+        reuse-oriented update).
+    """
+
+    name = "leeway"
+
+    def __init__(self, decay_period: int = 8) -> None:
+        super().__init__()
+        if decay_period < 1:
+            raise ValueError("decay_period must be at least 1")
+        self.decay_period = decay_period
+        self._predicted_ld: Dict[int, int] = {}
+        self._shrink_votes: Dict[int, int] = {}
+
+    def bind(self, num_sets: int, ways: int) -> None:
+        super().bind(num_sets, ways)
+        self._predicted_ld = {}
+        self._shrink_votes = {}
+        # Recency stack per set: list of ways ordered MRU → LRU.
+        self._stack = [list(range(ways)) for _ in range(num_sets)]
+        self._signature = [[0] * ways for _ in range(num_sets)]
+        self._observed_ld = [[0] * ways for _ in range(num_sets)]
+
+    # -- live-distance bookkeeping ----------------------------------------------
+
+    def predicted_live_distance(self, signature: int) -> int:
+        """Predicted live distance for a signature (0 when unseen)."""
+        return self._predicted_ld.get(signature, 0)
+
+    def _stack_position(self, set_index: int, way: int) -> int:
+        return self._stack[set_index].index(way)
+
+    def _move_to_mru(self, set_index: int, way: int) -> None:
+        stack = self._stack[set_index]
+        stack.remove(way)
+        stack.insert(0, way)
+
+    def _update_prediction(self, signature: int, observed: int) -> None:
+        predicted = self.predicted_live_distance(signature)
+        if observed > predicted:
+            # Grow immediately: under-prediction causes premature dead marks.
+            self._predicted_ld[signature] = observed
+            self._shrink_votes[signature] = 0
+        elif observed < predicted:
+            votes = self._shrink_votes.get(signature, 0) + 1
+            if votes >= self.decay_period:
+                self._predicted_ld[signature] = predicted - 1
+                self._shrink_votes[signature] = 0
+            else:
+                self._shrink_votes[signature] = votes
+
+    # -- policy hooks -------------------------------------------------------------
+
+    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        position = self._stack_position(set_index, way)
+        if position > self._observed_ld[set_index][way]:
+            self._observed_ld[set_index][way] = position
+        self._move_to_mru(set_index, way)
+
+    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        stack = self._stack[set_index]
+        # Walk from LRU towards MRU and take the first predicted-dead block.
+        for way in reversed(stack):
+            signature = self._signature[set_index][way]
+            if self._stack_position(set_index, way) > self.predicted_live_distance(signature):
+                return way
+        # No dead block: fall back to plain LRU.
+        return stack[-1]
+
+    def on_evict(self, set_index: int, way: int, block_address: int) -> None:
+        signature = self._signature[set_index][way]
+        self._update_prediction(signature, self._observed_ld[set_index][way])
+
+    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        self._signature[set_index][way] = pc
+        self._observed_ld[set_index][way] = 0
+        self._move_to_mru(set_index, way)

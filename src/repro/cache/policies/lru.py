@@ -1,0 +1,36 @@
+"""Least Recently Used replacement.
+
+LRU is the baseline the paper measures OPT, RRIP and GRASP against in
+Fig. 11 and Table VII.  It is also the policy used for the L1-D and L2
+filter caches in the simulated hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.cache.policies.base import ReplacementPolicy, register_policy
+
+
+@register_policy("lru")
+class LRUPolicy(ReplacementPolicy):
+    """Classic least-recently-used replacement using per-block timestamps."""
+
+    name = "lru"
+
+    def bind(self, num_sets: int, ways: int) -> None:
+        super().bind(num_sets, ways)
+        self._clock = 0
+        self._last_use = [[0] * ways for _ in range(num_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._last_use[set_index][way] = self._clock
+
+    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        self._touch(set_index, way)
+
+    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        stamps = self._last_use[set_index]
+        return stamps.index(min(stamps))
+
+    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        self._touch(set_index, way)

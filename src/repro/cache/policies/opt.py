@@ -1,0 +1,87 @@
+"""Belady's optimal replacement (OPT / MIN) — offline upper bound.
+
+Sec. V-D of the paper compares GRASP against OPT on LLC access traces.  OPT
+requires perfect knowledge of the future, so it is implemented as an offline
+trace simulator rather than a :class:`ReplacementPolicy`: for every miss in a
+full set it evicts the resident block whose next use lies farthest in the
+future (or never occurs).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cache.stats import CacheStats
+
+
+def simulate_opt_misses(block_addresses: Sequence[int] | np.ndarray, config: CacheConfig) -> CacheStats:
+    """Run Belady's MIN on a sequence of **block addresses**.
+
+    The input must already be at block granularity (byte addresses divided by
+    the block size) — exactly what :class:`repro.experiments.runner` collects
+    as the LLC access trace.  Returns a :class:`CacheStats` with the minimum
+    possible number of misses for the given cache geometry.
+    """
+    blocks = np.asarray(block_addresses, dtype=np.int64)
+    stats = CacheStats(name=f"{config.name}-OPT")
+    if blocks.size == 0:
+        return stats
+
+    num_sets = config.num_sets
+    ways = config.ways
+    set_indices = blocks & (num_sets - 1)
+
+    infinity = np.iinfo(np.int64).max
+
+    # next_use[i] = index of the next access to the same block, or "infinity".
+    next_use = np.full(blocks.size, infinity, dtype=np.int64)
+    last_seen: dict[int, int] = {}
+    for index in range(blocks.size - 1, -1, -1):
+        block = int(blocks[index])
+        next_use[index] = last_seen.get(block, infinity)
+        last_seen[block] = index
+
+    # Per-set resident map: block -> next use index.
+    resident: list[dict[int, int]] = [dict() for _ in range(num_sets)]
+    blocks_list = blocks.tolist()
+    sets_list = set_indices.tolist()
+    next_list = next_use.tolist()
+
+    for index in range(blocks.size):
+        block = blocks_list[index]
+        set_id = sets_list[index]
+        occupants = resident[set_id]
+        if block in occupants:
+            stats.record(True)
+            occupants[block] = next_list[index]
+            continue
+        stats.record(False)
+        if len(occupants) >= ways:
+            victim = max(occupants, key=occupants.get)
+            # Never-referenced-again blocks are always preferred victims; the
+            # max() above already selects them because their key is infinity.
+            del occupants[victim]
+            stats.evictions += 1
+        occupants[block] = next_list[index]
+    return stats
+
+
+class BeladyOptimal:
+    """Convenience wrapper around :func:`simulate_opt_misses`.
+
+    This is *not* a :class:`ReplacementPolicy` — it cannot run online — but it
+    offers the same "simulate a trace, read the stats" surface the experiment
+    runner uses for every other scheme.
+    """
+
+    name = "opt"
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+
+    def simulate(self, block_addresses: Sequence[int] | np.ndarray) -> CacheStats:
+        """Simulate a block-address trace and return hit/miss statistics."""
+        return simulate_opt_misses(block_addresses, self.config)

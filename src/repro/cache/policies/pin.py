@@ -1,0 +1,112 @@
+"""XMem-style pinning adapted for graph analytics (the paper's PIN-X).
+
+XMem [Vijaykumar et al., ISCA'18] lets software pin a data structure's cache
+blocks so they cannot be evicted.  The GRASP paper adapts it to graph
+analytics by pinning blocks from the High Reuse Region (identified through
+the same Address Bound Register interface GRASP uses) and reserving
+``X`` percent of the LLC capacity for pinned blocks; the remaining capacity
+is managed by the base RRIP scheme.  Four configurations are evaluated:
+PIN-25, PIN-50, PIN-75 and PIN-100.
+
+Pinning is rigid by design: once the reserved capacity is full of pinned
+blocks they stay resident for the rest of the region of interest, even if
+they stop exhibiting reuse — which is exactly the weakness Figs. 8 and 9
+expose on moderate- and low-skew inputs.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hints import HINT_HIGH
+from repro.cache.policies.base import BYPASS, register_policy
+from repro.cache.policies.rrip import DRRIPPolicy
+
+
+@register_policy("pin")
+class PinningPolicy(DRRIPPolicy):
+    """Pin High-Reuse blocks into a reserved fraction of each set.
+
+    Parameters
+    ----------
+    reserved_fraction:
+        Fraction of the ways in every set that pinned blocks may occupy
+        (0.25, 0.50, 0.75 or 1.0 for the paper's PIN-25/50/75/100).
+    """
+
+    name = "pin"
+
+    def __init__(self, reserved_fraction: float = 0.75, rrpv_bits: int = 3) -> None:
+        super().__init__(rrpv_bits=rrpv_bits)
+        if not 0.0 < reserved_fraction <= 1.0:
+            raise ValueError("reserved_fraction must be in (0, 1]")
+        self.reserved_fraction = reserved_fraction
+
+    @classmethod
+    def pin_25(cls) -> "PinningPolicy":
+        """The paper's PIN-25 configuration."""
+        return cls(reserved_fraction=0.25)
+
+    @classmethod
+    def pin_50(cls) -> "PinningPolicy":
+        """The paper's PIN-50 configuration."""
+        return cls(reserved_fraction=0.50)
+
+    @classmethod
+    def pin_75(cls) -> "PinningPolicy":
+        """The paper's PIN-75 configuration (XMem's original reservation)."""
+        return cls(reserved_fraction=0.75)
+
+    @classmethod
+    def pin_100(cls) -> "PinningPolicy":
+        """The paper's PIN-100 configuration (whole LLC may be pinned)."""
+        return cls(reserved_fraction=1.0)
+
+    def bind(self, num_sets: int, ways: int) -> None:
+        super().bind(num_sets, ways)
+        self.reserved_ways = max(1, int(round(ways * self.reserved_fraction)))
+        self._pinned = [[False] * ways for _ in range(num_sets)]
+        self._pinned_count = [0] * num_sets
+
+    def is_pinned(self, set_index: int, way: int) -> bool:
+        """Whether the block in ``way`` is currently pinned."""
+        return self._pinned[set_index][way]
+
+    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        if self._pinned[set_index][way]:
+            return
+        # Unpinned blocks are managed by the base RRIP policy.  A block that
+        # arrives with a High-Reuse hint while unpinned may still be pinned on
+        # a hit if reserved capacity remains.
+        if hint == HINT_HIGH and self._pinned_count[set_index] < self.reserved_ways:
+            self._pinned[set_index][way] = True
+            self._pinned_count[set_index] += 1
+            return
+        super().on_hit(set_index, way, block_address, pc, hint)
+
+    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        if self._pinned_count[set_index] >= self.ways:
+            # Every way is pinned (only possible under PIN-100): nothing may
+            # be evicted, so the incoming block bypasses the LLC.
+            return BYPASS
+        rrpvs = self._rrpv[set_index]
+        pinned = self._pinned[set_index]
+        maximum = self.max_rrpv
+        while True:
+            for way in range(self.ways):
+                if not pinned[way] and rrpvs[way] >= maximum:
+                    return way
+            for way in range(self.ways):
+                if not pinned[way]:
+                    rrpvs[way] += 1
+
+    def on_evict(self, set_index: int, way: int, block_address: int) -> None:
+        # Victims are never pinned; nothing to clean up beyond the base class.
+        super().on_evict(set_index, way, block_address)
+
+    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        if hint == HINT_HIGH and self._pinned_count[set_index] < self.reserved_ways:
+            self._pinned[set_index][way] = True
+            self._pinned_count[set_index] += 1
+            self.set_rrpv(set_index, way, 0)
+            return
+        self._pinned[set_index][way] = False
+        super().on_insert(set_index, way, block_address, pc, hint)

@@ -1,0 +1,36 @@
+"""Random replacement — a sanity-check baseline (not in the paper)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.cache.policies.base import ReplacementPolicy, register_policy
+
+
+@register_policy("random")
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random way.
+
+    Useful in tests and ablations as a floor that any learned or
+    domain-specialized policy should comfortably beat on thrashing workloads.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def bind(self, num_sets: int, ways: int) -> None:
+        super().bind(num_sets, ways)
+        self._rng = random.Random(self._seed)
+
+    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        return None
+
+    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        return self._rng.randrange(self.ways)
+
+    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        return None

@@ -1,0 +1,155 @@
+"""Re-Reference Interval Prediction (RRIP) replacement [Jaleel et al., ISCA'10].
+
+The paper uses DRRIP with 3-bit RRPV counters as its high-performance
+baseline (Sec. IV-C) and builds GRASP on top of it.  Three variants are
+provided:
+
+* :class:`SRRIPPolicy` — static RRIP: insert at ``max-1`` ("long re-reference
+  interval"), promote to 0 on hit.
+* :class:`BRRIPPolicy` — bimodal RRIP: insert at ``max`` most of the time and
+  at ``max-1`` with low probability, which resists thrashing.
+* :class:`DRRIPPolicy` — dynamic RRIP: set-dueling between SRRIP and BRRIP
+  with a PSEL counter; follower sets adopt the winning insertion policy.
+"""
+
+from __future__ import annotations
+
+from repro.cache.policies.base import ReplacementPolicy, register_policy
+
+
+class _RRIPBase(ReplacementPolicy):
+    """Shared RRPV bookkeeping for all RRIP-family policies (including GRASP)."""
+
+    def __init__(self, rrpv_bits: int = 3) -> None:
+        super().__init__()
+        if rrpv_bits < 1:
+            raise ValueError("rrpv_bits must be at least 1")
+        self.rrpv_bits = rrpv_bits
+        self.max_rrpv = (1 << rrpv_bits) - 1
+
+    def bind(self, num_sets: int, ways: int) -> None:
+        super().bind(num_sets, ways)
+        self._rrpv = [[self.max_rrpv] * ways for _ in range(num_sets)]
+
+    # -- RRIP mechanics --------------------------------------------------------
+
+    def rrpv_of(self, set_index: int, way: int) -> int:
+        """Current RRPV of a block (used by tests and derived policies)."""
+        return self._rrpv[set_index][way]
+
+    def set_rrpv(self, set_index: int, way: int, value: int) -> None:
+        """Set a block's RRPV, clamped to the representable range."""
+        self._rrpv[set_index][way] = min(self.max_rrpv, max(0, value))
+
+    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        """Standard RRIP victim search: leftmost block with RRPV == max.
+
+        If no block is at the maximum, all RRPVs are aged until one is.  This
+        is also GRASP's eviction policy — the paper leaves it unmodified.
+        """
+        rrpvs = self._rrpv[set_index]
+        maximum = self.max_rrpv
+        while True:
+            for way, value in enumerate(rrpvs):
+                if value >= maximum:
+                    return way
+            for way in range(self.ways):
+                rrpvs[way] += 1
+
+    # -- default RRIP policies (overridden by SHiP / Hawkeye / GRASP) ----------
+
+    def insertion_rrpv(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        """RRPV assigned to a newly inserted block."""
+        return self.max_rrpv - 1
+
+    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        # Hit priority: promote to re-reference interval 0.
+        self._rrpv[set_index][way] = 0
+
+    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        self._rrpv[set_index][way] = self.insertion_rrpv(set_index, block_address, pc, hint)
+
+
+@register_policy("srrip")
+class SRRIPPolicy(_RRIPBase):
+    """Static RRIP: every insertion uses a long re-reference interval (max-1)."""
+
+    name = "srrip"
+
+
+@register_policy("brrip")
+class BRRIPPolicy(_RRIPBase):
+    """Bimodal RRIP: insert at ``max`` except for 1-in-``epsilon`` insertions."""
+
+    name = "brrip"
+
+    def __init__(self, rrpv_bits: int = 3, epsilon: int = 32) -> None:
+        super().__init__(rrpv_bits)
+        if epsilon < 1:
+            raise ValueError("epsilon must be at least 1")
+        self.epsilon = epsilon
+        self._insert_count = 0
+
+    def insertion_rrpv(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        self._insert_count += 1
+        if self._insert_count % self.epsilon == 0:
+            return self.max_rrpv - 1
+        return self.max_rrpv
+
+
+@register_policy("rrip")
+@register_policy("drrip")
+class DRRIPPolicy(_RRIPBase):
+    """Dynamic RRIP with set dueling (the paper's "RRIP" baseline).
+
+    A handful of leader sets are statically dedicated to the SRRIP insertion
+    policy and an equal number to BRRIP; misses in leader sets steer a
+    saturating PSEL counter and follower sets adopt whichever leader is
+    currently winning.
+    """
+
+    name = "rrip"
+
+    #: One SRRIP leader and one BRRIP leader out of every ``LEADER_PERIOD`` sets.
+    LEADER_PERIOD = 16
+
+    def __init__(self, rrpv_bits: int = 3, epsilon: int = 32, psel_bits: int = 10) -> None:
+        super().__init__(rrpv_bits)
+        self.epsilon = epsilon
+        self.psel_max = (1 << psel_bits) - 1
+        self._psel = self.psel_max // 2
+        self._insert_count = 0
+
+    def bind(self, num_sets: int, ways: int) -> None:
+        super().bind(num_sets, ways)
+        self._psel = self.psel_max // 2
+        self._insert_count = 0
+
+    def _set_role(self, set_index: int) -> str:
+        """Return 'srrip', 'brrip' or 'follower' for a set."""
+        slot = set_index % self.LEADER_PERIOD
+        if slot == 0:
+            return "srrip"
+        if slot == 1:
+            return "brrip"
+        return "follower"
+
+    def _bimodal_rrpv(self) -> int:
+        self._insert_count += 1
+        if self._insert_count % self.epsilon == 0:
+            return self.max_rrpv - 1
+        return self.max_rrpv
+
+    def insertion_rrpv(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        role = self._set_role(set_index)
+        if role == "srrip":
+            # A miss in an SRRIP leader argues for BRRIP: move PSEL up.
+            self._psel = min(self.psel_max, self._psel + 1)
+            return self.max_rrpv - 1
+        if role == "brrip":
+            self._psel = max(0, self._psel - 1)
+            return self._bimodal_rrpv()
+        # Followers: PSEL below midpoint means SRRIP leaders miss less.
+        if self._psel < (self.psel_max + 1) // 2:
+            return self.max_rrpv - 1
+        return self._bimodal_rrpv()

@@ -1,0 +1,75 @@
+"""Cache statistics counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level.
+
+    ``region_accesses`` / ``region_misses`` break the totals down by the
+    memory-region label carried with each access (Property Array, Edge Array,
+    ...), which is what Fig. 2 of the paper reports.
+    """
+
+    name: str = "cache"
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bypasses: int = 0
+    region_accesses: Dict[int, int] = field(default_factory=dict)
+    region_misses: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when there were no accesses)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per access (0 when there were no accesses)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def record(self, hit: bool, region: int | None = None) -> None:
+        """Record one access outcome."""
+        self.accesses += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if region is not None:
+            self.region_accesses[region] = self.region_accesses.get(region, 0) + 1
+            if not hit:
+                self.region_misses[region] = self.region_misses.get(region, 0) + 1
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return a new :class:`CacheStats` combining two counters."""
+        merged = CacheStats(name=self.name)
+        merged.accesses = self.accesses + other.accesses
+        merged.hits = self.hits + other.hits
+        merged.misses = self.misses + other.misses
+        merged.evictions = self.evictions + other.evictions
+        merged.bypasses = self.bypasses + other.bypasses
+        for source in (self.region_accesses, other.region_accesses):
+            for region, count in source.items():
+                merged.region_accesses[region] = merged.region_accesses.get(region, 0) + count
+        for source in (self.region_misses, other.region_misses):
+            for region, count in source.items():
+                merged.region_misses[region] = merged.region_misses.get(region, 0) + count
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dictionary view used by reports."""
+        return {
+            "name": self.name,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_rate": round(self.miss_rate, 6),
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+        }

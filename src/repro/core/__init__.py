@@ -1,0 +1,37 @@
+"""GRASP — GRAph-SPecialized LLC management (the paper's contribution).
+
+The three hardware components of GRASP (Sec. III) map onto three modules:
+
+* :mod:`repro.core.abr` — the software–hardware interface: one pair of
+  Address Bound Registers per Property Array, populated by the graph
+  framework at start-up.
+* :mod:`repro.core.classification` — the comparison logic that labels each
+  LLC access High-Reuse, Moderate-Reuse, Low-Reuse or Default and produces
+  the 2-bit reuse hint.
+* :mod:`repro.core.grasp` — the specialized insertion and hit-promotion
+  policies layered on RRIP (Table II), plus the ablation variants of Fig. 7
+  in :mod:`repro.core.variants`.
+
+Importing this package registers the GRASP family in the replacement-policy
+registry (``"grasp"``, ``"rrip+hints"``, ``"grasp-insertion"``).
+"""
+
+from repro.cache.hints import HINT_DEFAULT, HINT_HIGH, HINT_LOW, HINT_MODERATE, ReuseHint
+from repro.core.abr import AddressBoundRegister, AddressBoundRegisterFile
+from repro.core.classification import GraspClassifier
+from repro.core.grasp import GraspPolicy
+from repro.core.variants import GraspInsertionOnlyPolicy, RRIPWithHintsPolicy
+
+__all__ = [
+    "AddressBoundRegister",
+    "AddressBoundRegisterFile",
+    "GraspClassifier",
+    "GraspInsertionOnlyPolicy",
+    "GraspPolicy",
+    "HINT_DEFAULT",
+    "HINT_HIGH",
+    "HINT_LOW",
+    "HINT_MODERATE",
+    "ReuseHint",
+    "RRIPWithHintsPolicy",
+]

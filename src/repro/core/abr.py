@@ -1,0 +1,94 @@
+"""Address Bound Registers (ABRs) — GRASP's software–hardware interface.
+
+Sec. III-A of the paper: the interface consists of one pair of registers per
+Property Array holding the array's start and end *virtual* addresses.  They
+are part of the application context, populated by the graph framework during
+initialization; when no ABR is set (every non-graph application), the
+domain-specialized cache management is disabled and all accesses carry the
+Default hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class AddressBoundRegister:
+    """One ABR pair: the ``[start, end)`` virtual-address bounds of a Property Array."""
+
+    start: int
+    end: int
+    label: str = "property"
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < 0:
+            raise ValueError("ABR bounds must be non-negative addresses")
+        if self.end <= self.start:
+            raise ValueError("ABR end must be greater than start")
+
+    @property
+    def size_bytes(self) -> int:
+        """Extent of the registered array in bytes."""
+        return self.end - self.start
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside the registered array."""
+        return self.start <= address < self.end
+
+
+class AddressBoundRegisterFile:
+    """The set of ABR pairs exposed to software.
+
+    Real hardware would provision a small fixed number of pairs; the paper
+    needed at most two per application after the Property-Array-merging
+    optimization (Sec. IV-A).  ``capacity`` models that limit.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("ABR file needs at least one register pair")
+        self.capacity = capacity
+        self._registers: List[AddressBoundRegister] = []
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+    def __iter__(self) -> Iterator[AddressBoundRegister]:
+        return iter(self._registers)
+
+    @property
+    def is_configured(self) -> bool:
+        """True when software has populated at least one ABR pair."""
+        return bool(self._registers)
+
+    def configure(self, start: int, end: int, label: str = "property") -> AddressBoundRegister:
+        """Populate the next free ABR pair with a Property Array's bounds."""
+        if len(self._registers) >= self.capacity:
+            raise RuntimeError(
+                f"all {self.capacity} ABR pairs are in use; merge Property Arrays "
+                "or increase the register file capacity"
+            )
+        register = AddressBoundRegister(start, end, label)
+        for existing in self._registers:
+            if register.start < existing.end and existing.start < register.end:
+                raise ValueError(
+                    f"ABR [{start:#x}, {end:#x}) overlaps existing register "
+                    f"[{existing.start:#x}, {existing.end:#x})"
+                )
+        self._registers.append(register)
+        return register
+
+    def configure_many(self, bounds: Iterable[Tuple[int, int]]) -> None:
+        """Populate several ABR pairs at once."""
+        for start, end in bounds:
+            self.configure(start, end)
+
+    def clear(self) -> None:
+        """Reset to the unconfigured state (context switch to a non-graph app)."""
+        self._registers.clear()
+
+    def registers(self) -> List[AddressBoundRegister]:
+        """Snapshot of the configured registers."""
+        return list(self._registers)

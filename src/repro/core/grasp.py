@@ -1,0 +1,62 @@
+"""GRASP's specialized cache policies (Sec. III-C, Table II of the paper).
+
+GRASP augments the insertion and hit-promotion policies of a base RRIP scheme
+and leaves the eviction (victim-selection) policy untouched:
+
+===============  ==========================  ===========================
+Reuse hint       Insertion policy            Hit-promotion policy
+===============  ==========================  ===========================
+High-Reuse       RRPV = 0 (MRU)              RRPV = 0
+Moderate-Reuse   RRPV = 6 (near LRU)         RRPV -= 1 (towards MRU)
+Low-Reuse        RRPV = 7 (LRU)              RRPV -= 1
+Default          RRPV = 6 or 7 (DRRIP duel)  RRPV = 0
+===============  ==========================  ===========================
+
+Because the eviction policy is unchanged, blocks do not need to store the
+reuse hint: a High-Reuse block that goes unreferenced simply ages out like
+any other block, which is what keeps GRASP flexible compared with pinning.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hints import HINT_HIGH, HINT_LOW, HINT_MODERATE
+from repro.cache.policies.base import register_policy
+from repro.cache.policies.rrip import DRRIPPolicy
+
+
+@register_policy("grasp")
+class GraspPolicy(DRRIPPolicy):
+    """Full GRASP: hint-guided insertion *and* hit promotion over DRRIP."""
+
+    name = "grasp"
+
+    #: Near-LRU insertion position for Moderate-Reuse blocks (RRPV = 6 when
+    #: using 3-bit counters, i.e. ``max_rrpv - 1``).
+    def _moderate_rrpv(self) -> int:
+        return self.max_rrpv - 1
+
+    def insertion_rrpv(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        if hint == HINT_HIGH:
+            return 0
+        if hint == HINT_MODERATE:
+            return self._moderate_rrpv()
+        if hint == HINT_LOW:
+            return self.max_rrpv
+        # Default: fall back to the DRRIP set-dueling insertion.
+        return super().insertion_rrpv(set_index, block_address, pc, hint)
+
+    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        if hint == HINT_HIGH:
+            self.set_rrpv(set_index, way, 0)
+            return
+        if hint in (HINT_MODERATE, HINT_LOW):
+            # Gradual promotion: one step towards MRU per hit.
+            current = self.rrpv_of(set_index, way)
+            if current > 0:
+                self.set_rrpv(set_index, way, current - 1)
+            return
+        # Default accesses keep the baseline hit-priority promotion.
+        super().on_hit(set_index, way, block_address, pc, hint)
+
+    # choose_victim is intentionally inherited unchanged from DRRIP: GRASP
+    # does not modify the eviction policy (Sec. III-C, "Eviction Policy").

@@ -1,0 +1,52 @@
+"""GRASP ablation variants used in Fig. 7 of the paper.
+
+Fig. 7 decomposes GRASP's benefit into three cumulative features:
+
+* ``RRIP+Hints`` (:class:`RRIPWithHintsPolicy`) — RRIP whose two insertion
+  positions are steered by the software hint instead of the DRRIP duel:
+  High-Reuse blocks insert near the LRU position, everything else inserts at
+  LRU.  Hit promotion is unchanged.
+* ``GRASP (Insertion-Only)`` (:class:`GraspInsertionOnlyPolicy`) — the full
+  GRASP insertion policy (High-Reuse blocks go straight to MRU) with the
+  baseline hit-promotion policy.
+* ``GRASP (Hit-Promotion)`` — the complete design; this is simply
+  :class:`repro.core.grasp.GraspPolicy`.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hints import HINT_HIGH, HINT_LOW, HINT_MODERATE
+from repro.cache.policies.base import register_policy
+from repro.cache.policies.rrip import DRRIPPolicy
+from repro.core.grasp import GraspPolicy
+
+
+@register_policy("rrip+hints")
+class RRIPWithHintsPolicy(DRRIPPolicy):
+    """RRIP with software-hint-guided insertion positions.
+
+    Identical to the RRIP baseline except that the choice between the two
+    RRIP insertion positions is made by the reuse hint rather than
+    probabilistically: High-Reuse accesses insert near LRU (``max-1``) and all
+    other accesses insert at LRU (``max``).
+    """
+
+    name = "rrip+hints"
+
+    def insertion_rrpv(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+        if hint == HINT_HIGH:
+            return self.max_rrpv - 1
+        if hint in (HINT_MODERATE, HINT_LOW):
+            return self.max_rrpv
+        return super().insertion_rrpv(set_index, block_address, pc, hint)
+
+
+@register_policy("grasp-insertion")
+class GraspInsertionOnlyPolicy(GraspPolicy):
+    """GRASP's insertion policy with the baseline RRIP hit promotion."""
+
+    name = "grasp-insertion"
+
+    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        # Baseline RRIP hit priority for every access, regardless of hint.
+        DRRIPPolicy.on_hit(self, set_index, way, block_address, pc, hint)

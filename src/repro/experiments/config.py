@@ -1,0 +1,90 @@
+"""Experiment configuration: workload scale, cache hierarchy and defaults."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Sequence, Tuple
+
+from repro.cache.config import HierarchyConfig
+from repro.graph.datasets import ADVERSARIAL_DATASETS, HIGH_SKEW_DATASETS
+from repro.perf.timing import TimingModel
+
+#: The five applications the paper evaluates, in figure order.
+PAPER_APPS: Tuple[str, ...] = ("BC", "SSSP", "PR", "PRD", "Radii")
+
+#: Environment variable letting CI/benchmarks shrink every experiment.
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for all experiment drivers.
+
+    Attributes
+    ----------
+    scale:
+        Multiplier applied to every dataset's vertex count (1.0 = the default
+        registry sizes from DESIGN.md Sec. 5).
+    hierarchy:
+        Cache hierarchy to simulate.
+    seed:
+        Seed controlling dataset generation and root selection.
+    reorder:
+        Default software reordering applied before hardware experiments
+        (the paper uses DBG).
+    apps / high_skew_datasets / adversarial_datasets:
+        Workload lists; benchmarks override these to subsets.
+    timing:
+        Latency model used to convert misses into speed-ups.
+    """
+
+    scale: float = 1.0
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    seed: int = 42
+    reorder: str = "dbg"
+    apps: Sequence[str] = PAPER_APPS
+    high_skew_datasets: Sequence[str] = HIGH_SKEW_DATASETS
+    adversarial_datasets: Sequence[str] = ADVERSARIAL_DATASETS
+    timing: TimingModel = field(default_factory=TimingModel)
+    merged_properties: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def default(cls) -> "ExperimentConfig":
+        """Full-scale configuration used to produce EXPERIMENTS.md."""
+        return cls()
+
+    @classmethod
+    def benchmark(cls) -> "ExperimentConfig":
+        """Reduced-scale configuration for pytest-benchmark runs.
+
+        The scale can be overridden with the ``REPRO_SCALE`` environment
+        variable; workloads are trimmed to two applications and three
+        datasets so each benchmark finishes in seconds while still covering
+        both pull- and push-dominant applications.
+        """
+        scale = float(os.environ.get(SCALE_ENV_VAR, "0.25"))
+        return cls(
+            scale=scale,
+            apps=("PR", "SSSP"),
+            high_skew_datasets=("lj", "pl", "kr"),
+            adversarial_datasets=("uni",),
+        )
+
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """Very small configuration used by the integration test suite."""
+        return cls(
+            scale=0.12,
+            apps=("PR",),
+            high_skew_datasets=("lj", "pl"),
+            adversarial_datasets=("uni",),
+        )

@@ -1,0 +1,220 @@
+"""Figure experiments: Figs. 2, 5, 6, 7, 8, 9, 10a, 10b and 11."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    DataPoint,
+    _run_scheme,
+    build_workload,
+    compare_policies,
+    llc_trace_for,
+    workload_cycles,
+)
+from repro.experiments.schemes import (
+    ABLATION_SCHEMES,
+    HISTORY_SCHEMES,
+    PINNING_SCHEMES,
+    ROBUSTNESS_SCHEMES,
+)
+from repro.perf.reorder_cost import ReorderCostModel
+from repro.trace.layout import REGION_PROPERTY
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — LLC access / miss breakdown
+# ---------------------------------------------------------------------------
+
+def fig2_llc_breakdown(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Sequence[str] = ("pl", "tw"),
+    apps: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Fig. 2: share of LLC accesses and misses inside the Property Array.
+
+    Run on the original (identity) vertex order with the RRIP baseline, as in
+    the paper's motivation study.
+    """
+    config = config or ExperimentConfig.default()
+    apps = apps or config.apps
+    rows: List[Dict[str, object]] = []
+    for dataset_name in datasets:
+        for app_name in apps:
+            workload = build_workload(app_name, dataset_name, reorder="identity", config=config)
+            stats = _run_scheme(workload, "RRIP", config)
+            accesses = stats.accesses or 1
+            property_accesses = stats.region_accesses.get(REGION_PROPERTY, 0)
+            property_misses = stats.region_misses.get(REGION_PROPERTY, 0)
+            rows.append(
+                {
+                    "dataset": dataset_name,
+                    "app": app_name,
+                    "property_access_pct": round(100.0 * property_accesses / accesses, 2),
+                    "other_access_pct": round(100.0 * (accesses - property_accesses) / accesses, 2),
+                    "property_miss_pct": round(100.0 * property_misses / accesses, 2),
+                    "other_miss_pct": round(100.0 * (stats.misses - property_misses) / accesses, 2),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figs. 5 & 6 — history-based schemes vs GRASP (miss reduction and speed-up)
+# ---------------------------------------------------------------------------
+
+def fig5_miss_reduction(config: Optional[ExperimentConfig] = None) -> List[DataPoint]:
+    """Fig. 5: LLC miss reduction over the RRIP baseline (DBG reordering)."""
+    config = config or ExperimentConfig.default()
+    return compare_policies(
+        config.apps, config.high_skew_datasets, HISTORY_SCHEMES, config=config
+    )
+
+
+def fig6_speedup(config: Optional[ExperimentConfig] = None) -> List[DataPoint]:
+    """Fig. 6: speed-up over the RRIP baseline for the same schemes as Fig. 5."""
+    return fig5_miss_reduction(config)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — GRASP feature ablation
+# ---------------------------------------------------------------------------
+
+def fig7_ablation(config: Optional[ExperimentConfig] = None) -> List[DataPoint]:
+    """Fig. 7: RRIP+Hints → GRASP (Insertion-Only) → full GRASP."""
+    config = config or ExperimentConfig.default()
+    return compare_policies(
+        config.apps, config.high_skew_datasets, ABLATION_SCHEMES, config=config
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 8 & 9 — pinning-based schemes
+# ---------------------------------------------------------------------------
+
+def fig8_pinning(config: Optional[ExperimentConfig] = None) -> List[DataPoint]:
+    """Fig. 8: PIN-25/50/75/100 vs GRASP on the high-skew datasets."""
+    config = config or ExperimentConfig.default()
+    return compare_policies(
+        config.apps, config.high_skew_datasets, PINNING_SCHEMES, config=config
+    )
+
+
+def fig9_low_skew(config: Optional[ExperimentConfig] = None) -> List[DataPoint]:
+    """Fig. 9: robustness of PIN-75/PIN-100/GRASP on low-/no-skew datasets."""
+    config = config or ExperimentConfig.default()
+    return compare_policies(
+        config.apps, config.adversarial_datasets, ROBUSTNESS_SCHEMES, config=config
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10a — net speed-up of software reordering techniques
+# ---------------------------------------------------------------------------
+
+def fig10a_reordering_speedup(
+    config: Optional[ExperimentConfig] = None,
+    techniques: Sequence[str] = ("sort", "hubsort", "dbg", "gorder"),
+    cost_model: Optional[ReorderCostModel] = None,
+) -> List[Dict[str, object]]:
+    """Fig. 10a: end-to-end speed-up of reordering including reordering cost.
+
+    Application time is the simulated ROI time scaled to the whole run (all
+    iterations of all traversals); the reordering time comes from the
+    operation-count cost model.  Speed-ups are relative to the original
+    (identity) vertex order, as in the paper.
+    """
+    config = config or ExperimentConfig.default()
+    cost_model = cost_model or ReorderCostModel()
+    rows: List[Dict[str, object]] = []
+    for dataset_name in config.high_skew_datasets:
+        for app_name in config.apps:
+            baseline = build_workload(app_name, dataset_name, reorder="identity", config=config)
+            baseline_cycles = _whole_run_cycles(baseline, config)
+            row: Dict[str, object] = {"dataset": dataset_name, "app": app_name}
+            for technique in techniques:
+                workload = build_workload(app_name, dataset_name, reorder=technique, config=config)
+                app_cycles = _whole_run_cycles(workload, config)
+                row[technique] = round(
+                    cost_model.net_speedup_percent(
+                        baseline_cycles, app_cycles, workload.reorder_operations
+                    ),
+                    2,
+                )
+            rows.append(row)
+    return rows
+
+
+def _whole_run_cycles(workload, config: ExperimentConfig) -> float:
+    """Approximate cycles of the full application run from its ROI.
+
+    The ROI iteration's cycle count is scaled by the ratio of edges traversed
+    over the whole run to edges traversed in the ROI — the same
+    "simulate one iteration, reason about the run" methodology as the paper.
+    """
+    stats = _run_scheme(workload, "RRIP", config)
+    roi_cycles = workload_cycles(workload, stats, config)
+    roi_edges = max(1, workload.roi.edges_traversed)
+    scale_factor = max(1.0, workload.total_edges_traversed / roi_edges)
+    return roi_cycles * scale_factor
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10b — GRASP on top of each reordering technique
+# ---------------------------------------------------------------------------
+
+def fig10b_grasp_over_reorderings(
+    config: Optional[ExperimentConfig] = None,
+    techniques: Sequence[str] = ("sort", "hubsort", "dbg", "gorder"),
+) -> List[Dict[str, object]]:
+    """Fig. 10b: GRASP speed-up over RRIP when paired with each reordering."""
+    config = config or ExperimentConfig.default()
+    rows: List[Dict[str, object]] = []
+    for dataset_name in config.high_skew_datasets:
+        for app_name in config.apps:
+            row: Dict[str, object] = {"dataset": dataset_name, "app": app_name}
+            for technique in techniques:
+                points = compare_policies(
+                    [app_name], [dataset_name], ["GRASP"], config=config, reorder=technique
+                )
+                row[technique] = round(points[0].speedup_pct, 2)
+            rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — RRIP / GRASP / OPT miss elimination over LRU
+# ---------------------------------------------------------------------------
+
+def fig11_vs_opt(config: Optional[ExperimentConfig] = None) -> List[Dict[str, object]]:
+    """Fig. 11: percentage of LLC misses eliminated over LRU."""
+    config = config or ExperimentConfig.default()
+    rows: List[Dict[str, object]] = []
+    for dataset_name in config.high_skew_datasets:
+        for app_name in config.apps:
+            workload = build_workload(app_name, dataset_name, reorder=config.reorder, config=config)
+            lru = _run_scheme(workload, "LRU", config)
+            row: Dict[str, object] = {"dataset": dataset_name, "app": app_name}
+            for scheme in ("RRIP", "GRASP", "OPT"):
+                stats = _run_scheme(workload, scheme, config)
+                row[scheme] = round(
+                    config.timing.miss_reduction_percent(lru.misses, stats.misses), 2
+                )
+            rows.append(row)
+    return rows
+
+
+def summarize_fig11(rows: Sequence[Dict[str, object]]) -> Dict[str, float]:
+    """Average miss elimination per scheme plus GRASP's effectiveness vs OPT."""
+    if not rows:
+        return {"RRIP": 0.0, "GRASP": 0.0, "OPT": 0.0, "grasp_vs_opt_pct": 0.0}
+    summary = {
+        scheme: float(np.mean([row[scheme] for row in rows])) for scheme in ("RRIP", "GRASP", "OPT")
+    }
+    summary["grasp_vs_opt_pct"] = (
+        100.0 * summary["GRASP"] / summary["OPT"] if summary["OPT"] else 0.0
+    )
+    return summary

@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents results as bar charts; the reproduction prints the same
+series as aligned text tables so the benchmark harness and EXPERIMENTS.md can
+record them without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] | None = None, title: str | None = None) -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    widths = {column: len(column) for column in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [render(row.get(column, "")) for column in columns]
+        rendered_rows.append(rendered)
+        for column, cell in zip(columns, rendered):
+            widths[column] = max(widths[column], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[column]) for column, cell in zip(columns, rendered)))
+    return "\n".join(lines)
+
+
+def pivot_by_scheme(points, value_attribute: str) -> List[Dict[str, object]]:
+    """Pivot a list of :class:`DataPoint` into rows keyed by (app, dataset).
+
+    ``value_attribute`` selects which metric to show per scheme
+    (``"speedup_pct"`` or ``"miss_reduction_pct"``).
+    """
+    rows: Dict[tuple, Dict[str, object]] = {}
+    for point in points:
+        key = (point.app_name, point.dataset_name)
+        row = rows.setdefault(key, {"app": point.app_name, "dataset": point.dataset_name})
+        row[point.scheme] = round(getattr(point, value_attribute), 2)
+    return list(rows.values())

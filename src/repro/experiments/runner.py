@@ -1,0 +1,352 @@
+"""Workload construction and trace-driven simulation.
+
+The pipeline per (application, dataset, reordering) triple mirrors the
+paper's methodology (Sec. IV):
+
+1. generate the synthetic dataset and apply the software reordering;
+2. run the application to obtain per-iteration frontiers;
+3. pick the region of interest — the busiest iteration in the application's
+   dominant traversal direction;
+4. lay the graph's arrays out in memory and generate the ROI's reference
+   stream;
+5. filter the stream through the L1-D and L2 caches (these levels always use
+   LRU and are therefore independent of the LLC policy under study);
+6. replay the surviving LLC accesses under each replacement policy, tagging
+   every access with GRASP's reuse hint derived from the Address Bound
+   Registers.
+
+Workloads, filtered traces and per-policy results are memoised so that
+figures sharing the same runs (e.g. Figs. 5 and 6) do not recompute them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analytics import get_application
+from repro.analytics.base import AppResult, IterationRecord
+from repro.cache import CacheConfig, SetAssociativeCache
+from repro.cache.config import HierarchyConfig
+from repro.cache.policies import LRUPolicy, simulate_opt_misses
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.stats import CacheStats
+from repro.core import AddressBoundRegisterFile, GraspClassifier
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.schemes import scheme_policy
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import get_dataset
+from repro.perf.timing import LevelCounts, TimingModel
+from repro.reorder import get_technique
+from repro.trace import MemoryLayout, Trace, generate_iteration_trace
+
+
+@dataclass
+class Workload:
+    """Everything needed to simulate one (app, dataset, reordering) triple."""
+
+    app_name: str
+    dataset_name: str
+    reorder_name: str
+    graph: CSRGraph
+    app_result: AppResult
+    roi: IterationRecord
+    layout: MemoryLayout
+    reorder_operations: float
+    dominant_direction: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """Identifier used in reports."""
+        return (self.app_name, self.dataset_name, self.reorder_name)
+
+    @property
+    def total_edges_traversed(self) -> int:
+        """Edges traversed across the whole application run (all iterations)."""
+        return sum(record.edges_traversed for record in self.app_result.iterations)
+
+
+@dataclass
+class LLCTrace:
+    """The post-L1/L2 access stream seen by the LLC."""
+
+    byte_addresses: np.ndarray
+    block_addresses: np.ndarray
+    pcs: np.ndarray
+    regions: np.ndarray
+    hints: np.ndarray
+    upstream_l1_hits: int
+    upstream_l2_hits: int
+    total_references: int
+
+    def __len__(self) -> int:
+        return int(self.block_addresses.shape[0])
+
+    def level_counts(self, llc_hits: int, llc_misses: int) -> LevelCounts:
+        """Per-level reference counts for the timing model."""
+        return LevelCounts(
+            l1_hits=self.upstream_l1_hits,
+            l2_hits=self.upstream_l2_hits,
+            llc_hits=llc_hits,
+            memory_accesses=llc_misses,
+        )
+
+
+@dataclass
+class DataPoint:
+    """Result of simulating one scheme on one workload."""
+
+    app_name: str
+    dataset_name: str
+    scheme: str
+    stats: CacheStats
+    cycles: float
+    miss_reduction_pct: float = 0.0
+    speedup_pct: float = 0.0
+
+
+# ---------------------------------------------------------------------------
+# memoisation
+# ---------------------------------------------------------------------------
+
+_WORKLOADS: Dict[tuple, Workload] = {}
+_LLC_TRACES: Dict[tuple, LLCTrace] = {}
+_POLICY_RUNS: Dict[tuple, CacheStats] = {}
+
+
+def clear_caches() -> None:
+    """Drop all memoised workloads, traces and simulation results."""
+    _WORKLOADS.clear()
+    _LLC_TRACES.clear()
+    _POLICY_RUNS.clear()
+
+
+# ---------------------------------------------------------------------------
+# workload construction
+# ---------------------------------------------------------------------------
+
+def build_workload(
+    app_name: str,
+    dataset_name: str,
+    reorder: str = "dbg",
+    config: Optional[ExperimentConfig] = None,
+    merged_properties: Optional[bool] = None,
+) -> Workload:
+    """Build (and memoise) one workload."""
+    config = config or ExperimentConfig.default()
+    merged = config.merged_properties if merged_properties is None else merged_properties
+    key = (app_name, dataset_name, reorder, config.scale, config.seed, merged)
+    if key in _WORKLOADS:
+        return _WORKLOADS[key]
+
+    app = get_application(app_name, merged_properties=merged)
+    weighted = app_name == "SSSP"
+    graph = get_dataset(dataset_name, scale=config.scale, seed=config.seed, weighted=weighted)
+
+    degree_source = "in" if app.dominant_direction == "push" else "out"
+    technique = get_technique(reorder, degree_source=degree_source)
+    reorder_result = technique.apply(graph)
+    reordered = reorder_result.graph
+
+    root = int(np.argmax(reordered.out_degrees))
+    app_result = app.run(reordered, root=root)
+
+    candidates = app_result.iterations_in_direction(app.dominant_direction) or app_result.iterations
+    roi = max(candidates, key=lambda record: record.active_vertices)
+
+    layout = MemoryLayout(reordered, app.access_profile())
+    workload = Workload(
+        app_name=app_name,
+        dataset_name=dataset_name,
+        reorder_name=reorder,
+        graph=reordered,
+        app_result=app_result,
+        roi=roi,
+        layout=layout,
+        reorder_operations=reorder_result.operations,
+        dominant_direction=app.dominant_direction,
+    )
+    _WORKLOADS[key] = workload
+    return workload
+
+
+def roi_trace(workload: Workload) -> Trace:
+    """Reference stream of the workload's region-of-interest iteration."""
+    return generate_iteration_trace(
+        workload.graph,
+        workload.layout,
+        workload.dominant_direction,
+        frontier=workload.roi.frontier,
+    )
+
+
+# ---------------------------------------------------------------------------
+# L1/L2 filtering and hint classification
+# ---------------------------------------------------------------------------
+
+def filter_trace(
+    trace: Trace,
+    hierarchy: HierarchyConfig,
+    layout: Optional[MemoryLayout] = None,
+) -> LLCTrace:
+    """Run the L1-D/L2 filters over a trace and return the LLC-bound accesses."""
+    l1 = SetAssociativeCache(hierarchy.l1, LRUPolicy())
+    l2 = SetAssociativeCache(hierarchy.l2, LRUPolicy())
+    addresses = trace.addresses.tolist()
+    keep = np.zeros(len(addresses), dtype=bool)
+    l1_access, l2_access = l1.access, l2.access
+    for index, address in enumerate(addresses):
+        if l1_access(address):
+            continue
+        if l2_access(address):
+            continue
+        keep[index] = True
+
+    byte_addresses = trace.addresses[keep]
+    block_addresses = byte_addresses >> hierarchy.llc.block_offset_bits
+    hints = _classify_hints(byte_addresses, layout, hierarchy.llc)
+    return LLCTrace(
+        byte_addresses=byte_addresses,
+        block_addresses=block_addresses,
+        pcs=trace.pcs[keep],
+        regions=trace.regions[keep],
+        hints=hints,
+        upstream_l1_hits=int(l1.stats.hits),
+        upstream_l2_hits=int(l2.stats.hits),
+        total_references=len(trace),
+    )
+
+
+def _classify_hints(
+    byte_addresses: np.ndarray,
+    layout: Optional[MemoryLayout],
+    llc_config: CacheConfig,
+) -> np.ndarray:
+    """Tag LLC accesses with GRASP reuse hints from the workload's ABRs."""
+    abrs = AddressBoundRegisterFile(capacity=8)
+    if layout is not None:
+        for start, end in layout.property_array_bounds():
+            abrs.configure(start, end)
+    classifier = GraspClassifier(abrs, llc_size_bytes=llc_config.size_bytes)
+    return classifier.classify_array(byte_addresses)
+
+
+def llc_trace_for(workload: Workload, config: ExperimentConfig) -> LLCTrace:
+    """Memoised L1/L2-filtered LLC trace for a workload."""
+    key = (workload.key, config.scale, config.seed, config.hierarchy, workload.layout.profile.merged)
+    if key not in _LLC_TRACES:
+        _LLC_TRACES[key] = filter_trace(roi_trace(workload), config.hierarchy, workload.layout)
+    return _LLC_TRACES[key]
+
+
+# ---------------------------------------------------------------------------
+# LLC simulation
+# ---------------------------------------------------------------------------
+
+def simulate_llc_policy(
+    llc_trace: LLCTrace,
+    policy: ReplacementPolicy,
+    llc_config: CacheConfig,
+    use_hints: bool = True,
+) -> CacheStats:
+    """Replay an LLC trace under one replacement policy."""
+    cache = SetAssociativeCache(llc_config, policy)
+    access = cache.access_block
+    blocks = llc_trace.block_addresses.tolist()
+    pcs = llc_trace.pcs.tolist()
+    regions = llc_trace.regions.tolist()
+    hints = llc_trace.hints.tolist() if use_hints else [0] * len(blocks)
+    for block, pc, hint, region in zip(blocks, pcs, hints, regions):
+        access(block, pc, hint, region)
+    return cache.stats
+
+
+def simulate_opt(llc_trace: LLCTrace, llc_config: CacheConfig) -> CacheStats:
+    """Belady's OPT lower bound on misses for an LLC trace."""
+    return simulate_opt_misses(llc_trace.block_addresses, llc_config)
+
+
+def _run_scheme(workload: Workload, scheme: str, config: ExperimentConfig) -> CacheStats:
+    """Memoised simulation of one scheme on one workload."""
+    key = (workload.key, scheme, config.scale, config.seed, config.hierarchy, workload.layout.profile.merged)
+    if key in _POLICY_RUNS:
+        return _POLICY_RUNS[key]
+    llc_trace = llc_trace_for(workload, config)
+    if scheme == "OPT":
+        stats = simulate_opt(llc_trace, config.hierarchy.llc)
+    else:
+        stats = simulate_llc_policy(llc_trace, scheme_policy(scheme), config.hierarchy.llc)
+    _POLICY_RUNS[key] = stats
+    return stats
+
+
+def workload_cycles(workload: Workload, stats: CacheStats, config: ExperimentConfig) -> float:
+    """Execution cycles of the workload's ROI under the given LLC outcome."""
+    llc_trace = llc_trace_for(workload, config)
+    # Bypassed accesses are already counted as misses by the cache, so the
+    # hit/miss split fully describes where every LLC access was served.
+    counts = llc_trace.level_counts(llc_hits=stats.hits, llc_misses=stats.misses)
+    return config.timing.cycles(counts)
+
+
+# ---------------------------------------------------------------------------
+# multi-scheme comparison (shared by Figs. 5-9)
+# ---------------------------------------------------------------------------
+
+def compare_policies(
+    app_names: Sequence[str],
+    dataset_names: Sequence[str],
+    schemes: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    reorder: Optional[str] = None,
+    baseline: str = "RRIP",
+) -> List[DataPoint]:
+    """Simulate ``schemes`` (plus the baseline) on every (app, dataset) pair.
+
+    Returns one :class:`DataPoint` per (app, dataset, scheme) with miss
+    reduction and speed-up computed against the baseline scheme, exactly as
+    the paper's figures report them.
+    """
+    config = config or ExperimentConfig.default()
+    reorder = reorder or config.reorder
+    timing: TimingModel = config.timing
+    points: List[DataPoint] = []
+    for dataset_name in dataset_names:
+        for app_name in app_names:
+            workload = build_workload(app_name, dataset_name, reorder=reorder, config=config)
+            baseline_stats = _run_scheme(workload, baseline, config)
+            baseline_cycles = workload_cycles(workload, baseline_stats, config)
+            for scheme in schemes:
+                stats = baseline_stats if scheme == baseline else _run_scheme(workload, scheme, config)
+                cycles = workload_cycles(workload, stats, config)
+                points.append(
+                    DataPoint(
+                        app_name=app_name,
+                        dataset_name=dataset_name,
+                        scheme=scheme,
+                        stats=stats,
+                        cycles=cycles,
+                        miss_reduction_pct=timing.miss_reduction_percent(
+                            baseline_stats.misses, stats.misses
+                        ),
+                        speedup_pct=timing.speedup_percent(baseline_cycles, cycles),
+                    )
+                )
+    return points
+
+
+def geometric_mean_speedup(points: Sequence[DataPoint]) -> float:
+    """Geometric-mean speed-up (%) across data points, as the paper's GM bars."""
+    if not points:
+        return 0.0
+    ratios = np.array([1.0 + point.speedup_pct / 100.0 for point in points])
+    return float((np.exp(np.log(ratios).mean()) - 1.0) * 100.0)
+
+
+def average_miss_reduction(points: Sequence[DataPoint]) -> float:
+    """Arithmetic-mean miss reduction (%) across data points."""
+    if not points:
+        return 0.0
+    return float(np.mean([point.miss_reduction_pct for point in points]))

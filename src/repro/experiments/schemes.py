@@ -1,0 +1,46 @@
+"""Mapping from the paper's scheme names to replacement-policy factories."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cache.policies import create_policy
+from repro.cache.policies.base import ReplacementPolicy
+
+#: Scheme name (as used in the paper's figures) → (registry name, kwargs).
+#: SHiP-MEM's memory-region granularity is scaled with the rest of the system
+#: (16 KB regions on a 16 MB LLC become 2 KB regions on the scaled LLC).
+POLICY_SPECS: Dict[str, Tuple[str, dict]] = {
+    "LRU": ("lru", {}),
+    "RRIP": ("rrip", {}),
+    "SHiP-MEM": ("ship-mem", {"region_bytes": 2 * 1024}),
+    "Hawkeye": ("hawkeye", {}),
+    "Leeway": ("leeway", {}),
+    "PIN-25": ("pin", {"reserved_fraction": 0.25}),
+    "PIN-50": ("pin", {"reserved_fraction": 0.50}),
+    "PIN-75": ("pin", {"reserved_fraction": 0.75}),
+    "PIN-100": ("pin", {"reserved_fraction": 1.00}),
+    "RRIP+Hints": ("rrip+hints", {}),
+    "GRASP (Insertion-Only)": ("grasp-insertion", {}),
+    "GRASP": ("grasp", {}),
+}
+
+#: The history-based prior schemes compared in Figs. 5 and 6.
+HISTORY_SCHEMES = ("SHiP-MEM", "Hawkeye", "Leeway", "GRASP")
+#: The pinning configurations compared in Fig. 8.
+PINNING_SCHEMES = ("PIN-25", "PIN-50", "PIN-75", "PIN-100", "GRASP")
+#: The robustness study of Fig. 9.
+ROBUSTNESS_SCHEMES = ("PIN-75", "PIN-100", "GRASP")
+#: The ablation study of Fig. 7.
+ABLATION_SCHEMES = ("RRIP+Hints", "GRASP (Insertion-Only)", "GRASP")
+
+
+def scheme_policy(name: str) -> ReplacementPolicy:
+    """Instantiate the replacement policy behind a paper scheme name."""
+    try:
+        registry_name, kwargs = POLICY_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {', '.join(POLICY_SPECS)}"
+        ) from None
+    return create_policy(registry_name, **kwargs)

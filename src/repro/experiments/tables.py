@@ -1,0 +1,127 @@
+"""Table experiments: Table I (skew), Table IV (array merging), Table VII (LLC sweep)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.config import CacheConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    _run_scheme,
+    build_workload,
+    llc_trace_for,
+    simulate_llc_policy,
+    simulate_opt,
+    workload_cycles,
+)
+from repro.experiments.schemes import scheme_policy
+from repro.graph.datasets import get_dataset
+from repro.graph.properties import skew_report
+
+
+def table1_skew(config: Optional[ExperimentConfig] = None, datasets: Optional[Sequence[str]] = None) -> List[Dict[str, object]]:
+    """Table I: percentage of hot vertices and of edges they cover, per dataset."""
+    config = config or ExperimentConfig.default()
+    names = datasets or config.high_skew_datasets
+    rows = []
+    for name in names:
+        graph = get_dataset(name, scale=config.scale, seed=config.seed)
+        rows.append(skew_report(graph).as_dict())
+    return rows
+
+
+def table4_merging(
+    config: Optional[ExperimentConfig] = None,
+    apps: Optional[Sequence[str]] = None,
+    datasets: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Table IV: speed-up from merging the Property Arrays.
+
+    For every application with more than one edge-indexed Property Array the
+    merged layout is compared against the unmerged one under the RRIP
+    baseline; applications without a merging opportunity (BC, Radii) report
+    zero speed-up, as in the paper.
+    """
+    config = config or ExperimentConfig.default()
+    apps = apps or config.apps
+    datasets = datasets or config.high_skew_datasets
+    rows: List[Dict[str, object]] = []
+    for app_name in apps:
+        speedups = []
+        has_opportunity = None
+        for dataset_name in datasets:
+            unmerged = build_workload(
+                app_name, dataset_name, reorder="identity", config=config, merged_properties=False
+            )
+            has_opportunity = unmerged.layout.profile.num_property_arrays > 1
+            if not has_opportunity:
+                break
+            merged = build_workload(
+                app_name, dataset_name, reorder="identity", config=config, merged_properties=True
+            )
+            unmerged_stats = simulate_llc_policy(
+                llc_trace_for(unmerged, config), scheme_policy("RRIP"), config.hierarchy.llc
+            )
+            merged_stats = simulate_llc_policy(
+                llc_trace_for(merged, config), scheme_policy("RRIP"), config.hierarchy.llc
+            )
+            unmerged_cycles = workload_cycles(unmerged, unmerged_stats, config)
+            merged_cycles = workload_cycles(merged, merged_stats, config)
+            speedups.append(config.timing.speedup_percent(unmerged_cycles, merged_cycles))
+        if has_opportunity:
+            rows.append(
+                {
+                    "app": app_name,
+                    "merging_opportunity": "Yes",
+                    "min_speedup_pct": round(min(speedups), 2),
+                    "max_speedup_pct": round(max(speedups), 2),
+                }
+            )
+        else:
+            rows.append(
+                {
+                    "app": app_name,
+                    "merging_opportunity": "No",
+                    "min_speedup_pct": 0.0,
+                    "max_speedup_pct": 0.0,
+                }
+            )
+    return rows
+
+
+def table7_llc_sweep(
+    config: Optional[ExperimentConfig] = None,
+    llc_sizes: Optional[Sequence[int]] = None,
+    apps: Optional[Sequence[str]] = None,
+    datasets: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Table VII: misses eliminated over LRU for RRIP, GRASP and OPT vs LLC size.
+
+    The paper sweeps 1-32 MB; the scaled reproduction sweeps the same 1/4× to
+    2× range around the default LLC.
+    """
+    config = config or ExperimentConfig.default()
+    apps = apps or config.apps
+    datasets = datasets or config.high_skew_datasets
+    default_llc = config.hierarchy.llc
+    if llc_sizes is None:
+        llc_sizes = [default_llc.size_bytes * factor // 4 for factor in (1, 2, 4, 8)]
+
+    rows: List[Dict[str, object]] = []
+    for size in llc_sizes:
+        sweep_config = config.with_overrides(hierarchy=config.hierarchy.with_llc_size(size))
+        reductions = {"RRIP": [], "GRASP": [], "OPT": []}
+        for dataset_name in datasets:
+            for app_name in apps:
+                workload = build_workload(app_name, dataset_name, reorder=sweep_config.reorder, config=sweep_config)
+                lru_stats = _run_scheme(workload, "LRU", sweep_config)
+                for scheme in ("RRIP", "GRASP", "OPT"):
+                    stats = _run_scheme(workload, scheme, sweep_config)
+                    reductions[scheme].append(
+                        sweep_config.timing.miss_reduction_percent(lru_stats.misses, stats.misses)
+                    )
+        row: Dict[str, object] = {"llc_bytes": size}
+        for scheme, values in reductions.items():
+            row[scheme] = round(sum(values) / len(values), 2) if values else 0.0
+        rows.append(row)
+    return rows

@@ -1,0 +1,54 @@
+"""Graph substrate: CSR representation, builders, generators and analysis.
+
+This subpackage provides everything the rest of the library needs to model
+the graph datasets the paper evaluates on:
+
+* :class:`~repro.graph.csr.CSRGraph` — Compressed Sparse Row graph with both
+  out- and in-adjacency, optional edge weights, and relabelling support.
+* :mod:`~repro.graph.builder` — construction of CSR graphs from edge lists.
+* :mod:`~repro.graph.generators` — synthetic power-law (Chung-Lu), R-MAT,
+  low-skew and uniform random graph generators that stand in for the paper's
+  real datasets.
+* :mod:`~repro.graph.datasets` — a registry of named, scaled-down datasets
+  mirroring the paper's Table V.
+* :mod:`~repro.graph.properties` — degree/skew analysis used to reproduce
+  Table I.
+* :mod:`~repro.graph.io` — edge-list and binary persistence.
+"""
+
+from repro.graph.builder import build_csr, from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DatasetSpec, get_dataset, list_datasets
+from repro.graph.generators import (
+    chung_lu_graph,
+    low_skew_graph,
+    rmat_graph,
+    uniform_random_graph,
+)
+from repro.graph.properties import (
+    DegreeStatistics,
+    SkewReport,
+    degree_statistics,
+    edge_coverage,
+    hot_vertex_mask,
+    skew_report,
+)
+
+__all__ = [
+    "CSRGraph",
+    "DatasetSpec",
+    "DegreeStatistics",
+    "SkewReport",
+    "build_csr",
+    "chung_lu_graph",
+    "degree_statistics",
+    "edge_coverage",
+    "from_edge_list",
+    "get_dataset",
+    "hot_vertex_mask",
+    "list_datasets",
+    "low_skew_graph",
+    "rmat_graph",
+    "skew_report",
+    "uniform_random_graph",
+]

@@ -1,0 +1,120 @@
+"""Construction of :class:`~repro.graph.csr.CSRGraph` objects from edge lists."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import INDEX_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE, CSRGraph, GraphError
+
+
+def _csr_from_pairs(
+    num_vertices: int,
+    group_by: np.ndarray,
+    other: np.ndarray,
+    weights: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Group edges by ``group_by`` and return (index, adjacency, weights)."""
+    counts = np.bincount(group_by, minlength=num_vertices).astype(INDEX_DTYPE)
+    index = np.concatenate(([0], np.cumsum(counts))).astype(INDEX_DTYPE)
+    # Stable lexicographic order: primary key = grouping vertex, secondary key
+    # = the opposite endpoint, so neighbour lists come out sorted.
+    order = np.lexsort((other, group_by))
+    adjacency = other[order].astype(VERTEX_DTYPE)
+    ordered_weights = weights[order].astype(WEIGHT_DTYPE) if weights is not None else None
+    return index, adjacency, ordered_weights
+
+
+def build_csr(
+    num_vertices: int,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    remove_self_loops: bool = False,
+    deduplicate: bool = False,
+    name: str = "graph",
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from parallel source/target arrays.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex IDs must lie in ``[0, num_vertices)``.
+    sources, targets:
+        Parallel arrays of edge endpoints.
+    weights:
+        Optional parallel array of edge weights.
+    remove_self_loops:
+        Drop edges whose endpoints coincide.
+    deduplicate:
+        Collapse parallel edges (the first weight wins for weighted graphs).
+    name:
+        Human-readable graph name carried through transformations.
+    """
+    sources = np.asarray(sources, dtype=VERTEX_DTYPE).ravel()
+    targets = np.asarray(targets, dtype=VERTEX_DTYPE).ravel()
+    if sources.shape != targets.shape:
+        raise GraphError("sources and targets must have the same length")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=WEIGHT_DTYPE).ravel()
+        if weights.shape != sources.shape:
+            raise GraphError("weights must be aligned with the edge list")
+    if num_vertices < 0:
+        raise GraphError("num_vertices must be non-negative")
+    if sources.size:
+        if sources.min() < 0 or targets.min() < 0:
+            raise GraphError("vertex IDs must be non-negative")
+        if max(int(sources.max()), int(targets.max())) >= num_vertices:
+            raise GraphError("edge list references vertex IDs >= num_vertices")
+
+    if remove_self_loops and sources.size:
+        keep = sources != targets
+        sources, targets = sources[keep], targets[keep]
+        if weights is not None:
+            weights = weights[keep]
+
+    if deduplicate and sources.size:
+        keys = sources * np.int64(num_vertices) + targets
+        _, unique_idx = np.unique(keys, return_index=True)
+        unique_idx.sort()
+        sources, targets = sources[unique_idx], targets[unique_idx]
+        if weights is not None:
+            weights = weights[unique_idx]
+
+    out_index, out_targets, out_weights = _csr_from_pairs(num_vertices, sources, targets, weights)
+    in_index, in_sources, in_weights = _csr_from_pairs(num_vertices, targets, sources, weights)
+    return CSRGraph(
+        out_index=out_index,
+        out_targets=out_targets,
+        in_index=in_index,
+        in_sources=in_sources,
+        out_weights=out_weights,
+        in_weights=in_weights,
+        name=name,
+    )
+
+
+def from_edge_list(
+    edges: Iterable[Sequence[int]],
+    num_vertices: Optional[int] = None,
+    weights: Optional[Sequence[float]] = None,
+    name: str = "graph",
+    **kwargs,
+) -> CSRGraph:
+    """Build a graph from an iterable of ``(source, target)`` pairs.
+
+    ``num_vertices`` defaults to one more than the largest vertex ID seen.
+    """
+    edge_array = np.asarray(list(edges), dtype=VERTEX_DTYPE)
+    if edge_array.size == 0:
+        sources = np.empty(0, dtype=VERTEX_DTYPE)
+        targets = np.empty(0, dtype=VERTEX_DTYPE)
+    else:
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphError("edges must be (source, target) pairs")
+        sources, targets = edge_array[:, 0], edge_array[:, 1]
+    if num_vertices is None:
+        num_vertices = int(edge_array.max()) + 1 if edge_array.size else 0
+    weight_array = None if weights is None else np.asarray(weights, dtype=WEIGHT_DTYPE)
+    return build_csr(num_vertices, sources, targets, weights=weight_array, name=name, **kwargs)

@@ -1,0 +1,101 @@
+"""Persistence of graphs as edge-list text files and compressed NumPy archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.graph.builder import build_csr
+from repro.graph.csr import CSRGraph, GraphError
+
+PathLike = Union[str, Path]
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write a graph as a whitespace-separated ``src dst [weight]`` text file."""
+    path = Path(path)
+    sources, targets = graph.edge_arrays()
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# repro edge list: {graph.name}\n")
+        handle.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
+        if graph.is_weighted:
+            for s, t, w in zip(sources.tolist(), targets.tolist(), graph.out_weights.tolist()):
+                handle.write(f"{s} {t} {w:g}\n")
+        else:
+            for s, t in zip(sources.tolist(), targets.tolist()):
+                handle.write(f"{s} {t}\n")
+
+
+def load_edge_list(path: PathLike, num_vertices: int | None = None) -> CSRGraph:
+    """Load a graph written by :func:`save_edge_list` (or any edge-list file).
+
+    Lines starting with ``#`` are comments.  A ``# vertices=N`` comment, if
+    present, fixes the vertex count; otherwise it is inferred from the data
+    unless ``num_vertices`` is given.
+    """
+    path = Path(path)
+    sources, targets, weights = [], [], []
+    declared_vertices = None
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "vertices=" in line:
+                    for token in line.replace("#", "").split():
+                        if token.startswith("vertices="):
+                            declared_vertices = int(token.split("=", 1)[1])
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"malformed edge-list line: {line!r}")
+            sources.append(int(parts[0]))
+            targets.append(int(parts[1]))
+            if len(parts) >= 3:
+                weights.append(float(parts[2]))
+
+    if weights and len(weights) != len(sources):
+        raise GraphError("some edges have weights and some do not")
+
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(targets, dtype=np.int64)
+    wts = np.asarray(weights, dtype=np.float64) if weights else None
+    if num_vertices is None:
+        num_vertices = declared_vertices
+    if num_vertices is None:
+        num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1 if src.size else 0
+    return build_csr(num_vertices, src, dst, weights=wts, name=path.stem)
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Save a graph in compressed NumPy format (fast round-trip)."""
+    path = Path(path)
+    payload = {
+        "out_index": graph.out_index,
+        "out_targets": graph.out_targets,
+        "in_index": graph.in_index,
+        "in_sources": graph.in_sources,
+        "name": np.array(graph.name),
+    }
+    if graph.out_weights is not None:
+        payload["out_weights"] = graph.out_weights
+        payload["in_weights"] = graph.in_weights
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph saved by :func:`save_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        return CSRGraph(
+            out_index=data["out_index"],
+            out_targets=data["out_targets"],
+            in_index=data["in_index"],
+            in_sources=data["in_sources"],
+            out_weights=data["out_weights"] if "out_weights" in data else None,
+            in_weights=data["in_weights"] if "in_weights" in data else None,
+            name=str(data["name"]),
+        )

@@ -1,0 +1,13 @@
+"""Analytical performance models.
+
+The paper reports application speed-up from a cycle-accurate simulator; this
+reproduction converts the cache simulator's hit/miss counts into cycles with
+a simple latency model (:mod:`repro.perf.timing`) and models the cost of
+vertex reordering from operation counts (:mod:`repro.perf.reorder_cost`) so
+that Fig. 10a's net-speed-up comparison can be regenerated.
+"""
+
+from repro.perf.reorder_cost import ReorderCostModel
+from repro.perf.timing import LevelCounts, TimingModel
+
+__all__ = ["LevelCounts", "ReorderCostModel", "TimingModel"]

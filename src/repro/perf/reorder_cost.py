@@ -1,0 +1,58 @@
+"""Reordering-cost model for the software-only study (Fig. 10a).
+
+Fig. 10a reports *net* speed-up: application time with reordering, plus the
+time spent reordering, relative to the un-reordered baseline.  The real
+measurement ran on a 40-thread server; here the application time comes from
+the timing model over the simulated trace, and the reordering time is modelled
+from each technique's abstract operation count (``ReorderResult.operations``)
+at a fixed cost per operation.  The constants only need to preserve the
+paper's qualitative result: skew-aware techniques amortise their cost on long
+runs, Gorder's cost is orders of magnitude larger and never amortises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReorderCostModel:
+    """Converts reordering operation counts into model cycles.
+
+    Parameters
+    ----------
+    cycles_per_operation:
+        Cost of one abstract reordering operation, in the same cycle units as
+        :class:`repro.perf.timing.TimingModel`.
+    parallel_threads:
+        Reordering implementations are parallel (the paper divides Gorder's
+        single-threaded runtime by the machine's 40 threads for fairness);
+        the operation count is divided by this factor.
+    """
+
+    cycles_per_operation: float = 12.0
+    parallel_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_operation <= 0:
+            raise ValueError("cycles_per_operation must be positive")
+        if self.parallel_threads < 1:
+            raise ValueError("parallel_threads must be at least 1")
+
+    def reorder_cycles(self, operations: float) -> float:
+        """Model cycles spent reordering."""
+        if operations < 0:
+            raise ValueError("operations must be non-negative")
+        return operations * self.cycles_per_operation / self.parallel_threads
+
+    def net_speedup_percent(
+        self,
+        baseline_application_cycles: float,
+        reordered_application_cycles: float,
+        reorder_operations: float,
+    ) -> float:
+        """Net speed-up including the reordering cost (the Fig. 10a metric)."""
+        total = reordered_application_cycles + self.reorder_cycles(reorder_operations)
+        if total <= 0:
+            raise ValueError("total cycles must be positive")
+        return (baseline_application_cycles / total - 1.0) * 100.0

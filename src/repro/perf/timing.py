@@ -1,0 +1,81 @@
+"""Cycle model converting cache-level hit counts into execution time.
+
+Graph analytics is memory-bound (Sec. I of the paper), so execution time is
+modelled as the sum of the latency of every memory reference plus a small
+per-access core overhead.  The default latencies follow the paper's Table VI
+(4-cycle L1, 6-cycle L2, 10-cycle LLC bank plus NoC, 50 ns ≈ 130-cycle
+memory at 2.66 GHz).  Absolute cycle counts are not meaningful — only the
+*relative* change between two policies is used, which is how every speed-up
+figure in the paper is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LevelCounts:
+    """How many references were satisfied at each level of the hierarchy."""
+
+    l1_hits: int = 0
+    l2_hits: int = 0
+    llc_hits: int = 0
+    memory_accesses: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        """Total memory references."""
+        return self.l1_hits + self.l2_hits + self.llc_hits + self.memory_accesses
+
+    def with_llc_outcome(self, llc_hits: int, llc_misses: int) -> "LevelCounts":
+        """Return a copy with the LLC hit/miss split replaced.
+
+        Used when the same L1/L2 filter trace is replayed under several LLC
+        policies: only the LLC-level split changes between policies.
+        """
+        return LevelCounts(
+            l1_hits=self.l1_hits,
+            l2_hits=self.l2_hits,
+            llc_hits=llc_hits,
+            memory_accesses=llc_misses,
+        )
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Latency parameters of the modelled system (cycles)."""
+
+    core_overhead: float = 1.5
+    l1_latency: float = 4.0
+    l2_latency: float = 10.0
+    llc_latency: float = 30.0
+    memory_latency: float = 130.0
+
+    def cycles(self, counts: LevelCounts) -> float:
+        """Execution cycles for the given per-level hit counts."""
+        return (
+            counts.total_accesses * self.core_overhead
+            + counts.l1_hits * self.l1_latency
+            + counts.l2_hits * self.l2_latency
+            + counts.llc_hits * self.llc_latency
+            + counts.memory_accesses * self.memory_latency
+        )
+
+    @staticmethod
+    def speedup_percent(baseline_cycles: float, cycles: float) -> float:
+        """Per-cent speed-up of ``cycles`` relative to ``baseline_cycles``.
+
+        Positive values mean faster than the baseline, as in the paper's
+        figures; negative values are slowdowns.
+        """
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        return (baseline_cycles / cycles - 1.0) * 100.0
+
+    @staticmethod
+    def miss_reduction_percent(baseline_misses: int, misses: int) -> float:
+        """Per-cent of baseline misses eliminated (Fig. 5 / Fig. 11 metric)."""
+        if baseline_misses <= 0:
+            return 0.0
+        return (1.0 - misses / baseline_misses) * 100.0

@@ -1,0 +1,35 @@
+"""Vertex-reordering techniques (Sec. II-E and IV-B of the paper).
+
+Skew-aware reordering segregates hot (high-degree) vertices into a contiguous
+region at the low end of the vertex-ID space, which GRASP's Address Bound
+Register interface then exploits.  This subpackage implements the four
+techniques the paper evaluates plus an identity baseline:
+
+* :class:`IdentityReordering` — no reordering (the "Original" baseline).
+* :class:`SortReordering` — full descending-degree sort.
+* :class:`HubSortReordering` — sort only the hot vertices; preserve the
+  relative order of cold vertices (HubSort, Zhang et al.).
+* :class:`DBGReordering` — Degree-Based Grouping (Faldu et al., IISWC'19):
+  coarse degree groups, original order preserved within each group.
+* :class:`GorderReordering` — a windowed greedy approximation of Gorder
+  (Wei et al., SIGMOD'16), the expensive structure-aware technique.
+"""
+
+from repro.reorder.base import ReorderingTechnique, ReorderResult, get_technique, list_techniques
+from repro.reorder.dbg import DBGReordering
+from repro.reorder.gorder import GorderReordering
+from repro.reorder.hubsort import HubSortReordering
+from repro.reorder.identity import IdentityReordering
+from repro.reorder.sort import SortReordering
+
+__all__ = [
+    "DBGReordering",
+    "GorderReordering",
+    "HubSortReordering",
+    "IdentityReordering",
+    "ReorderResult",
+    "ReorderingTechnique",
+    "SortReordering",
+    "get_technique",
+    "list_techniques",
+]

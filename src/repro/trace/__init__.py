@@ -1,0 +1,42 @@
+"""Memory-layout modelling and LLC access-trace generation.
+
+The paper's hardware evaluation is trace-driven: one region-of-interest
+iteration (the one with the most active vertices) is simulated in detail.
+This subpackage reproduces that pipeline in two steps:
+
+* :class:`~repro.trace.layout.MemoryLayout` places the CSR Vertex and Edge
+  arrays and every Property Array in a virtual address space, mirroring how
+  a graph framework would allocate them, and exposes the Property-Array
+  bounds the application writes into GRASP's Address Bound Registers.
+* :func:`~repro.trace.generator.generate_iteration_trace` replays the memory
+  reference stream of one pull or push iteration of an application over that
+  layout, producing the address/PC/region arrays the cache simulator and the
+  Fig. 2 access-breakdown analysis consume.
+"""
+
+from repro.trace.generator import Trace, generate_iteration_trace
+from repro.trace.layout import (
+    PC_EDGE_LOAD,
+    PC_PROPERTY_GATHER,
+    PC_PROPERTY_UPDATE,
+    PC_VERTEX_LOAD,
+    REGION_EDGE,
+    REGION_NAMES,
+    REGION_PROPERTY,
+    REGION_VERTEX,
+    MemoryLayout,
+)
+
+__all__ = [
+    "MemoryLayout",
+    "PC_EDGE_LOAD",
+    "PC_PROPERTY_GATHER",
+    "PC_PROPERTY_UPDATE",
+    "PC_VERTEX_LOAD",
+    "REGION_EDGE",
+    "REGION_NAMES",
+    "REGION_PROPERTY",
+    "REGION_VERTEX",
+    "Trace",
+    "generate_iteration_trace",
+]

@@ -1,0 +1,162 @@
+"""Generation of the memory-reference stream for one traversal iteration.
+
+The generated stream follows the access structure of Sec. II-C of the paper:
+for every processed vertex the kernel reads its Vertex-Array entry, walks the
+corresponding slice of the Edge Array, and for every edge reads the
+neighbour's entry in each Property Array; after the edges it updates the
+vertex's own per-vertex properties.  Pull iterations walk the in-edges of all
+vertices (Ligra's dense mode); push iterations walk the out-edges of the
+active frontier only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analytics.base import PULL, PUSH
+from repro.graph.csr import CSRGraph, VERTEX_DTYPE
+from repro.trace.layout import (
+    PC_EDGE_LOAD,
+    PC_PROPERTY_GATHER,
+    PC_PROPERTY_UPDATE,
+    PC_VERTEX_LOAD,
+    REGION_EDGE,
+    REGION_PROPERTY,
+    REGION_VERTEX,
+    MemoryLayout,
+)
+
+
+@dataclass
+class Trace:
+    """A memory-reference stream: parallel address / PC / region arrays."""
+
+    addresses: np.ndarray
+    pcs: np.ndarray
+    regions: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.addresses) == len(self.pcs) == len(self.regions)):
+            raise ValueError("trace arrays must be parallel")
+
+    def __len__(self) -> int:
+        return int(self.addresses.shape[0])
+
+    @property
+    def num_accesses(self) -> int:
+        """Number of memory references in the trace."""
+        return len(self)
+
+    def property_fraction(self) -> float:
+        """Fraction of references that target a Property Array (Fig. 2)."""
+        if len(self) == 0:
+            return 0.0
+        return float((self.regions == REGION_PROPERTY).mean())
+
+    def concatenate(self, other: "Trace") -> "Trace":
+        """Append another trace (used to trace several iterations back to back)."""
+        return Trace(
+            addresses=np.concatenate([self.addresses, other.addresses]),
+            pcs=np.concatenate([self.pcs, other.pcs]),
+            regions=np.concatenate([self.regions, other.regions]),
+        )
+
+
+def _edge_slice_for(graph: CSRGraph, vertices: np.ndarray, direction: str):
+    """Edge indices and neighbour IDs for the given vertices, in traversal order."""
+    if direction == PULL:
+        index, adjacency = graph.in_index, graph.in_sources
+    else:
+        index, adjacency = graph.out_index, graph.out_targets
+    starts = index[vertices]
+    counts = (index[vertices + 1] - starts).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=VERTEX_DTYPE), counts
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    edge_indices = np.repeat(starts - offsets[:-1], counts) + np.arange(total)
+    neighbours = adjacency[edge_indices]
+    return edge_indices, neighbours, counts
+
+
+def generate_iteration_trace(
+    graph: CSRGraph,
+    layout: MemoryLayout,
+    direction: str,
+    frontier: Optional[np.ndarray] = None,
+) -> Trace:
+    """Generate the reference stream of one traversal iteration.
+
+    Parameters
+    ----------
+    graph:
+        The (reordered) graph being traversed.
+    layout:
+        Memory layout providing array base addresses; its access profile
+        determines how many Property Arrays are read per edge.
+    direction:
+        ``"pull"`` (dense: every vertex gathers over its in-edges) or
+        ``"push"`` (sparse: frontier vertices scatter over their out-edges).
+    frontier:
+        Active vertices for push iterations; ignored for pull iterations
+        (Ligra's dense mode scans all destinations).
+    """
+    if direction not in (PULL, PUSH):
+        raise ValueError(f"unknown direction {direction!r}")
+    n = graph.num_vertices
+    if direction == PULL or frontier is None:
+        vertices = np.arange(n, dtype=VERTEX_DTYPE)
+    else:
+        vertices = np.asarray(frontier, dtype=VERTEX_DTYPE)
+    if vertices.size == 0 or n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return Trace(empty, empty.astype(np.int16), empty.astype(np.int8))
+
+    edge_indices, neighbours, counts = _edge_slice_for(graph, vertices, direction)
+    num_edges = int(edge_indices.shape[0])
+    edge_property_count = len(layout.edge_property_arrays)
+    vertex_property_count = len(layout.vertex_property_arrays)
+    stride = 1 + edge_property_count
+
+    # Inner per-edge stream: Edge-Array read followed by one read per
+    # edge-indexed Property Array, all indexed by the neighbour vertex.
+    inner_addresses = np.empty(num_edges * stride, dtype=np.int64)
+    inner_pcs = np.empty(num_edges * stride, dtype=np.int16)
+    inner_regions = np.empty(num_edges * stride, dtype=np.int8)
+    inner_addresses[0::stride] = layout.edge_addresses(edge_indices)
+    inner_pcs[0::stride] = PC_EDGE_LOAD
+    inner_regions[0::stride] = REGION_EDGE
+    for array_index in range(edge_property_count):
+        inner_addresses[array_index + 1 :: stride] = layout.edge_property_addresses(
+            array_index, neighbours
+        )
+        inner_pcs[array_index + 1 :: stride] = PC_PROPERTY_GATHER
+        inner_regions[array_index + 1 :: stride] = REGION_PROPERTY
+
+    # Per-vertex accesses: the Vertex-Array read before the edge slice and the
+    # per-vertex property updates after it.
+    per_vertex_after = vertex_property_count
+    edge_offsets = np.concatenate(([0], np.cumsum(counts))) * stride
+
+    insert_positions = np.concatenate(
+        [edge_offsets[:-1]] + [edge_offsets[1:]] * per_vertex_after if per_vertex_after else [edge_offsets[:-1]]
+    )
+    vertex_addresses = [layout.vertex_index_addresses(vertices)]
+    vertex_pcs = [np.full(vertices.shape, PC_VERTEX_LOAD, dtype=np.int16)]
+    vertex_regions = [np.full(vertices.shape, REGION_VERTEX, dtype=np.int8)]
+    for array_index in range(vertex_property_count):
+        vertex_addresses.append(layout.vertex_property_addresses(array_index, vertices))
+        vertex_pcs.append(np.full(vertices.shape, PC_PROPERTY_UPDATE, dtype=np.int16))
+        vertex_regions.append(np.full(vertices.shape, REGION_PROPERTY, dtype=np.int8))
+
+    insert_values = np.concatenate(vertex_addresses)
+    insert_pcs = np.concatenate(vertex_pcs)
+    insert_regions = np.concatenate(vertex_regions)
+
+    addresses = np.insert(inner_addresses, insert_positions, insert_values)
+    pcs = np.insert(inner_pcs, insert_positions, insert_pcs)
+    regions = np.insert(inner_regions, insert_positions, insert_regions)
+    return Trace(addresses=addresses, pcs=pcs, regions=regions)

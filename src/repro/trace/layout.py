@@ -1,0 +1,167 @@
+"""Virtual-memory layout of the graph data structures.
+
+The layout mirrors a CSR-based graph framework's allocations (Sec. II-B of
+the paper): a Vertex Array of indices, an Edge Array of neighbour IDs and one
+or more Property Arrays holding per-vertex state.  Each array is placed on
+its own page-aligned extent so the Property-Array bounds can be handed to
+GRASP's Address Bound Registers exactly as the instrumented Ligra
+applications do in the paper (Sec. IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analytics.base import AccessProfile
+from repro.graph.csr import CSRGraph
+
+#: Memory-region labels attached to every traced access (Fig. 2 breakdown).
+REGION_VERTEX = 0
+REGION_EDGE = 1
+REGION_PROPERTY = 2
+REGION_OTHER = 3
+
+REGION_NAMES = {
+    REGION_VERTEX: "vertex-array",
+    REGION_EDGE: "edge-array",
+    REGION_PROPERTY: "property-array",
+    REGION_OTHER: "other",
+}
+
+#: Synthetic program-counter values.  Graph kernels touch hot and cold
+#: vertices from the *same* loads, so a single PC covers all Property-Array
+#: gathers — the very fact that defeats PC-correlated predictors (Sec. II-F).
+PC_VERTEX_LOAD = 0x400
+PC_EDGE_LOAD = 0x404
+PC_PROPERTY_GATHER = 0x408
+PC_PROPERTY_UPDATE = 0x40C
+
+#: Page size used to align array bases.
+PAGE_BYTES = 4096
+
+#: Bytes per Vertex-Array (offsets) and Edge-Array (neighbour IDs) entry.
+VERTEX_ENTRY_BYTES = 8
+EDGE_ENTRY_BYTES = 8
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class ArrayExtent:
+    """One allocated array: ``[base, base + size_bytes)``."""
+
+    name: str
+    base: int
+    element_bytes: int
+    num_elements: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Total size of the array."""
+        return self.element_bytes * self.num_elements
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the array."""
+        return self.base + self.size_bytes
+
+    def addresses(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised element-index → byte-address translation."""
+        return self.base + np.asarray(indices, dtype=np.int64) * self.element_bytes
+
+
+class MemoryLayout:
+    """Address-space layout for one (graph, access-profile) pair.
+
+    Parameters
+    ----------
+    graph:
+        The (already reordered) graph being processed.
+    profile:
+        The application's access profile; one Property Array extent is
+        allocated per edge-indexed property plus one per vertex-indexed
+        property.
+    base_address:
+        Where the first array is placed.
+    """
+
+    def __init__(self, graph: CSRGraph, profile: AccessProfile, base_address: int = 0x10_0000) -> None:
+        self.graph = graph
+        self.profile = profile
+        n, m = graph.num_vertices, graph.num_edges
+        cursor = base_address
+
+        def place(name: str, element_bytes: int, num_elements: int) -> ArrayExtent:
+            nonlocal cursor
+            extent = ArrayExtent(name, cursor, element_bytes, num_elements)
+            cursor = _align_up(extent.end, PAGE_BYTES)
+            return extent
+
+        self.vertex_array = place("vertex-index", VERTEX_ENTRY_BYTES, n + 1)
+        self.edge_array = place("edge-array", EDGE_ENTRY_BYTES, max(1, m))
+        self.edge_property_arrays: List[ArrayExtent] = [
+            place(spec.name, spec.element_bytes, n) for spec in profile.edge_properties
+        ]
+        self.vertex_property_arrays: List[ArrayExtent] = [
+            place(spec.name, spec.element_bytes, n) for spec in profile.vertex_properties
+        ]
+        self.end_address = cursor
+
+    # -- GRASP interface --------------------------------------------------------
+
+    def property_array_bounds(self) -> List[Tuple[int, int]]:
+        """Bounds of the reuse-rich Property Arrays, for ABR configuration.
+
+        Only the arrays indexed by the *neighbour* vertex on each edge (the
+        irregular, reuse-carrying accesses) are registered — these are the
+        arrays the paper instruments (at most two per application).
+        """
+        return [(extent.base, extent.end) for extent in self.edge_property_arrays]
+
+    # -- address helpers --------------------------------------------------------
+
+    def vertex_index_addresses(self, vertices: np.ndarray) -> np.ndarray:
+        """Addresses of Vertex-Array entries for the given vertices."""
+        return self.vertex_array.addresses(vertices)
+
+    def edge_addresses(self, edge_indices: np.ndarray) -> np.ndarray:
+        """Addresses of Edge-Array entries for the given edge indices."""
+        return self.edge_array.addresses(edge_indices)
+
+    def edge_property_addresses(self, array_index: int, vertices: np.ndarray) -> np.ndarray:
+        """Addresses of the ``array_index``-th edge-indexed Property Array."""
+        return self.edge_property_arrays[array_index].addresses(vertices)
+
+    def vertex_property_addresses(self, array_index: int, vertices: np.ndarray) -> np.ndarray:
+        """Addresses of the ``array_index``-th vertex-indexed Property Array."""
+        return self.vertex_property_arrays[array_index].addresses(vertices)
+
+    def region_of(self, addresses: np.ndarray) -> np.ndarray:
+        """Classify byte addresses into layout regions (for analysis only)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        regions = np.full(addresses.shape, REGION_OTHER, dtype=np.int8)
+        regions[(addresses >= self.vertex_array.base) & (addresses < self.vertex_array.end)] = REGION_VERTEX
+        regions[(addresses >= self.edge_array.base) & (addresses < self.edge_array.end)] = REGION_EDGE
+        for extent in (*self.edge_property_arrays, *self.vertex_property_arrays):
+            regions[(addresses >= extent.base) & (addresses < extent.end)] = REGION_PROPERTY
+        return regions
+
+    def describe(self) -> Dict[str, Tuple[int, int]]:
+        """Mapping of array name to (base, end) — used by reports and tests."""
+        layout = {
+            self.vertex_array.name: (self.vertex_array.base, self.vertex_array.end),
+            self.edge_array.name: (self.edge_array.base, self.edge_array.end),
+        }
+        for extent in (*self.edge_property_arrays, *self.vertex_property_arrays):
+            layout[extent.name] = (extent.base, extent.end)
+        return layout
+
+    @property
+    def total_footprint_bytes(self) -> int:
+        """Total bytes spanned by all arrays (including alignment padding)."""
+        return self.end_address - self.vertex_array.base

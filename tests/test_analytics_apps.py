@@ -1,0 +1,303 @@
+"""Correctness tests for the graph applications, validated against networkx
+where a reference algorithm exists."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    APPLICATIONS,
+    BetweennessCentrality,
+    BreadthFirstSearch,
+    ConnectedComponents,
+    PageRank,
+    PageRankDelta,
+    RadiiEstimation,
+    SingleSourceShortestPaths,
+    get_application,
+    list_applications,
+)
+from repro.analytics.apps import PAPER_APPLICATIONS
+from repro.analytics.base import PULL, PUSH
+from repro.graph import chung_lu_graph, from_edge_list, get_dataset
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    """A modest power-law graph used across the validation tests."""
+    return chung_lu_graph(300, 6.0, exponent=2.1, seed=5)
+
+
+def to_networkx(graph, weighted=False):
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(range(graph.num_vertices))
+    sources, targets = graph.edge_arrays()
+    if weighted:
+        nx_graph.add_weighted_edges_from(
+            zip(sources.tolist(), targets.tolist(), graph.out_weights.tolist())
+        )
+    else:
+        nx_graph.add_edges_from(zip(sources.tolist(), targets.tolist()))
+    return nx_graph
+
+
+class TestRegistry:
+    def test_paper_applications_present(self):
+        assert set(PAPER_APPLICATIONS) <= set(APPLICATIONS)
+        assert list_applications(paper_only=True) == list(PAPER_APPLICATIONS)
+
+    def test_get_application(self):
+        assert isinstance(get_application("PR"), PageRank)
+        with pytest.raises(KeyError):
+            get_application("NotAnApp")
+
+    def test_access_profiles_well_formed(self):
+        for name in APPLICATIONS:
+            app = get_application(name)
+            profile = app.access_profile()
+            assert profile.num_property_arrays >= 1
+            unmerged = app.base_access_profile()
+            merged = unmerged.merge()
+            assert merged.num_property_arrays == 1
+            assert merged.edge_properties[0].element_bytes == sum(
+                spec.element_bytes for spec in unmerged.edge_properties
+            )
+
+    def test_dominant_directions_match_paper(self):
+        """Sec. IV-C: SSSP is push-dominant, all other apps pull-dominant."""
+        assert get_application("SSSP").dominant_direction == PUSH
+        for name in ("PR", "PRD", "BC", "Radii"):
+            assert get_application(name).dominant_direction == PULL
+
+
+class TestPageRank:
+    def test_matches_networkx(self, small_graph):
+        result = PageRank(tolerance=1e-12, max_iterations=200).run(small_graph)
+        expected = nx.pagerank(to_networkx(small_graph), alpha=0.85, tol=1e-12, max_iter=200)
+        ours = result.values["rank"]
+        reference = np.array([expected[v] for v in range(small_graph.num_vertices)])
+        assert np.allclose(ours, reference, atol=1e-6)
+
+    def test_ranks_sum_to_one(self, small_graph):
+        result = PageRank().run(small_graph)
+        assert result.values["rank"].sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_iterations_recorded_as_dense_pull(self, small_graph):
+        result = PageRank().run(small_graph)
+        assert result.num_iterations >= 2
+        for record in result.iterations:
+            assert record.direction == PULL
+            assert record.active_vertices == small_graph.num_vertices
+
+    def test_high_in_degree_vertex_ranks_high(self):
+        edges = [(i, 0) for i in range(1, 20)] + [(0, 1)]
+        graph = from_edge_list(edges, num_vertices=20)
+        ranks = PageRank().run(graph).values["rank"]
+        assert np.argmax(ranks) == 0
+
+    def test_empty_graph(self):
+        graph = from_edge_list([], num_vertices=0)
+        assert PageRank().run(graph).values["rank"].size == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.5)
+        with pytest.raises(ValueError):
+            PageRank(tolerance=0)
+        with pytest.raises(ValueError):
+            PageRank(max_iterations=0)
+
+
+class TestPageRankDelta:
+    def test_approximates_pagerank(self, small_graph):
+        pr = PageRank(tolerance=1e-12, max_iterations=200).run(small_graph).values["rank"]
+        prd = PageRankDelta(epsilon=1e-4, max_iterations=200).run(small_graph).values["rank"]
+        # PRD is an approximation: rank ordering of the top vertices must agree.
+        top_pr = set(np.argsort(pr)[-10:].tolist())
+        top_prd = set(np.argsort(prd)[-10:].tolist())
+        assert len(top_pr & top_prd) >= 7
+        assert prd.sum() == pytest.approx(pr.sum(), rel=0.05)
+
+    def test_frontier_shrinks_over_time(self, small_graph):
+        result = PageRankDelta(epsilon=1e-2).run(small_graph)
+        sizes = [record.active_vertices for record in result.iterations]
+        assert sizes[0] == small_graph.num_vertices
+        assert sizes[-1] < sizes[0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PageRankDelta(damping=0)
+        with pytest.raises(ValueError):
+            PageRankDelta(epsilon=0)
+
+
+class TestBFS:
+    def test_distances_match_networkx(self, small_graph):
+        result = BreadthFirstSearch().run(small_graph, root=0)
+        expected = nx.single_source_shortest_path_length(to_networkx(small_graph), 0)
+        distance = result.values["distance"]
+        for vertex in range(small_graph.num_vertices):
+            if vertex in expected:
+                assert distance[vertex] == expected[vertex]
+            else:
+                assert distance[vertex] == -1
+
+    def test_parents_are_consistent(self, small_graph):
+        result = BreadthFirstSearch().run(small_graph, root=0)
+        distance, parent = result.values["distance"], result.values["parent"]
+        for vertex in range(small_graph.num_vertices):
+            if distance[vertex] > 0:
+                assert distance[parent[vertex]] == distance[vertex] - 1
+                assert vertex in small_graph.out_neighbors(parent[vertex])
+
+    def test_uses_both_directions_on_skewed_graph(self):
+        graph = chung_lu_graph(2000, 10.0, exponent=2.0, seed=2, deduplicate=False)
+        result = BreadthFirstSearch().run(graph, root=int(np.argmax(graph.out_degrees)))
+        directions = {record.direction for record in result.iterations}
+        assert PUSH in directions
+        assert PULL in directions
+
+    def test_invalid_root(self, small_graph):
+        with pytest.raises(ValueError):
+            BreadthFirstSearch().run(small_graph, root=-1)
+
+
+class TestBC:
+    def test_single_source_matches_manual_brandes(self):
+        """Hand-checkable diamond: 0->1->3, 0->2->3, 3->4."""
+        graph = from_edge_list([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], num_vertices=5)
+        result = BetweennessCentrality().run(graph, root=0)
+        centrality = result.values["centrality"]
+        # Dependencies from source 0: delta(1)=delta(2)=0.5+0.5*... compute:
+        # sigma: 0:1, 1:1, 2:1, 3:2, 4:2.
+        # delta(3) = 1 (for 4), delta(1) = 1/2*(1+1) = 1, delta(2) = 1.
+        assert centrality[3] == pytest.approx(1.0)
+        assert centrality[1] == pytest.approx(1.0)
+        assert centrality[2] == pytest.approx(1.0)
+        assert centrality[4] == pytest.approx(0.0)
+        assert centrality[0] == pytest.approx(0.0)
+
+    def test_all_sources_match_networkx(self):
+        graph = chung_lu_graph(120, 4.0, seed=9)
+        result = BetweennessCentrality().run(graph, roots=list(range(graph.num_vertices)))
+        expected = nx.betweenness_centrality(to_networkx(graph), normalized=False)
+        ours = result.values["centrality"]
+        reference = np.array([expected[v] for v in range(graph.num_vertices)])
+        assert np.allclose(ours, reference, atol=1e-6)
+
+    def test_records_forward_and_backward_iterations(self, small_graph):
+        result = BetweennessCentrality().run(small_graph, root=0)
+        assert result.num_iterations >= 2
+
+    def test_invalid_root(self, small_graph):
+        with pytest.raises(ValueError):
+            BetweennessCentrality().run(small_graph, root=10**6)
+
+
+class TestSSSP:
+    def test_matches_networkx_bellman_ford(self, small_graph):
+        weighted = small_graph.with_random_weights(seed=3)
+        result = SingleSourceShortestPaths().run(weighted, root=0)
+        expected = nx.single_source_bellman_ford_path_length(
+            to_networkx(weighted, weighted=True), 0
+        )
+        distance = result.values["distance"]
+        for vertex in range(weighted.num_vertices):
+            if vertex in expected:
+                assert distance[vertex] == pytest.approx(expected[vertex])
+            else:
+                assert np.isinf(distance[vertex])
+
+    def test_requires_weights(self, small_graph):
+        with pytest.raises(ValueError):
+            SingleSourceShortestPaths().run(small_graph, root=0)
+
+    def test_all_iterations_push(self, small_graph):
+        weighted = small_graph.with_random_weights(seed=3)
+        result = SingleSourceShortestPaths().run(weighted, root=0)
+        assert all(record.direction == PUSH for record in result.iterations)
+
+    def test_root_distance_zero(self, small_graph):
+        weighted = small_graph.with_random_weights(seed=3)
+        result = SingleSourceShortestPaths().run(weighted, root=5)
+        assert result.values["distance"][5] == 0.0
+
+    def test_invalid_root(self, small_graph):
+        weighted = small_graph.with_random_weights(seed=3)
+        with pytest.raises(ValueError):
+            SingleSourceShortestPaths().run(weighted, root=weighted.num_vertices)
+
+
+class TestRadii:
+    def test_radius_bounds_on_path_graph(self):
+        # Directed path 0 -> 1 -> 2 -> 3 -> 4 with all vertices sampled.
+        graph = from_edge_list([(0, 1), (1, 2), (2, 3), (3, 4)], num_vertices=5)
+        result = RadiiEstimation(num_samples=5, seed=1).run(graph)
+        radius = result.values["radius"]
+        # Vertex 4 is 4 hops from vertex 0: its radius estimate must be 4.
+        assert radius[4] == 4
+        assert radius[0] == 0
+
+    def test_estimates_bounded_by_vertex_count(self, small_graph):
+        result = RadiiEstimation(num_samples=16, seed=2).run(small_graph)
+        radius = result.values["radius"]
+        assert radius.min() >= 0
+        assert radius.max() < small_graph.num_vertices
+
+    def test_sample_count_validation(self):
+        with pytest.raises(ValueError):
+            RadiiEstimation(num_samples=0)
+        with pytest.raises(ValueError):
+            RadiiEstimation(num_samples=65)
+
+    def test_more_samples_never_lower_estimates(self, small_graph):
+        few = RadiiEstimation(num_samples=4, seed=7).run(small_graph).values["radius"]
+        many = RadiiEstimation(num_samples=64, seed=7).run(small_graph).values["radius"]
+        # With more sources, each vertex sees at least as distant a source.
+        assert many.sum() >= few.sum()
+
+
+class TestConnectedComponents:
+    def test_matches_networkx_weak_components(self, small_graph):
+        result = ConnectedComponents().run(small_graph)
+        labels = result.values["component"]
+        for component in nx.weakly_connected_components(to_networkx(small_graph)):
+            component = list(component)
+            assert len(set(labels[component].tolist())) == 1
+
+    def test_two_islands(self):
+        graph = from_edge_list([(0, 1), (1, 2), (3, 4)], num_vertices=6)
+        labels = ConnectedComponents().run(graph).values["component"]
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] == 5  # isolated vertex keeps its own label
+
+    def test_max_iterations_cap(self, small_graph):
+        result = ConnectedComponents().run(small_graph, max_iterations=1)
+        assert result.num_iterations == 1
+
+
+class TestIterationRecords:
+    @pytest.mark.parametrize("name", list(PAPER_APPLICATIONS))
+    def test_busiest_iteration_exists(self, name, small_graph):
+        graph = small_graph.with_random_weights(seed=1) if name == "SSSP" else small_graph
+        app = get_application(name)
+        result = app.run(graph, root=int(np.argmax(graph.out_degrees)))
+        busiest = result.busiest_iteration()
+        assert busiest is not None
+        assert busiest.active_vertices > 0
+        assert busiest.active_vertices == max(r.active_vertices for r in result.iterations)
+
+    def test_iterations_in_direction(self, small_graph):
+        weighted = small_graph.with_random_weights(seed=1)
+        result = SingleSourceShortestPaths().run(weighted, root=0)
+        assert result.iterations_in_direction(PUSH) == result.iterations
+        assert result.iterations_in_direction(PULL) == []
+
+    @pytest.mark.parametrize("name", ["PR", "PRD", "BC", "Radii", "BFS", "CC"])
+    def test_apps_run_on_registry_dataset(self, name):
+        """Every application must run end-to-end on a registry dataset."""
+        graph = get_dataset("lj", scale=0.05)
+        result = get_application(name).run(graph, root=int(np.argmax(graph.out_degrees)))
+        assert result.num_iterations >= 1

@@ -1,0 +1,139 @@
+"""Tests for the vertex-subset and edge-map framework primitives."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import VertexSubset, gather_edges, select_direction
+from repro.analytics.base import PULL, PUSH
+from repro.analytics.framework import edge_map_pull_any, edge_map_pull_sum, frontier_out_edges
+from repro.graph import from_edge_list
+
+
+@pytest.fixture
+def diamond_graph():
+    # 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 4
+    return from_edge_list([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], num_vertices=5)
+
+
+class TestVertexSubset:
+    def test_empty(self):
+        subset = VertexSubset.empty(10)
+        assert subset.is_empty
+        assert subset.size == 0
+        assert list(subset) == []
+
+    def test_single_and_contains(self):
+        subset = VertexSubset.single(10, 3)
+        assert subset.size == 1
+        assert 3 in subset
+        assert 4 not in subset
+
+    def test_full(self):
+        subset = VertexSubset.full(5)
+        assert subset.size == 5
+        assert subset.to_dense().all()
+
+    def test_from_dense_roundtrip(self):
+        mask = np.array([True, False, True, False])
+        subset = VertexSubset.from_dense(mask)
+        assert subset.to_sparse().tolist() == [0, 2]
+        assert np.array_equal(subset.to_dense(), mask)
+
+    def test_duplicates_removed(self):
+        subset = VertexSubset(5, [1, 1, 2, 2])
+        assert subset.size == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            VertexSubset(3, [5])
+        with pytest.raises(ValueError):
+            VertexSubset(-1)
+
+    def test_equality(self):
+        assert VertexSubset(5, [1, 2]) == VertexSubset(5, [2, 1])
+        assert VertexSubset(5, [1]) != VertexSubset(5, [2])
+
+
+class TestGatherEdges:
+    def test_push_gathers_out_edges(self, diamond_graph):
+        sources, targets, weights = gather_edges(diamond_graph, np.array([0]), PUSH)
+        assert sources.tolist() == [0, 0]
+        assert sorted(targets.tolist()) == [1, 2]
+        assert weights is None
+
+    def test_pull_gathers_in_edges(self, diamond_graph):
+        sources, targets, _ = gather_edges(diamond_graph, np.array([3]), PULL)
+        assert sorted(sources.tolist()) == [1, 2]
+        assert targets.tolist() == [3, 3]
+
+    def test_multiple_vertices(self, diamond_graph):
+        sources, targets, _ = gather_edges(diamond_graph, np.array([0, 3]), PUSH)
+        assert len(sources) == 3  # 0 has 2 out-edges, 3 has 1
+        assert set(zip(sources.tolist(), targets.tolist())) == {(0, 1), (0, 2), (3, 4)}
+
+    def test_empty_frontier(self, diamond_graph):
+        sources, targets, _ = gather_edges(diamond_graph, np.array([], dtype=np.int64), PUSH)
+        assert sources.size == 0 and targets.size == 0
+
+    def test_vertex_without_edges(self, diamond_graph):
+        sources, targets, _ = gather_edges(diamond_graph, np.array([4]), PUSH)
+        assert sources.size == 0
+
+    def test_weights_requested_on_unweighted_graph(self, diamond_graph):
+        with pytest.raises(ValueError):
+            gather_edges(diamond_graph, np.array([0]), PUSH, with_weights=True)
+
+    def test_weights_returned(self, diamond_graph):
+        weighted = diamond_graph.with_random_weights(seed=1)
+        sources, targets, weights = gather_edges(weighted, np.array([0]), PUSH, with_weights=True)
+        assert weights.shape == sources.shape
+
+    def test_invalid_direction(self, diamond_graph):
+        with pytest.raises(ValueError):
+            gather_edges(diamond_graph, np.array([0]), "sideways")
+
+    def test_gather_matches_manual_enumeration(self, diamond_graph):
+        for direction in (PUSH, PULL):
+            sources, targets, _ = gather_edges(
+                diamond_graph, np.arange(diamond_graph.num_vertices), direction
+            )
+            expected = {(s, t) for s, t in diamond_graph.edges()}
+            assert set(zip(sources.tolist(), targets.tolist())) == expected
+
+
+class TestDirectionSelection:
+    def test_small_frontier_pushes(self, diamond_graph):
+        assert select_direction(diamond_graph, VertexSubset.single(5, 4)) == PUSH
+
+    def test_large_frontier_pulls(self, diamond_graph):
+        assert select_direction(diamond_graph, VertexSubset.full(5)) == PULL
+
+    def test_frontier_out_edges(self, diamond_graph):
+        assert frontier_out_edges(diamond_graph, VertexSubset(5, [0, 3])) == 3
+        assert frontier_out_edges(diamond_graph, VertexSubset.empty(5)) == 0
+
+
+class TestEdgeMapHelpers:
+    def test_pull_sum_matches_manual(self, diamond_graph):
+        contributions = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        sums = edge_map_pull_sum(diamond_graph, contributions)
+        # vertex 3 receives from 1 and 2; vertex 4 from 3; vertices 1,2 from 0.
+        assert sums.tolist() == [0.0, 1.0, 1.0, 5.0, 4.0]
+
+    def test_pull_sum_with_active_mask(self, diamond_graph):
+        contributions = np.ones(5)
+        active = np.array([True, False, True, False, False])
+        sums = edge_map_pull_sum(diamond_graph, contributions, active_mask=active)
+        assert sums.tolist() == [0.0, 1.0, 1.0, 1.0, 0.0]
+
+    def test_pull_any(self, diamond_graph):
+        in_frontier = np.array([False, True, False, False, False])  # vertex 1 active
+        candidates = np.array([True, True, True, True, True])
+        reachable = edge_map_pull_any(diamond_graph, in_frontier, candidates)
+        assert reachable.tolist() == [False, False, False, True, False]
+
+    def test_pull_any_no_candidates(self, diamond_graph):
+        reachable = edge_map_pull_any(
+            diamond_graph, np.ones(5, dtype=bool), np.zeros(5, dtype=bool)
+        )
+        assert not reachable.any()

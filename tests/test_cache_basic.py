@@ -1,0 +1,204 @@
+"""Unit tests for cache configuration, the set-associative cache and the hierarchy."""
+
+import pytest
+
+from repro.cache import CacheConfig, CacheHierarchy, CacheStats, HierarchyConfig, SetAssociativeCache
+from repro.cache.hierarchy import LEVEL_L1, LEVEL_L2, LEVEL_LLC, LEVEL_MEMORY
+from repro.cache.policies import LRUPolicy
+
+
+class TestCacheConfig:
+    def test_basic_geometry(self):
+        config = CacheConfig(size_bytes=64 * 1024, ways=16, block_bytes=64, name="LLC")
+        assert config.num_sets == 64
+        assert config.num_blocks == 1024
+        assert config.block_offset_bits == 6
+
+    def test_block_address_and_set_index(self):
+        config = CacheConfig(size_bytes=8 * 1024, ways=8, block_bytes=64)
+        address = 0x12345
+        block = config.block_address(address)
+        assert block == address >> 6
+        assert 0 <= config.set_index(block) < config.num_sets
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, ways=4)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, ways=3, block_bytes=64)  # 5.33 sets
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, ways=4, block_bytes=48)  # non power of two
+
+    def test_scaled(self):
+        config = CacheConfig(size_bytes=64 * 1024, ways=16, block_bytes=64)
+        half = config.scaled(0.5)
+        assert half.size_bytes == 32 * 1024
+        assert half.ways == 16
+        with pytest.raises(ValueError):
+            config.scaled(0)
+
+    def test_hierarchy_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(
+                l1=CacheConfig(size_bytes=16 * 1024, ways=8),
+                l2=CacheConfig(size_bytes=8 * 1024, ways=8),
+                llc=CacheConfig(size_bytes=64 * 1024, ways=16),
+            )
+
+    def test_hierarchy_llc_resize(self):
+        hierarchy = HierarchyConfig()
+        resized = hierarchy.with_llc_size(128 * 1024)
+        assert resized.llc.size_bytes == 128 * 1024
+        assert resized.l1 == hierarchy.l1
+
+
+class TestCacheStats:
+    def test_record_and_rates(self):
+        stats = CacheStats(name="x")
+        stats.record(True, region=1)
+        stats.record(False, region=1)
+        stats.record(False, region=2)
+        assert stats.accesses == 3
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.miss_rate == pytest.approx(2 / 3)
+        assert stats.hit_rate == pytest.approx(1 / 3)
+        assert stats.region_accesses == {1: 2, 2: 1}
+        assert stats.region_misses == {1: 1, 2: 1}
+
+    def test_empty_rates(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(name="a")
+        a.record(True, region=1)
+        b = CacheStats(name="a")
+        b.record(False, region=1)
+        merged = a.merge(b)
+        assert merged.accesses == 2
+        assert merged.region_accesses == {1: 2}
+
+    def test_as_dict(self):
+        stats = CacheStats(name="LLC")
+        stats.record(False)
+        assert stats.as_dict()["misses"] == 1
+
+
+class TestSetAssociativeCache:
+    def make_cache(self, size=1024, ways=2):
+        return SetAssociativeCache(CacheConfig(size_bytes=size, ways=ways), LRUPolicy())
+
+    def test_miss_then_hit(self):
+        cache = self.make_cache()
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_block_different_offsets_hit(self):
+        cache = self.make_cache()
+        cache.access(0x100)
+        assert cache.access(0x13F) is True  # same 64-byte block
+
+    def test_adjacent_block_misses(self):
+        cache = self.make_cache()
+        cache.access(0x100)
+        assert cache.access(0x140) is False
+
+    def test_contains_and_resident_blocks(self):
+        cache = self.make_cache()
+        cache.access(0x100)
+        assert cache.contains(0x100)
+        assert not cache.contains(0x2000)
+        assert len(cache.resident_blocks()) == 1
+
+    def test_eviction_in_direct_conflict(self):
+        # 1 KiB, 2-way, 64 B blocks -> 8 sets. Three blocks mapping to set 0.
+        cache = self.make_cache()
+        conflicting = [0x0, 8 * 64, 16 * 64, 24 * 64]
+        for address in conflicting[:3]:
+            cache.access(address)
+        assert cache.stats.evictions == 1
+        # LRU: 0x0 was least recently used and must be gone.
+        assert not cache.contains(conflicting[0])
+        assert cache.contains(conflicting[1])
+        assert cache.contains(conflicting[2])
+
+    def test_lru_order_respects_hits(self):
+        cache = self.make_cache()
+        a, b, c = 0x0, 8 * 64, 16 * 64
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a becomes MRU
+        cache.access(c)  # evicts b
+        assert cache.contains(a)
+        assert not cache.contains(b)
+
+    def test_reset(self):
+        cache = self.make_cache()
+        cache.access(0x100)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.contains(0x100)
+
+    def test_working_set_within_capacity_never_evicts(self):
+        cache = self.make_cache(size=4096, ways=4)
+        addresses = [i * 64 for i in range(64)]  # exactly the cache capacity
+        for address in addresses:
+            cache.access(address)
+        for address in addresses:
+            assert cache.access(address) is True
+        assert cache.stats.evictions == 0
+
+
+class TestCacheHierarchy:
+    def make_hierarchy(self):
+        config = HierarchyConfig(
+            l1=CacheConfig(size_bytes=512, ways=2, name="L1D"),
+            l2=CacheConfig(size_bytes=1024, ways=4, name="L2"),
+            llc=CacheConfig(size_bytes=4096, ways=8, name="LLC"),
+        )
+        return CacheHierarchy(config, LRUPolicy())
+
+    def test_first_access_misses_everywhere(self):
+        hierarchy = self.make_hierarchy()
+        assert hierarchy.access(0x1000) == LEVEL_MEMORY
+
+    def test_second_access_hits_l1(self):
+        hierarchy = self.make_hierarchy()
+        hierarchy.access(0x1000)
+        assert hierarchy.access(0x1000) == LEVEL_L1
+
+    def test_l1_victim_hits_in_l2(self):
+        hierarchy = self.make_hierarchy()
+        # Fill L1 set with conflicting blocks (L1 has 4 sets of 2 ways).
+        base = 0x0
+        conflict_stride = 4 * 64
+        addresses = [base + i * conflict_stride for i in range(3)]
+        for address in addresses:
+            hierarchy.access(address)
+        # The first address was evicted from L1 but still lives in L2.
+        assert hierarchy.access(addresses[0]) == LEVEL_L2
+
+    def test_llc_hit_after_l2_eviction(self):
+        hierarchy = self.make_hierarchy()
+        # Touch enough conflicting blocks to evict from both L1 and L2 but not LLC.
+        stride = 4 * 64
+        addresses = [i * stride for i in range(8)]
+        for address in addresses:
+            hierarchy.access(address)
+        assert hierarchy.access(addresses[0]) in (LEVEL_L2, LEVEL_LLC)
+
+    def test_filters_only_reports_llc_bound_accesses(self):
+        hierarchy = self.make_hierarchy()
+        assert hierarchy.filters_only(0x2000) is True
+        assert hierarchy.filters_only(0x2000) is False  # now it hits in L1
+
+    def test_reset(self):
+        hierarchy = self.make_hierarchy()
+        hierarchy.access(0x1000)
+        hierarchy.reset()
+        assert hierarchy.access(0x1000) == LEVEL_MEMORY
+        assert hierarchy.llc_stats.accesses == 1

@@ -1,0 +1,209 @@
+"""Tests for the GRASP replacement policy and its ablation variants (Table II / Fig. 7)."""
+
+import pytest
+
+from repro.cache import CacheConfig, SetAssociativeCache
+from repro.cache.hints import HINT_DEFAULT, HINT_HIGH, HINT_LOW, HINT_MODERATE
+from repro.cache.policies import DRRIPPolicy, LRUPolicy, create_policy
+from repro.core import GraspInsertionOnlyPolicy, GraspPolicy, RRIPWithHintsPolicy
+
+CONFIG = CacheConfig(size_bytes=1024, ways=4, block_bytes=64, name="LLC")  # 4 sets
+
+
+def same_set_blocks(count, set_index=0, num_sets=4):
+    return [(set_index + i * num_sets) * 64 for i in range(count)]
+
+
+class TestGraspInsertionPolicy:
+    """Table II, insertion column."""
+
+    def setup_method(self):
+        self.policy = GraspPolicy()
+        self.policy.bind(num_sets=4, ways=4)
+
+    def test_high_reuse_inserts_at_mru(self):
+        assert self.policy.insertion_rrpv(2, 0, 0, HINT_HIGH) == 0
+
+    def test_moderate_reuse_inserts_near_lru(self):
+        assert self.policy.insertion_rrpv(2, 0, 0, HINT_MODERATE) == 6
+
+    def test_low_reuse_inserts_at_lru(self):
+        assert self.policy.insertion_rrpv(2, 0, 0, HINT_LOW) == 7
+
+    def test_default_follows_drrip(self):
+        value = self.policy.insertion_rrpv(2, 0, 0, HINT_DEFAULT)
+        assert value in (6, 7)
+
+
+class TestGraspHitPolicy:
+    """Table II, hit column."""
+
+    def setup_method(self):
+        self.policy = GraspPolicy()
+        self.policy.bind(num_sets=4, ways=4)
+
+    def test_high_reuse_hit_promotes_to_mru(self):
+        self.policy.set_rrpv(0, 1, 5)
+        self.policy.on_hit(0, 1, 0, 0, HINT_HIGH)
+        assert self.policy.rrpv_of(0, 1) == 0
+
+    def test_moderate_hit_decrements(self):
+        self.policy.set_rrpv(0, 1, 6)
+        self.policy.on_hit(0, 1, 0, 0, HINT_MODERATE)
+        assert self.policy.rrpv_of(0, 1) == 5
+
+    def test_low_hit_decrements(self):
+        self.policy.set_rrpv(0, 1, 7)
+        self.policy.on_hit(0, 1, 0, 0, HINT_LOW)
+        assert self.policy.rrpv_of(0, 1) == 6
+
+    def test_decrement_saturates_at_zero(self):
+        self.policy.set_rrpv(0, 1, 0)
+        self.policy.on_hit(0, 1, 0, 0, HINT_LOW)
+        assert self.policy.rrpv_of(0, 1) == 0
+
+    def test_default_hit_promotes_to_mru(self):
+        self.policy.set_rrpv(0, 1, 6)
+        self.policy.on_hit(0, 1, 0, 0, HINT_DEFAULT)
+        assert self.policy.rrpv_of(0, 1) == 0
+
+
+class TestGraspEvictionUnchanged:
+    def test_victim_selection_ignores_hints(self):
+        """GRASP's eviction policy is the baseline RRIP victim search; a stale
+        High-Reuse block must be evictable once it has aged to RRPV max."""
+        grasp = GraspPolicy()
+        drrip = DRRIPPolicy()
+        grasp.bind(4, 4)
+        drrip.bind(4, 4)
+        for way, value in enumerate([3, 7, 2, 6]):
+            grasp.set_rrpv(1, way, value)
+            drrip.set_rrpv(1, way, value)
+        assert grasp.choose_victim(1, 0, 0, HINT_HIGH) == drrip.choose_victim(1, 0, 0, HINT_DEFAULT)
+
+    def test_stale_hot_blocks_yield_space(self):
+        """A High-Reuse block that stops being referenced is eventually evicted
+        (the flexibility pinning lacks)."""
+        cache = SetAssociativeCache(CONFIG, GraspPolicy())
+        hot = same_set_blocks(1)[0]
+        cache.access(hot, hint=HINT_HIGH)
+        # A long phase of moderately reused blocks that do get hits.
+        others = same_set_blocks(9)[1:]
+        for _ in range(8):
+            for address in others:
+                cache.access(address, hint=HINT_MODERATE)
+        assert not cache.contains(hot)
+
+
+class TestGraspEndToEnd:
+    def test_protects_hot_blocks_from_thrashing(self):
+        """The core claim: under a thrashing scan, GRASP keeps High-Reuse
+        blocks resident while the RRIP baseline loses them."""
+        hot_blocks = same_set_blocks(2)
+        cold_blocks = same_set_blocks(34)[2:]
+
+        def run(policy):
+            cache = SetAssociativeCache(CONFIG, policy)
+            for address in hot_blocks:
+                cache.access(address, hint=HINT_HIGH)
+            hits = 0
+            for _ in range(6):
+                for address in cold_blocks:
+                    cache.access(address, hint=HINT_LOW)
+                for address in hot_blocks:
+                    hits += cache.access(address, hint=HINT_HIGH)
+            return hits
+
+        grasp_hits = run(GraspPolicy())
+        rrip_hits = run(DRRIPPolicy())
+        lru_hits = run(LRUPolicy())
+        assert grasp_hits == 2 * 6
+        assert grasp_hits > rrip_hits
+        assert grasp_hits > lru_hits
+
+    def test_moderate_blocks_can_earn_residency(self):
+        """Unlike pinning, GRASP lets blocks outside the High Reuse Region
+        exploit temporal reuse: a Moderate block that hits repeatedly climbs
+        towards MRU and survives."""
+        cache = SetAssociativeCache(CONFIG, GraspPolicy())
+        moderate = same_set_blocks(1)[0]
+        cold = same_set_blocks(20)[1:]
+        for _ in range(10):
+            cache.access(moderate, hint=HINT_MODERATE)
+        for address in cold[:3]:
+            cache.access(address, hint=HINT_LOW)
+        assert cache.contains(moderate)
+
+    def test_default_hint_everywhere_matches_drrip(self):
+        """With no ABRs configured every access carries Default and GRASP must
+        be byte-for-byte identical to its DRRIP baseline."""
+        import random
+
+        rng = random.Random(3)
+        trace = [rng.randrange(0, 1 << 16) & ~0x3F for _ in range(3000)]
+        grasp_cache = SetAssociativeCache(CONFIG, GraspPolicy())
+        drrip_cache = SetAssociativeCache(CONFIG, DRRIPPolicy())
+        for address in trace:
+            grasp_cache.access(address, hint=HINT_DEFAULT)
+            drrip_cache.access(address, hint=HINT_DEFAULT)
+        assert grasp_cache.stats.misses == drrip_cache.stats.misses
+        assert sorted(grasp_cache.resident_blocks()) == sorted(drrip_cache.resident_blocks())
+
+
+class TestAblationVariants:
+    def test_rrip_with_hints_insertion_positions(self):
+        policy = RRIPWithHintsPolicy()
+        policy.bind(4, 4)
+        assert policy.insertion_rrpv(2, 0, 0, HINT_HIGH) == 6
+        assert policy.insertion_rrpv(2, 0, 0, HINT_MODERATE) == 7
+        assert policy.insertion_rrpv(2, 0, 0, HINT_LOW) == 7
+        assert policy.insertion_rrpv(2, 0, 0, HINT_DEFAULT) in (6, 7)
+
+    def test_rrip_with_hints_keeps_baseline_hit_policy(self):
+        policy = RRIPWithHintsPolicy()
+        policy.bind(4, 4)
+        policy.set_rrpv(0, 0, 6)
+        policy.on_hit(0, 0, 0, 0, HINT_LOW)
+        assert policy.rrpv_of(0, 0) == 0
+
+    def test_insertion_only_uses_grasp_insertion(self):
+        policy = GraspInsertionOnlyPolicy()
+        policy.bind(4, 4)
+        assert policy.insertion_rrpv(2, 0, 0, HINT_HIGH) == 0
+        assert policy.insertion_rrpv(2, 0, 0, HINT_LOW) == 7
+
+    def test_insertion_only_uses_baseline_hit_policy(self):
+        policy = GraspInsertionOnlyPolicy()
+        policy.bind(4, 4)
+        policy.set_rrpv(0, 0, 6)
+        policy.on_hit(0, 0, 0, 0, HINT_MODERATE)
+        assert policy.rrpv_of(0, 0) == 0
+
+    def test_registry_names(self):
+        assert isinstance(create_policy("grasp"), GraspPolicy)
+        assert isinstance(create_policy("rrip+hints"), RRIPWithHintsPolicy)
+        assert isinstance(create_policy("grasp-insertion"), GraspInsertionOnlyPolicy)
+
+    def test_feature_progression_on_synthetic_thrashing(self):
+        """Fig. 7's qualitative ordering: adding hints, then MRU insertion,
+        never hurts hot-block hit counts on a hot-plus-scan pattern."""
+        hot_blocks = same_set_blocks(2)
+        cold_blocks = same_set_blocks(26)[2:]
+
+        def hot_hits(policy):
+            cache = SetAssociativeCache(CONFIG, policy)
+            hits = 0
+            for _ in range(6):
+                for address in hot_blocks:
+                    hits += cache.access(address, hint=HINT_HIGH)
+                for address in cold_blocks:
+                    cache.access(address, hint=HINT_LOW)
+            return hits
+
+        baseline = hot_hits(DRRIPPolicy())
+        hints_only = hot_hits(RRIPWithHintsPolicy())
+        insertion = hot_hits(GraspInsertionOnlyPolicy())
+        full = hot_hits(GraspPolicy())
+        assert hints_only >= baseline
+        assert insertion >= hints_only
+        assert full >= insertion

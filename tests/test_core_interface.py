@@ -1,0 +1,171 @@
+"""Tests for GRASP's software-hardware interface and classification logic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hints import HINT_DEFAULT, HINT_HIGH, HINT_LOW, HINT_MODERATE, ReuseHint
+from repro.core import AddressBoundRegister, AddressBoundRegisterFile, GraspClassifier
+
+
+class TestReuseHint:
+    def test_hint_fits_in_two_bits(self):
+        """The paper's interface carries a 2-bit reuse hint with each request."""
+        for hint in ReuseHint:
+            assert 0 <= int(hint) <= 3
+
+    def test_distinct_values(self):
+        assert len({int(h) for h in ReuseHint}) == 4
+
+
+class TestAddressBoundRegister:
+    def test_basic_bounds(self):
+        abr = AddressBoundRegister(start=0x1000, end=0x2000)
+        assert abr.size_bytes == 0x1000
+        assert abr.contains(0x1000)
+        assert abr.contains(0x1FFF)
+        assert not abr.contains(0x2000)
+        assert not abr.contains(0xFFF)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AddressBoundRegister(start=0x2000, end=0x1000)
+        with pytest.raises(ValueError):
+            AddressBoundRegister(start=-1, end=0x1000)
+        with pytest.raises(ValueError):
+            AddressBoundRegister(start=0x1000, end=0x1000)
+
+
+class TestAddressBoundRegisterFile:
+    def test_starts_unconfigured(self):
+        abrs = AddressBoundRegisterFile()
+        assert not abrs.is_configured
+        assert len(abrs) == 0
+
+    def test_configure(self):
+        abrs = AddressBoundRegisterFile()
+        abrs.configure(0x1000, 0x5000, label="ranks")
+        assert abrs.is_configured
+        assert len(abrs) == 1
+        assert abrs.registers()[0].label == "ranks"
+
+    def test_capacity_limit(self):
+        abrs = AddressBoundRegisterFile(capacity=2)
+        abrs.configure(0x0, 0x100)
+        abrs.configure(0x200, 0x300)
+        with pytest.raises(RuntimeError):
+            abrs.configure(0x400, 0x500)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AddressBoundRegisterFile(capacity=0)
+
+    def test_overlap_rejected(self):
+        abrs = AddressBoundRegisterFile()
+        abrs.configure(0x1000, 0x2000)
+        with pytest.raises(ValueError):
+            abrs.configure(0x1800, 0x2800)
+
+    def test_configure_many_and_clear(self):
+        abrs = AddressBoundRegisterFile()
+        abrs.configure_many([(0x0, 0x100), (0x200, 0x300)])
+        assert len(abrs) == 2
+        abrs.clear()
+        assert not abrs.is_configured
+
+    def test_iteration(self):
+        abrs = AddressBoundRegisterFile()
+        abrs.configure(0x0, 0x100)
+        assert [register.start for register in abrs] == [0]
+
+
+class TestGraspClassifier:
+    LLC_SIZE = 4096
+
+    def make_classifier(self, bounds):
+        abrs = AddressBoundRegisterFile()
+        abrs.configure_many(bounds)
+        return GraspClassifier(abrs, llc_size_bytes=self.LLC_SIZE)
+
+    def test_unconfigured_is_default(self):
+        classifier = GraspClassifier(AddressBoundRegisterFile(), llc_size_bytes=self.LLC_SIZE)
+        assert not classifier.is_active
+        assert classifier.classify(0x1234) == HINT_DEFAULT
+
+    def test_invalid_llc_size(self):
+        with pytest.raises(ValueError):
+            GraspClassifier(AddressBoundRegisterFile(), llc_size_bytes=0)
+
+    def test_three_regions_single_array(self):
+        """Fig. 3(c): first LLC-sized chunk is High, next is Moderate, rest is Low."""
+        start = 0x10000
+        end = start + 4 * self.LLC_SIZE
+        classifier = self.make_classifier([(start, end)])
+        assert classifier.classify(start) == HINT_HIGH
+        assert classifier.classify(start + self.LLC_SIZE - 1) == HINT_HIGH
+        assert classifier.classify(start + self.LLC_SIZE) == HINT_MODERATE
+        assert classifier.classify(start + 2 * self.LLC_SIZE - 1) == HINT_MODERATE
+        assert classifier.classify(start + 2 * self.LLC_SIZE) == HINT_LOW
+        assert classifier.classify(end - 1) == HINT_LOW
+
+    def test_accesses_outside_property_array_are_low_reuse(self):
+        start = 0x10000
+        classifier = self.make_classifier([(start, start + 8 * self.LLC_SIZE)])
+        assert classifier.classify(0x0) == HINT_LOW
+        assert classifier.classify(start - 1) == HINT_LOW
+        assert classifier.classify(start + 100 * self.LLC_SIZE) == HINT_LOW
+
+    def test_small_array_has_no_moderate_region(self):
+        """An array smaller than the LLC is entirely High-Reuse."""
+        start = 0x0
+        classifier = self.make_classifier([(start, start + self.LLC_SIZE // 2)])
+        assert classifier.classify(start) == HINT_HIGH
+        assert classifier.classify(start + self.LLC_SIZE // 2 - 1) == HINT_HIGH
+        assert classifier.classify(start + self.LLC_SIZE // 2) == HINT_LOW
+        assert classifier.high_reuse_bytes() == self.LLC_SIZE // 2
+
+    def test_llc_capacity_split_across_arrays(self):
+        """With two Property Arrays each gets an LLC/2-sized High Reuse Region."""
+        a_start, b_start = 0x0, 0x100000
+        classifier = self.make_classifier(
+            [(a_start, a_start + 4 * self.LLC_SIZE), (b_start, b_start + 4 * self.LLC_SIZE)]
+        )
+        share = self.LLC_SIZE // 2
+        assert classifier.classify(a_start + share - 1) == HINT_HIGH
+        assert classifier.classify(a_start + share) == HINT_MODERATE
+        assert classifier.classify(b_start + share - 1) == HINT_HIGH
+        assert classifier.classify(b_start + share) == HINT_MODERATE
+        assert classifier.high_reuse_bytes() == self.LLC_SIZE
+
+    def test_classify_array_matches_scalar(self):
+        start = 0x8000
+        classifier = self.make_classifier([(start, start + 4 * self.LLC_SIZE)])
+        addresses = np.array(
+            [0x0, start, start + self.LLC_SIZE, start + 3 * self.LLC_SIZE, start + 10 * self.LLC_SIZE]
+        )
+        vectorised = classifier.classify_array(addresses)
+        scalar = np.array([classifier.classify(int(a)) for a in addresses])
+        assert np.array_equal(vectorised, scalar)
+
+    def test_classify_array_default_when_unconfigured(self):
+        classifier = GraspClassifier(AddressBoundRegisterFile(), llc_size_bytes=self.LLC_SIZE)
+        hints = classifier.classify_array(np.arange(10) * 64)
+        assert np.all(hints == HINT_DEFAULT)
+
+    @given(
+        array_size_multiplier=st.integers(min_value=1, max_value=16),
+        offset=st.integers(min_value=0, max_value=1 << 30),
+        probe=st.integers(min_value=0, max_value=1 << 31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_classification_is_total_and_consistent(self, array_size_multiplier, offset, probe):
+        """Every address gets exactly one hint, and addresses inside the first
+        LLC-sized region are always High-Reuse."""
+        start = offset
+        end = offset + array_size_multiplier * self.LLC_SIZE
+        classifier = self.make_classifier([(start, end)])
+        hint = classifier.classify(probe)
+        assert hint in (HINT_HIGH, HINT_MODERATE, HINT_LOW)
+        if start <= probe < min(end, start + self.LLC_SIZE):
+            assert hint == HINT_HIGH

@@ -1,0 +1,227 @@
+"""Integration tests: the experiment pipeline and every table/figure driver.
+
+These run at a very small scale (ExperimentConfig.smoke) so the whole file
+stays fast, while still exercising the full path from dataset generation to
+policy comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.hints import HINT_DEFAULT, HINT_HIGH
+from repro.experiments import (
+    ExperimentConfig,
+    build_workload,
+    clear_caches,
+    compare_policies,
+    scheme_policy,
+)
+from repro.experiments.config import PAPER_APPS
+from repro.experiments.figures import (
+    fig2_llc_breakdown,
+    fig5_miss_reduction,
+    fig7_ablation,
+    fig9_low_skew,
+    fig10a_reordering_speedup,
+    fig10b_grasp_over_reorderings,
+    fig11_vs_opt,
+    summarize_fig11,
+)
+from repro.experiments.reporting import format_table, pivot_by_scheme
+from repro.experiments.runner import (
+    average_miss_reduction,
+    geometric_mean_speedup,
+    llc_trace_for,
+    roi_trace,
+    simulate_opt,
+)
+from repro.experiments.schemes import POLICY_SPECS
+from repro.experiments.tables import table1_skew, table4_merging, table7_llc_sweep
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    clear_caches()
+    return ExperimentConfig.smoke()
+
+
+class TestConfig:
+    def test_default_and_benchmark_presets(self):
+        assert ExperimentConfig.default().scale == 1.0
+        bench = ExperimentConfig.benchmark()
+        assert bench.scale < 1.0
+        assert set(bench.apps) <= set(PAPER_APPS)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=0)
+
+    def test_with_overrides(self):
+        config = ExperimentConfig.default().with_overrides(scale=0.5, reorder="sort")
+        assert config.scale == 0.5
+        assert config.reorder == "sort"
+
+
+class TestSchemes:
+    def test_all_schemes_instantiate(self):
+        for name in POLICY_SPECS:
+            policy = scheme_policy(name)
+            assert hasattr(policy, "choose_victim")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            scheme_policy("MAGIC")
+
+
+class TestWorkloads:
+    def test_workload_is_memoised(self, smoke):
+        a = build_workload("PR", "lj", config=smoke)
+        b = build_workload("PR", "lj", config=smoke)
+        assert a is b
+
+    def test_roi_is_busiest_dominant_iteration(self, smoke):
+        workload = build_workload("PR", "lj", config=smoke)
+        assert workload.dominant_direction == "pull"
+        assert workload.roi.active_vertices == workload.graph.num_vertices
+
+    def test_sssp_workload_is_push(self, smoke):
+        workload = build_workload("SSSP", "lj", config=smoke)
+        assert workload.dominant_direction == "push"
+        assert workload.roi.direction == "push"
+
+    def test_llc_trace_has_hints(self, smoke):
+        workload = build_workload("PR", "lj", config=smoke)
+        llc = llc_trace_for(workload, smoke)
+        assert len(llc) > 0
+        assert HINT_HIGH in set(np.unique(llc.hints).tolist())
+        assert len(llc) <= len(roi_trace(workload))
+        assert llc.upstream_l1_hits + llc.upstream_l2_hits + len(llc) == llc.total_references
+
+    def test_hints_cover_llc_sized_prefix(self, smoke):
+        workload = build_workload("PR", "lj", config=smoke)
+        llc = llc_trace_for(workload, smoke)
+        bounds = workload.layout.property_array_bounds()
+        assert len(bounds) == 1  # merged Property Array
+        start, _ = bounds[0]
+        high = llc.byte_addresses[llc.hints == HINT_HIGH]
+        assert high.size > 0
+        assert high.min() >= start
+        assert high.max() < start + smoke.hierarchy.llc.size_bytes
+
+
+class TestComparePolicies:
+    def test_baseline_has_zero_deltas(self, smoke):
+        points = compare_policies(["PR"], ["lj"], ["RRIP", "GRASP"], config=smoke)
+        baseline = [p for p in points if p.scheme == "RRIP"][0]
+        assert baseline.miss_reduction_pct == 0.0
+        assert baseline.speedup_pct == 0.0
+
+    def test_grasp_beats_rrip_on_high_skew(self, smoke):
+        """The headline result at smoke scale: GRASP reduces misses and speeds
+        up every high-skew datapoint relative to RRIP."""
+        points = compare_policies(["PR"], list(smoke.high_skew_datasets), ["GRASP"], config=smoke)
+        assert all(point.miss_reduction_pct > 0 for point in points)
+        assert all(point.speedup_pct > 0 for point in points)
+
+    def test_miss_reduction_consistent_with_stats(self, smoke):
+        points = compare_policies(["PR"], ["lj"], ["RRIP", "GRASP"], config=smoke)
+        rrip = [p for p in points if p.scheme == "RRIP"][0]
+        grasp = [p for p in points if p.scheme == "GRASP"][0]
+        expected = (1 - grasp.stats.misses / rrip.stats.misses) * 100
+        assert grasp.miss_reduction_pct == pytest.approx(expected)
+
+    def test_aggregates(self, smoke):
+        points = compare_policies(["PR"], ["lj", "pl"], ["GRASP"], config=smoke)
+        assert geometric_mean_speedup(points) != 0.0
+        assert average_miss_reduction(points) != 0.0
+        assert geometric_mean_speedup([]) == 0.0
+        assert average_miss_reduction([]) == 0.0
+
+    def test_opt_never_worse_than_any_policy(self, smoke):
+        workload = build_workload("PR", "lj", config=smoke)
+        llc = llc_trace_for(workload, smoke)
+        opt_stats = simulate_opt(llc, smoke.hierarchy.llc)
+        points = compare_policies(["PR"], ["lj"], ["RRIP", "GRASP", "Hawkeye"], config=smoke)
+        for point in points:
+            assert opt_stats.misses <= point.stats.misses
+
+
+class TestTableDrivers:
+    def test_table1(self, smoke):
+        rows = table1_skew(smoke)
+        assert len(rows) == len(smoke.high_skew_datasets)
+        for row in rows:
+            assert 0 < row["out_hot_vertices_pct"] < 100
+            assert row["out_edge_coverage_pct"] > 50
+
+    def test_table4(self, smoke):
+        rows = table4_merging(smoke, apps=("PR", "BC"), datasets=("lj",))
+        by_app = {row["app"]: row for row in rows}
+        assert by_app["PR"]["merging_opportunity"] == "Yes"
+        assert by_app["BC"]["merging_opportunity"] == "No"
+        assert by_app["PR"]["max_speedup_pct"] > 0
+
+    def test_table7(self, smoke):
+        llc = smoke.hierarchy.llc.size_bytes
+        rows = table7_llc_sweep(smoke, llc_sizes=[llc, llc * 2], apps=("PR",), datasets=("lj",))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["OPT"] >= row["GRASP"] - 1e-9
+            assert row["OPT"] >= row["RRIP"] - 1e-9
+
+
+class TestFigureDrivers:
+    def test_fig2(self, smoke):
+        rows = fig2_llc_breakdown(smoke, datasets=("pl",), apps=("PR",))
+        row = rows[0]
+        assert row["property_access_pct"] + row["other_access_pct"] == pytest.approx(100.0, abs=0.1)
+        assert row["property_access_pct"] > 50.0
+
+    def test_fig5_and_fig7_structures(self, smoke):
+        points = fig5_miss_reduction(smoke)
+        assert {p.scheme for p in points} == {"SHiP-MEM", "Hawkeye", "Leeway", "GRASP"}
+        ablation = fig7_ablation(smoke)
+        assert {p.scheme for p in ablation} == {"RRIP+Hints", "GRASP (Insertion-Only)", "GRASP"}
+
+    def test_fig9(self, smoke):
+        points = fig9_low_skew(smoke)
+        datasets = {p.dataset_name for p in points}
+        assert datasets == set(smoke.adversarial_datasets)
+
+    def test_fig10a(self, smoke):
+        rows = fig10a_reordering_speedup(smoke, techniques=("dbg", "gorder"))
+        for row in rows:
+            # Gorder's reordering cost must make it far worse than DBG.
+            assert row["gorder"] < row["dbg"]
+            assert row["gorder"] < 0
+
+    def test_fig10b(self, smoke):
+        rows = fig10b_grasp_over_reorderings(smoke, techniques=("sort", "dbg"))
+        for row in rows:
+            assert "sort" in row and "dbg" in row
+
+    def test_fig11_and_summary(self, smoke):
+        rows = fig11_vs_opt(smoke)
+        summary = summarize_fig11(rows)
+        assert summary["OPT"] >= summary["GRASP"] >= 0
+        assert summary["OPT"] >= summary["RRIP"]
+        assert 0 < summary["grasp_vs_opt_pct"] <= 100
+        assert summarize_fig11([])["OPT"] == 0.0
+
+
+class TestReporting:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 3.25}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "10" in text
+        assert "3.25" in text or "3.25" in text
+
+    def test_format_empty(self):
+        assert "(no data)" in format_table([])
+
+    def test_pivot_by_scheme(self, smoke):
+        points = compare_policies(["PR"], ["lj"], ["RRIP", "GRASP"], config=smoke)
+        rows = pivot_by_scheme(points, "speedup_pct")
+        assert len(rows) == 1
+        assert "GRASP" in rows[0] and "RRIP" in rows[0]

@@ -1,0 +1,105 @@
+"""Tests for degree/skew analysis (Table I machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import degree_statistics, edge_coverage, from_edge_list, hot_vertex_mask, skew_report
+from repro.graph.properties import (
+    DegreeStatistics,
+    gini_coefficient,
+    hot_vertex_fraction,
+)
+
+
+class TestHotVertexClassification:
+    def test_threshold_defaults_to_mean(self):
+        degrees = np.array([1, 1, 1, 1, 16])
+        mask = hot_vertex_mask(degrees)
+        assert mask.tolist() == [False, False, False, False, True]
+
+    def test_explicit_threshold(self):
+        degrees = np.array([1, 2, 3, 4])
+        assert hot_vertex_mask(degrees, threshold=3).tolist() == [False, False, True, True]
+
+    def test_all_equal_degrees_all_hot(self):
+        """With no skew, every vertex is at the mean and thus 'hot'."""
+        degrees = np.array([5, 5, 5, 5])
+        assert hot_vertex_fraction(degrees) == 1.0
+
+    def test_edge_coverage_extremes(self):
+        assert edge_coverage(np.array([])) == 0.0
+        assert edge_coverage(np.array([0, 0, 0])) == 0.0
+        assert edge_coverage(np.array([10, 0, 0])) == 1.0
+
+    def test_empty_degrees(self):
+        assert hot_vertex_fraction(np.array([])) == 0.0
+
+
+class TestSkewReport:
+    def test_star_graph_report(self):
+        """A star graph: the hub covers all in-edges."""
+        edges = [(i, 0) for i in range(1, 11)]
+        graph = from_edge_list(edges, num_vertices=11, name="star")
+        report = skew_report(graph)
+        assert report.num_vertices == 11
+        assert report.num_edges == 10
+        # Only the hub has in-degree >= average.
+        assert report.in_hot_vertex_pct == pytest.approx(100.0 / 11, abs=0.1)
+        assert report.in_edge_coverage_pct == 100.0
+        # Every leaf has out-degree 1 >= average (10/11), so all leaves are hot.
+        assert report.out_edge_coverage_pct == 100.0
+
+    def test_as_dict_keys(self):
+        graph = from_edge_list([(0, 1), (1, 0)], num_vertices=2)
+        d = skew_report(graph).as_dict()
+        assert {"dataset", "vertices", "edges", "avg_degree"} <= set(d)
+
+    def test_degree_statistics(self):
+        edges = [(i, 0) for i in range(1, 11)]
+        graph = from_edge_list(edges, num_vertices=11)
+        stats = degree_statistics(graph)
+        assert stats["in"].maximum == 10
+        assert stats["out"].maximum == 1
+        assert stats["in"].mean == pytest.approx(10 / 11)
+
+    def test_degree_statistics_empty(self):
+        stats = DegreeStatistics.from_degrees(np.array([]))
+        assert stats.maximum == 0 and stats.mean == 0.0
+
+
+class TestGini:
+    def test_uniform_distribution_is_zero(self):
+        assert gini_coefficient(np.full(100, 7)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_owner_approaches_one(self):
+        degrees = np.zeros(1000)
+        degrees[0] = 1000
+        assert gini_coefficient(degrees) > 0.99
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(10)) == 0.0
+
+
+class TestProperties:
+    @given(
+        degrees=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_and_fraction_bounds(self, degrees):
+        degrees = np.array(degrees)
+        assert 0.0 <= hot_vertex_fraction(degrees) <= 1.0
+        assert 0.0 <= edge_coverage(degrees) <= 1.0
+        assert 0.0 <= gini_coefficient(degrees) <= 1.0
+
+    @given(
+        degrees=st.lists(st.integers(min_value=1, max_value=1000), min_size=2, max_size=200)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hot_coverage_at_least_hot_fraction(self, degrees):
+        """Hot vertices have above-average degree, so their edge share must be
+        at least their population share."""
+        degrees = np.array(degrees)
+        assert edge_coverage(degrees) >= hot_vertex_fraction(degrees) - 1e-12

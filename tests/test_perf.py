@@ -1,0 +1,76 @@
+"""Tests for the timing and reordering-cost models."""
+
+import pytest
+
+from repro.perf import LevelCounts, ReorderCostModel, TimingModel
+
+
+class TestLevelCounts:
+    def test_total(self):
+        counts = LevelCounts(l1_hits=10, l2_hits=5, llc_hits=3, memory_accesses=2)
+        assert counts.total_accesses == 20
+
+    def test_with_llc_outcome(self):
+        counts = LevelCounts(l1_hits=10, l2_hits=5, llc_hits=3, memory_accesses=2)
+        updated = counts.with_llc_outcome(llc_hits=4, llc_misses=1)
+        assert updated.l1_hits == 10
+        assert updated.llc_hits == 4
+        assert updated.memory_accesses == 1
+        assert updated.total_accesses == 20
+
+
+class TestTimingModel:
+    def test_cycles_increase_with_misses(self):
+        model = TimingModel()
+        fast = model.cycles(LevelCounts(l1_hits=100, llc_hits=10, memory_accesses=0))
+        slow = model.cycles(LevelCounts(l1_hits=100, llc_hits=0, memory_accesses=10))
+        assert slow > fast
+
+    def test_cycles_formula(self):
+        model = TimingModel(core_overhead=1, l1_latency=2, l2_latency=3, llc_latency=4, memory_latency=5)
+        counts = LevelCounts(l1_hits=1, l2_hits=1, llc_hits=1, memory_accesses=1)
+        assert model.cycles(counts) == pytest.approx(4 * 1 + 2 + 3 + 4 + 5)
+
+    def test_speedup_percent(self):
+        assert TimingModel.speedup_percent(110, 100) == pytest.approx(10.0)
+        assert TimingModel.speedup_percent(100, 110) == pytest.approx(-9.0909, abs=1e-3)
+        with pytest.raises(ValueError):
+            TimingModel.speedup_percent(100, 0)
+
+    def test_miss_reduction_percent(self):
+        assert TimingModel.miss_reduction_percent(100, 80) == pytest.approx(20.0)
+        assert TimingModel.miss_reduction_percent(100, 120) == pytest.approx(-20.0)
+        assert TimingModel.miss_reduction_percent(0, 10) == 0.0
+
+    def test_fewer_misses_is_a_speedup(self):
+        """Eliminating LLC misses must always translate into positive speed-up."""
+        model = TimingModel()
+        base = LevelCounts(l1_hits=1000, l2_hits=100, llc_hits=50, memory_accesses=100)
+        better = base.with_llc_outcome(llc_hits=80, llc_misses=70)
+        assert model.speedup_percent(model.cycles(base), model.cycles(better)) > 0
+
+
+class TestReorderCostModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReorderCostModel(cycles_per_operation=0)
+        with pytest.raises(ValueError):
+            ReorderCostModel(parallel_threads=0)
+        with pytest.raises(ValueError):
+            ReorderCostModel().reorder_cycles(-1)
+
+    def test_parallel_threads_divide_cost(self):
+        serial = ReorderCostModel(cycles_per_operation=10, parallel_threads=1)
+        parallel = ReorderCostModel(cycles_per_operation=10, parallel_threads=40)
+        assert parallel.reorder_cycles(1000) == pytest.approx(serial.reorder_cycles(1000) / 40)
+
+    def test_net_speedup_sign(self):
+        model = ReorderCostModel(cycles_per_operation=1)
+        # Reordering makes the app 2x faster at negligible cost: net speed-up.
+        assert model.net_speedup_percent(200.0, 100.0, reorder_operations=1) > 0
+        # Same 2x faster app, but the reordering itself costs 10x the runtime.
+        assert model.net_speedup_percent(200.0, 100.0, reorder_operations=2000) < 0
+
+    def test_zero_cost_matches_plain_speedup(self):
+        model = ReorderCostModel()
+        assert model.net_speedup_percent(150.0, 100.0, 0.0) == pytest.approx(50.0)

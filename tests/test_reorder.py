@@ -1,0 +1,248 @@
+"""Tests for vertex-reordering techniques."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import chung_lu_graph, from_edge_list, get_dataset
+from repro.graph.properties import hot_vertex_mask
+from repro.reorder import (
+    DBGReordering,
+    GorderReordering,
+    HubSortReordering,
+    IdentityReordering,
+    SortReordering,
+    get_technique,
+    list_techniques,
+)
+from repro.reorder.base import select_degrees
+
+
+@pytest.fixture(scope="module")
+def skewed_graph():
+    return chung_lu_graph(1500, 10.0, exponent=1.95, seed=11, deduplicate=False)
+
+
+ALL_TECHNIQUES = [
+    IdentityReordering,
+    SortReordering,
+    HubSortReordering,
+    DBGReordering,
+    GorderReordering,
+]
+
+
+class TestRegistry:
+    def test_all_techniques_registered(self):
+        names = list_techniques()
+        assert {"identity", "sort", "hubsort", "dbg", "gorder"} <= set(names)
+
+    def test_get_technique_roundtrip(self):
+        technique = get_technique("dbg", degree_source="in")
+        assert isinstance(technique, DBGReordering)
+        assert technique.degree_source == "in"
+
+    def test_unknown_technique_raises(self):
+        with pytest.raises(KeyError):
+            get_technique("bogus")
+
+    def test_invalid_degree_source_raises(self, skewed_graph):
+        with pytest.raises(ValueError):
+            select_degrees(skewed_graph, "sideways")
+
+
+@pytest.mark.parametrize("technique_cls", ALL_TECHNIQUES)
+class TestPermutationValidity:
+    def test_permutation_is_bijection(self, technique_cls, skewed_graph):
+        permutation = technique_cls().compute_permutation(skewed_graph)
+        assert sorted(permutation.tolist()) == list(range(skewed_graph.num_vertices))
+
+    def test_apply_preserves_graph_invariants(self, technique_cls, skewed_graph):
+        result = technique_cls().apply(skewed_graph)
+        assert result.graph.num_vertices == skewed_graph.num_vertices
+        assert result.graph.num_edges == skewed_graph.num_edges
+        assert sorted(result.graph.out_degrees.tolist()) == sorted(
+            skewed_graph.out_degrees.tolist()
+        )
+
+    def test_edges_preserved_under_relabel(self, technique_cls):
+        graph = from_edge_list(
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], num_vertices=4, name="ring"
+        )
+        result = technique_cls().apply(graph)
+        original = {(s, t) for s, t in graph.edges()}
+        mapped = {
+            (result.permutation[s], result.permutation[t]) for s, t in original
+        }
+        relabelled = {(s, t) for s, t in result.graph.edges()}
+        assert mapped == relabelled
+
+    def test_operations_non_negative(self, technique_cls, skewed_graph):
+        result = technique_cls().apply(skewed_graph)
+        assert result.operations >= 0.0
+
+    def test_inverse_permutation(self, technique_cls, skewed_graph):
+        result = technique_cls().apply(skewed_graph)
+        inverse = result.inverse_permutation
+        assert np.array_equal(result.permutation[inverse], np.arange(skewed_graph.num_vertices))
+
+
+class TestIdentity:
+    def test_identity_returns_arange(self, skewed_graph):
+        perm = IdentityReordering().compute_permutation(skewed_graph)
+        assert np.array_equal(perm, np.arange(skewed_graph.num_vertices))
+
+    def test_identity_costs_nothing(self, skewed_graph):
+        assert IdentityReordering().estimated_operations(skewed_graph) == 0.0
+
+
+class TestSort:
+    def test_degrees_monotonically_decreasing(self, skewed_graph):
+        result = SortReordering(degree_source="out").apply(skewed_graph)
+        degrees = result.graph.out_degrees
+        assert np.all(np.diff(degrees) <= 0)
+
+    def test_respects_degree_source(self, skewed_graph):
+        result = SortReordering(degree_source="in").apply(skewed_graph)
+        assert np.all(np.diff(result.graph.in_degrees) <= 0)
+
+
+class TestHubSort:
+    def test_hot_vertices_form_prefix(self, skewed_graph):
+        result = HubSortReordering(degree_source="out").apply(skewed_graph)
+        degrees = result.graph.out_degrees
+        hot = hot_vertex_mask(degrees, skewed_graph.average_degree)
+        num_hot = int(hot.sum())
+        assert hot[:num_hot].all()
+        assert not hot[num_hot:].any()
+
+    def test_hot_prefix_sorted_descending(self, skewed_graph):
+        result = HubSortReordering(degree_source="out").apply(skewed_graph)
+        degrees = result.graph.out_degrees
+        num_hot = int((skewed_graph.out_degrees >= skewed_graph.out_degrees.mean()).sum())
+        assert np.all(np.diff(degrees[:num_hot]) <= 0)
+
+    def test_cold_relative_order_preserved(self):
+        # Cold vertices 0..3 (degree 1 each), hot vertex 4 with degree 6.
+        edges = [(0, 4), (1, 4), (2, 4), (3, 4)] + [(4, i) for i in range(4)] + [(4, 0), (4, 1)]
+        graph = from_edge_list(edges, num_vertices=5)
+        result = HubSortReordering(degree_source="total").apply(graph)
+        # Vertex 4 must be first; cold vertices keep order 0,1,2,3 after it.
+        assert result.permutation[4] == 0
+        assert result.permutation[0] < result.permutation[1] < result.permutation[2] < result.permutation[3]
+
+
+class TestDBG:
+    def test_invalid_group_count(self):
+        with pytest.raises(ValueError):
+            DBGReordering(num_groups=1)
+
+    def test_group_thresholds_shape(self, skewed_graph):
+        technique = DBGReordering(num_groups=8)
+        thresholds = technique.group_thresholds(10.0)
+        assert thresholds.shape == (8,)
+        assert thresholds[-1] == 0.0
+        assert np.all(np.diff(thresholds[:-1]) < 0)
+
+    def test_hot_vertices_form_prefix(self, skewed_graph):
+        result = DBGReordering(degree_source="out").apply(skewed_graph)
+        degrees = result.graph.out_degrees
+        hot = degrees >= skewed_graph.average_degree
+        num_hot = int(hot.sum())
+        assert hot[:num_hot].all()
+
+    def test_group_order_is_monotonic_in_threshold(self, skewed_graph):
+        """Every vertex in an earlier group has degree >= the next group's lower bound."""
+        technique = DBGReordering(degree_source="out")
+        result = technique.apply(skewed_graph)
+        degrees = result.graph.out_degrees
+        thresholds = technique.group_thresholds(float(skewed_graph.out_degrees.mean()))
+        # Walking the new order, the group index may only increase.
+        group_of = np.zeros(len(degrees), dtype=int)
+        for new_id, degree in enumerate(degrees):
+            group = np.flatnonzero(degree >= thresholds)[0]
+            group_of[new_id] = group
+        assert np.all(np.diff(group_of) >= 0)
+
+    def test_preserves_order_within_group_better_than_sort(self, skewed_graph):
+        """DBG must move far fewer vertices away from their original position
+        than a full sort — that is its whole reason to exist."""
+        dbg_perm = DBGReordering(degree_source="out").compute_permutation(skewed_graph)
+        sort_perm = SortReordering(degree_source="out").compute_permutation(skewed_graph)
+        original = np.arange(skewed_graph.num_vertices)
+        dbg_inversions = np.abs(dbg_perm - original).sum()
+        sort_inversions = np.abs(sort_perm - original).sum()
+        assert dbg_inversions < sort_inversions
+
+    def test_dbg_cheaper_than_sort(self, skewed_graph):
+        assert DBGReordering().estimated_operations(skewed_graph) < SortReordering().estimated_operations(skewed_graph)
+
+
+class TestGorder:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            GorderReordering(window=0)
+
+    def test_gorder_is_most_expensive(self, skewed_graph):
+        gorder_cost = GorderReordering().estimated_operations(skewed_graph)
+        for other in (SortReordering(), HubSortReordering(), DBGReordering()):
+            assert gorder_cost > 10 * other.estimated_operations(skewed_graph)
+
+    def test_neighbours_placed_close(self):
+        """On a graph of two cliques, Gorder should keep each clique contiguous."""
+        edges = []
+        for block in (range(0, 6), range(6, 12)):
+            block = list(block)
+            for u in block:
+                for v in block:
+                    if u != v:
+                        edges.append((u, v))
+        edges.append((0, 6))  # single bridge
+        graph = from_edge_list(edges, num_vertices=12)
+        result = GorderReordering(window=3).apply(graph)
+        positions = result.inverse_permutation  # old id at each new position
+        first_half = {int(v) for v in positions[:6]}
+        assert first_half in ({0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11})
+
+    def test_dbg_refinement_segregates_hot_vertices(self):
+        graph = chung_lu_graph(600, 8.0, exponent=1.95, seed=3, deduplicate=False)
+        result = GorderReordering(window=4, dbg_refinement=True).apply(graph)
+        degrees = result.graph.out_degrees
+        hot = degrees >= graph.average_degree
+        num_hot = int(hot.sum())
+        assert hot[:num_hot].all()
+
+    def test_segregation_flag_tracks_refinement(self):
+        assert not GorderReordering().segregates_hot_vertices
+        assert GorderReordering(dbg_refinement=True).segregates_hot_vertices
+
+
+class TestDatasetIntegration:
+    @pytest.mark.parametrize("name", ["lj", "uni"])
+    def test_reordering_on_registry_datasets(self, name):
+        graph = get_dataset(name, scale=0.1)
+        for technique in (SortReordering(), HubSortReordering(), DBGReordering()):
+            result = technique.apply(graph)
+            assert result.graph.num_edges == graph.num_edges
+
+
+class TestPermutationProperty:
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        seed=st.integers(min_value=0, max_value=10_000),
+        technique_index=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_graphs_produce_valid_permutations(self, n, seed, technique_index):
+        rng = np.random.default_rng(seed)
+        num_edges = max(1, 3 * n)
+        graph = from_edge_list(
+            list(zip(rng.integers(0, n, num_edges).tolist(), rng.integers(0, n, num_edges).tolist())),
+            num_vertices=n,
+        )
+        technique = [SortReordering(), HubSortReordering(), DBGReordering(), IdentityReordering()][
+            technique_index
+        ]
+        permutation = technique.compute_permutation(graph)
+        assert sorted(permutation.tolist()) == list(range(n))

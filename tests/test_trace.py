@@ -1,0 +1,162 @@
+"""Tests for memory-layout modelling and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import get_application
+from repro.analytics.base import PULL, PUSH, AccessProfile, PropertySpec
+from repro.graph import chung_lu_graph, from_edge_list
+from repro.trace import (
+    MemoryLayout,
+    REGION_EDGE,
+    REGION_PROPERTY,
+    REGION_VERTEX,
+    Trace,
+    generate_iteration_trace,
+)
+from repro.trace.layout import PAGE_BYTES, PC_PROPERTY_GATHER
+
+
+@pytest.fixture
+def small_graph():
+    return from_edge_list(
+        [(0, 1), (0, 2), (1, 2), (2, 0), (3, 2), (3, 1)], num_vertices=4, name="tiny"
+    )
+
+
+def profile(num_edge_arrays=1, num_vertex_arrays=1):
+    return AccessProfile(
+        edge_properties=tuple(PropertySpec(f"edge{i}", 8) for i in range(num_edge_arrays)),
+        vertex_properties=tuple(PropertySpec(f"vertex{i}", 8) for i in range(num_vertex_arrays)),
+    )
+
+
+class TestMemoryLayout:
+    def test_arrays_are_page_aligned_and_disjoint(self, small_graph):
+        layout = MemoryLayout(small_graph, profile(2, 1))
+        extents = sorted(layout.describe().values())
+        for (start, end), (next_start, _) in zip(extents, extents[1:]):
+            assert end <= next_start
+        for start, _ in extents:
+            assert start % PAGE_BYTES == 0
+
+    def test_property_bounds_cover_edge_arrays_only(self, small_graph):
+        layout = MemoryLayout(small_graph, profile(2, 1))
+        bounds = layout.property_array_bounds()
+        assert len(bounds) == 2
+        for (start, end), extent in zip(bounds, layout.edge_property_arrays):
+            assert (start, end) == (extent.base, extent.end)
+
+    def test_address_helpers(self, small_graph):
+        layout = MemoryLayout(small_graph, profile())
+        vertices = np.array([0, 3])
+        addresses = layout.edge_property_addresses(0, vertices)
+        base = layout.edge_property_arrays[0].base
+        assert addresses.tolist() == [base, base + 3 * 8]
+        assert layout.vertex_index_addresses(np.array([1]))[0] == layout.vertex_array.base + 8
+
+    def test_region_of(self, small_graph):
+        layout = MemoryLayout(small_graph, profile())
+        probes = np.array(
+            [
+                layout.vertex_array.base,
+                layout.edge_array.base,
+                layout.edge_property_arrays[0].base,
+                layout.end_address + 100,
+            ]
+        )
+        assert layout.region_of(probes).tolist() == [REGION_VERTEX, REGION_EDGE, REGION_PROPERTY, 3]
+
+    def test_footprint_scales_with_graph(self):
+        small = MemoryLayout(chung_lu_graph(200, 4.0, seed=1), profile())
+        large = MemoryLayout(chung_lu_graph(2000, 4.0, seed=1), profile())
+        assert large.total_footprint_bytes > small.total_footprint_bytes
+
+
+class TestTraceGeneration:
+    def test_pull_trace_reference_counts(self, small_graph):
+        """Pull trace = per vertex: 1 vertex read + per in-edge (1 edge read +
+        k property reads) + w property writes."""
+        layout = MemoryLayout(small_graph, profile(1, 1))
+        trace = generate_iteration_trace(small_graph, layout, PULL)
+        n, m = small_graph.num_vertices, small_graph.num_edges
+        assert len(trace) == n * (1 + 1) + m * (1 + 1)
+        assert int((trace.regions == REGION_VERTEX).sum()) == n
+        assert int((trace.regions == REGION_EDGE).sum()) == m
+        assert int((trace.regions == REGION_PROPERTY).sum()) == m + n
+
+    def test_pull_trace_property_targets_are_in_neighbours(self, small_graph):
+        layout = MemoryLayout(small_graph, profile(1, 0))
+        trace = generate_iteration_trace(small_graph, layout, PULL)
+        gathers = trace.addresses[trace.pcs == PC_PROPERTY_GATHER]
+        base = layout.edge_property_arrays[0].base
+        touched = sorted(set(((gathers - base) // 8).tolist()))
+        expected = sorted(set(small_graph.in_sources.tolist()))
+        assert touched == expected
+
+    def test_push_trace_uses_frontier_only(self, small_graph):
+        layout = MemoryLayout(small_graph, profile(1, 0))
+        frontier = np.array([3])
+        trace = generate_iteration_trace(small_graph, layout, PUSH, frontier=frontier)
+        # Vertex 3 has two out-edges: 1 vertex read + 2 * (edge + property).
+        assert len(trace) == 1 + 2 * 2
+        gathers = trace.addresses[trace.pcs == PC_PROPERTY_GATHER]
+        base = layout.edge_property_arrays[0].base
+        touched = sorted(((gathers - base) // 8).tolist())
+        assert touched == sorted(small_graph.out_neighbors(3).tolist())
+
+    def test_multiple_property_arrays_increase_trace_length(self, small_graph):
+        single = generate_iteration_trace(small_graph, MemoryLayout(small_graph, profile(1, 0)), PULL)
+        double = generate_iteration_trace(small_graph, MemoryLayout(small_graph, profile(2, 0)), PULL)
+        assert len(double) == len(single) + small_graph.num_edges
+
+    def test_merged_profile_shrinks_trace(self, small_graph):
+        app = get_application("PR", merged_properties=False)
+        unmerged_layout = MemoryLayout(small_graph, app.access_profile())
+        merged_layout = MemoryLayout(small_graph, app.access_profile().merge())
+        unmerged = generate_iteration_trace(small_graph, unmerged_layout, PULL)
+        merged = generate_iteration_trace(small_graph, merged_layout, PULL)
+        assert len(merged) < len(unmerged)
+
+    def test_empty_frontier_yields_empty_trace(self, small_graph):
+        layout = MemoryLayout(small_graph, profile())
+        trace = generate_iteration_trace(
+            small_graph, layout, PUSH, frontier=np.empty(0, dtype=np.int64)
+        )
+        assert len(trace) == 0
+
+    def test_invalid_direction_rejected(self, small_graph):
+        layout = MemoryLayout(small_graph, profile())
+        with pytest.raises(ValueError):
+            generate_iteration_trace(small_graph, layout, "diagonal")
+
+    def test_trace_property_fraction(self, small_graph):
+        layout = MemoryLayout(small_graph, profile(1, 1))
+        trace = generate_iteration_trace(small_graph, layout, PULL)
+        expected = (small_graph.num_edges + small_graph.num_vertices) / len(trace)
+        assert trace.property_fraction() == pytest.approx(expected)
+
+    def test_trace_concatenate(self, small_graph):
+        layout = MemoryLayout(small_graph, profile())
+        trace = generate_iteration_trace(small_graph, layout, PULL)
+        doubled = trace.concatenate(trace)
+        assert len(doubled) == 2 * len(trace)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.int16), np.zeros(3, dtype=np.int8))
+
+    def test_hot_vertices_dominate_property_accesses_on_skewed_graph(self):
+        """The motivation claim: on a power-law graph most Property-Array
+        reads target hot vertices."""
+        graph = chung_lu_graph(1000, 10.0, exponent=1.9, seed=4, deduplicate=False)
+        layout = MemoryLayout(graph, profile(1, 0))
+        trace = generate_iteration_trace(graph, layout, PULL)
+        gathers = trace.addresses[trace.pcs == PC_PROPERTY_GATHER]
+        base = layout.edge_property_arrays[0].base
+        vertex_ids = (gathers - base) // 8
+        degrees = graph.out_degrees
+        hot = degrees >= degrees.mean()
+        hot_access_share = hot[vertex_ids].mean()
+        assert hot_access_share > 0.6
+        assert hot.mean() < 0.35
