@@ -7,10 +7,14 @@ containing the reproduction's numbers for Tables I, IV and VII and Figs. 2,
 
 Usage:
     python examples/full_evaluation.py [--scale S] [--output FILE] [--quick]
+                                       [--workers N] [--cache-dir DIR]
 
 ``--quick`` trims the workload matrix (three datasets, three applications)
 so the whole report finishes in a few minutes; the default runs the full
-5-application x 5-dataset matrix of the paper.
+5-application x 5-dataset matrix of the paper.  ``--workers`` prewarms the
+figure drivers by sharding the main policy comparison across processes, and
+``--cache-dir`` persists workloads/traces/results on disk so repeated runs
+(and the individual benchmarks) reuse them.
 """
 
 from __future__ import annotations
@@ -56,6 +60,14 @@ def main() -> int:
     parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
     parser.add_argument("--output", type=str, default=None, help="write the report to this file")
     parser.add_argument("--quick", action="store_true", help="use a reduced workload matrix")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="prewarm the policy comparison across N processes (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="persist workloads/traces/results under this directory",
+    )
     args = parser.parse_args()
 
     config = ExperimentConfig.default().with_overrides(scale=args.scale)
@@ -68,6 +80,33 @@ def main() -> int:
         apps=config.apps[: 3 if not args.quick else 2],
         high_skew_datasets=config.high_skew_datasets[: 3 if not args.quick else 2],
     )
+
+    if args.cache_dir or (args.workers or 0) > 1:
+        # Shard the heaviest comparison (Figs. 5/6) across processes and/or a
+        # persistent cache; the figure drivers below then reuse every
+        # workload, filtered trace and policy run from the memo.  Worker
+        # results only reach this process through the disk memo, so a
+        # parallel prewarm without --cache-dir still needs a (throwaway)
+        # store for the drivers to read.
+        import atexit
+        import shutil
+        import tempfile
+
+        from repro.experiments import compare_policies_parallel
+        from repro.experiments.schemes import HISTORY_SCHEMES
+
+        cache_dir = args.cache_dir
+        if cache_dir is None:
+            cache_dir = tempfile.mkdtemp(prefix="grasp-memo-")
+            atexit.register(shutil.rmtree, cache_dir, ignore_errors=True)
+        compare_policies_parallel(
+            config.apps,
+            config.high_skew_datasets,
+            list(HISTORY_SCHEMES),
+            config=config,
+            max_workers=args.workers or 1,
+            cache_dir=cache_dir,
+        )
 
     started = time.time()
     lines: list[str] = []

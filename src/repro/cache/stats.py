@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Mapping, Optional
 
 
 @dataclass
@@ -33,6 +33,37 @@ class CacheStats:
     def hit_rate(self) -> float:
         """Hits per access (0 when there were no accesses)."""
         return self.hits / self.accesses if self.accesses else 0.0
+
+    @classmethod
+    def from_counts(
+        cls,
+        name: str,
+        hits: int,
+        misses: int,
+        evictions: int = 0,
+        bypasses: int = 0,
+        region_accesses: Optional[Mapping[int, int]] = None,
+        region_misses: Optional[Mapping[int, int]] = None,
+    ) -> "CacheStats":
+        """Build statistics from aggregate counters.
+
+        This is the vectorized stats path: the fast simulator derives whole
+        counters (and per-region breakdowns, via ``np.bincount``) from array
+        reductions instead of calling :meth:`record` once per access.
+        """
+        stats = cls(
+            name=name,
+            accesses=int(hits) + int(misses),
+            hits=int(hits),
+            misses=int(misses),
+            evictions=int(evictions),
+            bypasses=int(bypasses),
+        )
+        if region_accesses:
+            stats.region_accesses.update({int(k): int(v) for k, v in region_accesses.items()})
+        if region_misses:
+            stats.region_misses.update({int(k): int(v) for k, v in region_misses.items()})
+        return stats
 
     def record(self, hit: bool, region: int | None = None) -> None:
         """Record one access outcome."""

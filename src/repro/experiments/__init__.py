@@ -24,6 +24,8 @@ Table VII (LLC size sweep)      :func:`repro.experiments.tables.table7_llc_sweep
 """
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.memo import DiskMemo
+from repro.experiments.parallel import compare_policies_parallel
 from repro.experiments.runner import (
     DataPoint,
     Workload,
@@ -31,6 +33,7 @@ from repro.experiments.runner import (
     clear_caches,
     compare_policies,
     filter_trace,
+    set_disk_memo,
     simulate_llc_policy,
     simulate_opt,
 )
@@ -38,14 +41,17 @@ from repro.experiments.schemes import POLICY_SPECS, scheme_policy
 
 __all__ = [
     "DataPoint",
+    "DiskMemo",
     "ExperimentConfig",
     "POLICY_SPECS",
     "Workload",
     "build_workload",
     "clear_caches",
     "compare_policies",
+    "compare_policies_parallel",
     "filter_trace",
     "scheme_policy",
+    "set_disk_memo",
     "simulate_llc_policy",
     "simulate_opt",
 ]

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.cache.config import HierarchyConfig
+from repro.fastsim.dispatch import BACKENDS
 from repro.graph.datasets import ADVERSARIAL_DATASETS, HIGH_SKEW_DATASETS
 from repro.perf.timing import TimingModel
 
@@ -37,6 +38,12 @@ class ExperimentConfig:
         Workload lists; benchmarks override these to subsets.
     timing:
         Latency model used to convert misses into speed-ups.
+    backend:
+        Simulation backend (``"vector"``, ``"scalar"`` or ``"verify"``)
+        handed to :mod:`repro.fastsim`; ``None`` defers to the process-wide
+        default (``REPRO_SIM_BACKEND`` or ``vector``).  Backends produce
+        identical counts, so this never changes experiment results — only how
+        fast they are obtained.
     """
 
     scale: float = 1.0
@@ -48,10 +55,15 @@ class ExperimentConfig:
     adversarial_datasets: Sequence[str] = ADVERSARIAL_DATASETS
     timing: TimingModel = field(default_factory=TimingModel)
     merged_properties: bool = True
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError("scale must be positive")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS} or None"
+            )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with selected fields replaced."""

@@ -1,0 +1,95 @@
+"""On-disk memoisation of workloads, filtered traces and policy runs.
+
+The in-memory memo tables in :mod:`repro.experiments.runner` only live for
+one process; this module persists the same three kinds of artifacts so that
+separate invocations (each figure/table benchmark, every worker of the
+parallel runner) reuse each other's work:
+
+``<root>/v1/workload/<sha256>.pkl``
+    Built :class:`~repro.experiments.runner.Workload` objects, keyed by the
+    in-memory workload memo key (app, dataset, reorder, scale, seed, merged).
+``<root>/v1/llctrace/<sha256>.pkl``
+    L1/L2-filtered :class:`~repro.experiments.runner.LLCTrace` streams, keyed
+    by the workload key plus the cache hierarchy.
+``<root>/v1/policy/<sha256>.pkl``
+    Per-scheme :class:`~repro.cache.stats.CacheStats`, keyed by the trace key
+    plus the scheme name.
+
+Keys are hashed from their ``repr`` — every component is a primitive or a
+frozen dataclass with a deterministic ``repr``.  Writes go through a
+temporary file and ``os.replace`` so concurrent writers (the parallel
+runner's worker processes) can never expose a partially-written entry; a
+corrupt or unreadable entry is treated as a miss and recomputed.
+
+The store is enabled by passing a ``cache_dir`` to the parallel runner or by
+setting the ``REPRO_CACHE_DIR`` environment variable, in which case the
+serial runner uses it too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Optional
+
+#: Environment variable naming the on-disk memo root directory.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Layout version; bump when any persisted type changes incompatibly.
+MEMO_VERSION = 1
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Cache root from ``REPRO_CACHE_DIR``, or ``None`` when unset."""
+    value = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+    return Path(value) if value else None
+
+
+class DiskMemo:
+    """A pickle-per-entry store keyed by (kind, memo key)."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root) / f"v{MEMO_VERSION}"
+
+    def path_for(self, kind: str, key: Any) -> Path:
+        """File that does (or would) hold the entry for ``key``."""
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return self.root / kind / f"{digest}.pkl"
+
+    def get(self, kind: str, key: Any) -> Optional[Any]:
+        """Load an entry, or ``None`` on a miss or an unreadable file."""
+        path = self.path_for(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt, truncated or stale entry (including pickles that
+            # reference since-renamed classes): treat as a miss and let the
+            # caller recompute and overwrite it.
+            return None
+
+    def put(self, kind: str, key: Any, value: Any) -> None:
+        """Store an entry atomically (best effort: IO errors are swallowed)."""
+        path = self.path_for(kind, key)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def entry_count(self, kind: Optional[str] = None) -> int:
+        """Number of persisted entries (of one kind, or overall)."""
+        base = self.root / kind if kind else self.root
+        if not base.exists():
+            return 0
+        return sum(1 for _ in base.rglob("*.pkl"))

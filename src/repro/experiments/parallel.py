@@ -1,0 +1,139 @@
+"""Process-parallel experiment runner.
+
+:func:`compare_policies_parallel` is a drop-in replacement for
+:func:`repro.experiments.runner.compare_policies` that shards the independent
+(app, dataset) pairs of a comparison across worker processes.  Each pair is a
+self-contained unit of work — workload construction, L1/L2 filtering and every
+scheme's LLC replay — so workers need no coordination beyond the optional
+on-disk memo store (:mod:`repro.experiments.memo`), which is installed in
+every worker so that
+
+* shards of one invocation share built workloads and filtered traces with
+  later invocations, and
+* separate figure/table drivers (Figs. 5-11, Tables 1-7) reuse each other's
+  runs across processes, exactly as the in-memory memo does within one.
+
+Results are returned in the same (dataset, app, scheme) order as the serial
+runner, with identical values: parallelism, like the vectorized backend, only
+changes how fast the numbers are obtained.  When process pools are
+unavailable (restricted sandboxes) or not worth it (a single pair), the
+function transparently falls back to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.memo import CACHE_DIR_ENV_VAR, DiskMemo, default_cache_dir
+from repro.experiments.runner import DataPoint, compare_policies, set_disk_memo
+from repro.fastsim.dispatch import set_default_backend
+
+#: Environment variable capping the worker count (0 or 1 forces serial).
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+_PairTask = Tuple[str, str, Tuple[str, ...], ExperimentConfig, Optional[str], str, Optional[str]]
+
+
+def _init_worker(cache_dir: Optional[str], backend: Optional[str]) -> None:
+    """Configure one worker process: disk memo plus simulation backend."""
+    if cache_dir:
+        set_disk_memo(DiskMemo(Path(cache_dir)))
+    if backend:
+        set_default_backend(backend)
+
+
+def _simulate_pair(task: _PairTask) -> List[DataPoint]:
+    """Run all schemes of one (app, dataset) pair (executed in a worker)."""
+    app_name, dataset_name, schemes, config, reorder, baseline, cache_dir = task
+    if cache_dir:
+        # Covers the fork start method, where _init_worker state is inherited
+        # but a worker may be reused across pools with different cache dirs.
+        set_disk_memo(DiskMemo(Path(cache_dir)))
+    return compare_policies(
+        [app_name], [dataset_name], list(schemes), config=config, reorder=reorder, baseline=baseline
+    )
+
+
+def _worker_budget(num_pairs: int, max_workers: Optional[int]) -> int:
+    if max_workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if env:
+            try:
+                max_workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            max_workers = os.cpu_count() or 1
+    return max(0, min(max_workers, num_pairs))
+
+
+def compare_policies_parallel(
+    app_names: Sequence[str],
+    dataset_names: Sequence[str],
+    schemes: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    reorder: Optional[str] = None,
+    baseline: str = "RRIP",
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[Path | str] = None,
+) -> List[DataPoint]:
+    """Parallel :func:`~repro.experiments.runner.compare_policies`.
+
+    Parameters mirror the serial function, plus:
+
+    max_workers:
+        Process count; defaults to ``REPRO_WORKERS`` or the CPU count,
+        clamped to the number of (app, dataset) pairs.  Values below 2 run
+        serially in-process.
+    cache_dir:
+        Root of the on-disk memo store shared by the workers (and installed
+        in this process, so the parent reuses worker results on later calls).
+        Defaults to ``REPRO_CACHE_DIR``; without either, workers still run in
+        parallel but share nothing across invocations.
+    """
+    config = config or ExperimentConfig.default()
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    if root is not None:
+        set_disk_memo(DiskMemo(root))
+
+    pairs = [(app, dataset) for dataset in dataset_names for app in app_names]
+    workers = _worker_budget(len(pairs), max_workers)
+    if workers < 2 or len(pairs) < 2:
+        return compare_policies(
+            app_names, dataset_names, schemes, config=config, reorder=reorder, baseline=baseline
+        )
+
+    tasks: List[_PairTask] = [
+        (app, dataset, tuple(schemes), config, reorder, baseline,
+         str(root) if root is not None else None)
+        for app, dataset in pairs
+    ]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(str(root) if root is not None else None, config.backend),
+        ) as pool:
+            chunks = list(pool.map(_simulate_pair, tasks))
+    except (OSError, BrokenProcessPool):
+        # Process pools can be unavailable (sandboxes) or die mid-flight;
+        # the serial path always works and reuses whatever reached the memo.
+        return compare_policies(
+            app_names, dataset_names, schemes, config=config, reorder=reorder, baseline=baseline
+        )
+    return [point for chunk in chunks for point in chunk]
+
+
+__all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "DiskMemo",
+    "WORKERS_ENV_VAR",
+    "compare_policies_parallel",
+]

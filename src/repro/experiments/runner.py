@@ -17,6 +17,32 @@ paper's methodology (Sec. IV):
 
 Workloads, filtered traces and per-policy results are memoised so that
 figures sharing the same runs (e.g. Figs. 5 and 6) do not recompute them.
+
+Fast-path dispatch
+------------------
+Stages 5 and 6 exist in two implementations.  The default ``vector`` backend
+(:mod:`repro.fastsim`) replays LRU levels — the L1-D/L2 filters always, and
+the LLC when the scheme under study is plain LRU — as batched NumPy
+stack-distance computations; every other scheme falls back to the scalar
+per-access simulator, which also remains selectable as a whole via
+``backend="scalar"`` (per call), :attr:`ExperimentConfig.backend` (per
+experiment) or the ``REPRO_SIM_BACKEND`` environment variable (process-wide).
+The ``verify`` backend runs both paths and raises
+:class:`~repro.fastsim.filter.FastSimMismatchError` unless their
+hit/miss/eviction counts are identical.  Backends are bit-equivalent by
+construction, so memo keys deliberately exclude the backend.
+
+On-disk memoisation
+-------------------
+The three in-memory memo tables (workloads, filtered LLC traces, per-scheme
+stats) can additionally be backed by a persistent store shared across
+processes and invocations — see :mod:`repro.experiments.memo` for the
+``<cache_dir>/v1/{workload,llctrace,policy}/<sha256-of-key>.pkl`` layout.
+The store is off unless ``REPRO_CACHE_DIR`` is set or
+:func:`set_disk_memo` is called; the parallel runner
+(:mod:`repro.experiments.parallel`) installs it in every worker so shards
+and later invocations (Figs. 5-11, Tables 1-7) reuse each other's runs.
+:func:`clear_caches` drops only the in-memory tables, never the disk store.
 """
 
 from __future__ import annotations
@@ -30,11 +56,15 @@ from repro.analytics import get_application
 from repro.analytics.base import AppResult, IterationRecord
 from repro.cache import CacheConfig, SetAssociativeCache
 from repro.cache.config import HierarchyConfig
-from repro.cache.policies import LRUPolicy, simulate_opt_misses
+from repro.cache.policies import simulate_opt_misses
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.stats import CacheStats
 from repro.core import AddressBoundRegisterFile, GraspClassifier
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.memo import DiskMemo, default_cache_dir
+from repro.fastsim import run_filter, supports_vector_replay, vector_lru_replay
+from repro.fastsim.dispatch import SCALAR, VECTOR, resolve_backend
+from repro.fastsim.filter import assert_stats_equal
 from repro.experiments.schemes import scheme_policy
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import get_dataset
@@ -115,9 +145,48 @@ _WORKLOADS: Dict[tuple, Workload] = {}
 _LLC_TRACES: Dict[tuple, LLCTrace] = {}
 _POLICY_RUNS: Dict[tuple, CacheStats] = {}
 
+# Optional persistent layer underneath the tables above.  ``None`` plus an
+# unresolved flag means "look at REPRO_CACHE_DIR on first use".
+_DISK_MEMO: Optional[DiskMemo] = None
+_DISK_MEMO_RESOLVED = False
+
+
+def set_disk_memo(memo: Optional[DiskMemo]) -> None:
+    """Install (or, with ``None``, disable) the on-disk memo store."""
+    global _DISK_MEMO, _DISK_MEMO_RESOLVED
+    _DISK_MEMO = memo
+    _DISK_MEMO_RESOLVED = True
+
+
+def active_disk_memo() -> Optional[DiskMemo]:
+    """The on-disk memo store in effect, resolving ``REPRO_CACHE_DIR`` lazily."""
+    global _DISK_MEMO, _DISK_MEMO_RESOLVED
+    if not _DISK_MEMO_RESOLVED:
+        root = default_cache_dir()
+        _DISK_MEMO = DiskMemo(root) if root is not None else None
+        _DISK_MEMO_RESOLVED = True
+    return _DISK_MEMO
+
+
+def _memoised(table: Dict[tuple, object], kind: str, key: tuple, compute):
+    """Look ``key`` up in memory, then on disk, computing (and storing) last."""
+    if key in table:
+        return table[key]
+    memo = active_disk_memo()
+    if memo is not None:
+        value = memo.get(kind, key)
+        if value is not None:
+            table[key] = value
+            return value
+    value = compute()
+    table[key] = value
+    if memo is not None:
+        memo.put(kind, key, value)
+    return value
+
 
 def clear_caches() -> None:
-    """Drop all memoised workloads, traces and simulation results."""
+    """Drop the in-memory memo tables (the on-disk store, if any, persists)."""
     _WORKLOADS.clear()
     _LLC_TRACES.clear()
     _POLICY_RUNS.clear()
@@ -138,38 +207,37 @@ def build_workload(
     config = config or ExperimentConfig.default()
     merged = config.merged_properties if merged_properties is None else merged_properties
     key = (app_name, dataset_name, reorder, config.scale, config.seed, merged)
-    if key in _WORKLOADS:
-        return _WORKLOADS[key]
 
-    app = get_application(app_name, merged_properties=merged)
-    weighted = app_name == "SSSP"
-    graph = get_dataset(dataset_name, scale=config.scale, seed=config.seed, weighted=weighted)
+    def compute() -> Workload:
+        app = get_application(app_name, merged_properties=merged)
+        weighted = app_name == "SSSP"
+        graph = get_dataset(dataset_name, scale=config.scale, seed=config.seed, weighted=weighted)
 
-    degree_source = "in" if app.dominant_direction == "push" else "out"
-    technique = get_technique(reorder, degree_source=degree_source)
-    reorder_result = technique.apply(graph)
-    reordered = reorder_result.graph
+        degree_source = "in" if app.dominant_direction == "push" else "out"
+        technique = get_technique(reorder, degree_source=degree_source)
+        reorder_result = technique.apply(graph)
+        reordered = reorder_result.graph
 
-    root = int(np.argmax(reordered.out_degrees))
-    app_result = app.run(reordered, root=root)
+        root = int(np.argmax(reordered.out_degrees))
+        app_result = app.run(reordered, root=root)
 
-    candidates = app_result.iterations_in_direction(app.dominant_direction) or app_result.iterations
-    roi = max(candidates, key=lambda record: record.active_vertices)
+        candidates = app_result.iterations_in_direction(app.dominant_direction) or app_result.iterations
+        roi = max(candidates, key=lambda record: record.active_vertices)
 
-    layout = MemoryLayout(reordered, app.access_profile())
-    workload = Workload(
-        app_name=app_name,
-        dataset_name=dataset_name,
-        reorder_name=reorder,
-        graph=reordered,
-        app_result=app_result,
-        roi=roi,
-        layout=layout,
-        reorder_operations=reorder_result.operations,
-        dominant_direction=app.dominant_direction,
-    )
-    _WORKLOADS[key] = workload
-    return workload
+        layout = MemoryLayout(reordered, app.access_profile())
+        return Workload(
+            app_name=app_name,
+            dataset_name=dataset_name,
+            reorder_name=reorder,
+            graph=reordered,
+            app_result=app_result,
+            roi=roi,
+            layout=layout,
+            reorder_operations=reorder_result.operations,
+            dominant_direction=app.dominant_direction,
+        )
+
+    return _memoised(_WORKLOADS, "workload", key, compute)
 
 
 def roi_trace(workload: Workload) -> Trace:
@@ -190,20 +258,16 @@ def filter_trace(
     trace: Trace,
     hierarchy: HierarchyConfig,
     layout: Optional[MemoryLayout] = None,
+    backend: Optional[str] = None,
 ) -> LLCTrace:
-    """Run the L1-D/L2 filters over a trace and return the LLC-bound accesses."""
-    l1 = SetAssociativeCache(hierarchy.l1, LRUPolicy())
-    l2 = SetAssociativeCache(hierarchy.l2, LRUPolicy())
-    addresses = trace.addresses.tolist()
-    keep = np.zeros(len(addresses), dtype=bool)
-    l1_access, l2_access = l1.access, l2.access
-    for index, address in enumerate(addresses):
-        if l1_access(address):
-            continue
-        if l2_access(address):
-            continue
-        keep[index] = True
+    """Run the L1-D/L2 filters over a trace and return the LLC-bound accesses.
 
+    ``backend`` selects the implementation (``vector``/``scalar``/``verify``);
+    ``None`` defers to :func:`repro.fastsim.default_backend`.  Both backends
+    produce identical traces.
+    """
+    result = run_filter(trace, hierarchy, backend=backend)
+    keep = result.keep
     byte_addresses = trace.addresses[keep]
     block_addresses = byte_addresses >> hierarchy.llc.block_offset_bits
     hints = _classify_hints(byte_addresses, layout, hierarchy.llc)
@@ -213,8 +277,8 @@ def filter_trace(
         pcs=trace.pcs[keep],
         regions=trace.regions[keep],
         hints=hints,
-        upstream_l1_hits=int(l1.stats.hits),
-        upstream_l2_hits=int(l2.stats.hits),
+        upstream_l1_hits=int(result.l1_stats.hits),
+        upstream_l2_hits=int(result.l2_stats.hits),
         total_references=len(trace),
     )
 
@@ -236,9 +300,14 @@ def _classify_hints(
 def llc_trace_for(workload: Workload, config: ExperimentConfig) -> LLCTrace:
     """Memoised L1/L2-filtered LLC trace for a workload."""
     key = (workload.key, config.scale, config.seed, config.hierarchy, workload.layout.profile.merged)
-    if key not in _LLC_TRACES:
-        _LLC_TRACES[key] = filter_trace(roi_trace(workload), config.hierarchy, workload.layout)
-    return _LLC_TRACES[key]
+    return _memoised(
+        _LLC_TRACES,
+        "llctrace",
+        key,
+        lambda: filter_trace(
+            roi_trace(workload), config.hierarchy, workload.layout, backend=config.backend
+        ),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -250,8 +319,34 @@ def simulate_llc_policy(
     policy: ReplacementPolicy,
     llc_config: CacheConfig,
     use_hints: bool = True,
+    backend: Optional[str] = None,
 ) -> CacheStats:
-    """Replay an LLC trace under one replacement policy."""
+    """Replay an LLC trace under one replacement policy.
+
+    Plain-LRU replays dispatch to the vectorized engine under the ``vector``
+    backend; all stateful policies use the scalar simulator regardless of the
+    backend, because their per-access state has no batched equivalent.
+    """
+    mode = resolve_backend(backend)
+    if mode != SCALAR and supports_vector_replay(policy):
+        vector_stats = vector_lru_replay(
+            llc_trace.block_addresses, llc_config, regions=llc_trace.regions
+        )
+        if mode == VECTOR:
+            return vector_stats
+        scalar_stats = _scalar_llc_replay(llc_trace, policy, llc_config, use_hints)
+        assert_stats_equal(scalar_stats, vector_stats, "LLC LRU replay")
+        return vector_stats
+    return _scalar_llc_replay(llc_trace, policy, llc_config, use_hints)
+
+
+def _scalar_llc_replay(
+    llc_trace: LLCTrace,
+    policy: ReplacementPolicy,
+    llc_config: CacheConfig,
+    use_hints: bool,
+) -> CacheStats:
+    """Reference LLC replay: one :meth:`access_block` call per access."""
     cache = SetAssociativeCache(llc_config, policy)
     access = cache.access_block
     blocks = llc_trace.block_addresses.tolist()
@@ -271,15 +366,16 @@ def simulate_opt(llc_trace: LLCTrace, llc_config: CacheConfig) -> CacheStats:
 def _run_scheme(workload: Workload, scheme: str, config: ExperimentConfig) -> CacheStats:
     """Memoised simulation of one scheme on one workload."""
     key = (workload.key, scheme, config.scale, config.seed, config.hierarchy, workload.layout.profile.merged)
-    if key in _POLICY_RUNS:
-        return _POLICY_RUNS[key]
-    llc_trace = llc_trace_for(workload, config)
-    if scheme == "OPT":
-        stats = simulate_opt(llc_trace, config.hierarchy.llc)
-    else:
-        stats = simulate_llc_policy(llc_trace, scheme_policy(scheme), config.hierarchy.llc)
-    _POLICY_RUNS[key] = stats
-    return stats
+
+    def compute() -> CacheStats:
+        llc_trace = llc_trace_for(workload, config)
+        if scheme == "OPT":
+            return simulate_opt(llc_trace, config.hierarchy.llc)
+        return simulate_llc_policy(
+            llc_trace, scheme_policy(scheme), config.hierarchy.llc, backend=config.backend
+        )
+
+    return _memoised(_POLICY_RUNS, "policy", key, compute)
 
 
 def workload_cycles(workload: Workload, stats: CacheStats, config: ExperimentConfig) -> float:

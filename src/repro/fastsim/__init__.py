@@ -1,0 +1,90 @@
+"""NumPy-vectorized fast path for the trace-driven cache simulation.
+
+The scalar simulator (:mod:`repro.cache.cache`) replays one access at a time
+through Python-level policy objects.  That is the reference implementation —
+easy to audit against the paper, but it costs microseconds per access.  This
+package reimplements the two LRU-only stages of the pipeline as batched NumPy
+computations over whole traces:
+
+``stackdist``
+    The core engine.  Exploits the LRU *stack property*: a W-way set hits an
+    access exactly when fewer than W distinct blocks of the same set were
+    touched since the previous access to the same block.  Stack distances are
+    computed for a whole trace at once with a vectorized merge-count, so no
+    per-access Python loop remains.
+``_native``
+    Optional accelerator: a tiny C kernel compiled on demand (plain ``cc``,
+    no third-party packages) that replays LRU with per-set timestamps an
+    order of magnitude faster than the NumPy engine.  ``lru_replay``
+    dispatches to it automatically; set ``REPRO_NATIVE=0`` or remove the
+    compiler and everything transparently stays on NumPy.
+``filter``
+    The L1-D/L2 filter of pipeline stage 5 (both levels are always LRU, see
+    Sec. IV of the paper), with a scalar reference path and an equivalence
+    guard used by the ``verify`` backend.
+``replay``
+    Vectorized LLC replay for the LRU scheme (Fig. 11 / Table VII baselines),
+    including the per-region statistics breakdown of Fig. 2.
+``dispatch``
+    Backend selection: ``vector`` (default), ``scalar`` (reference) or
+    ``verify`` (run both, assert identical counts).  The process-wide default
+    can be overridden with the ``REPRO_SIM_BACKEND`` environment variable or
+    per-call/per-config.
+
+Policies other than LRU (RRIP, GRASP, Hawkeye, ...) carry per-access state
+that has no closed-form batched equivalent; those always use the scalar
+simulator regardless of the selected backend.
+"""
+
+from repro.fastsim.dispatch import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    SCALAR,
+    VECTOR,
+    VERIFY,
+    default_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.fastsim.filter import (
+    FastSimMismatchError,
+    FilterResult,
+    run_filter,
+    scalar_filter,
+    vector_filter,
+)
+from repro.fastsim.replay import supports_vector_replay, vector_lru_replay
+from repro.fastsim.stackdist import (
+    LRUReplay,
+    lru_replay,
+    numpy_lru_replay,
+    occurrence_order,
+    previous_occurrence_indices,
+    prior_leq_counts,
+    substream_previous_indices,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "SCALAR",
+    "VECTOR",
+    "VERIFY",
+    "FastSimMismatchError",
+    "FilterResult",
+    "LRUReplay",
+    "default_backend",
+    "lru_replay",
+    "numpy_lru_replay",
+    "occurrence_order",
+    "previous_occurrence_indices",
+    "prior_leq_counts",
+    "resolve_backend",
+    "run_filter",
+    "scalar_filter",
+    "set_default_backend",
+    "substream_previous_indices",
+    "supports_vector_replay",
+    "vector_filter",
+    "vector_lru_replay",
+]

@@ -1,0 +1,168 @@
+"""Optional compiled LRU-replay kernel.
+
+The NumPy stack-distance engine (:mod:`repro.fastsim.stackdist`) needs no
+toolchain and is the guaranteed fallback, but a direct per-set timestamp-LRU
+inner loop in C runs an order of magnitude faster still.  When a C compiler
+is present this module builds a tiny shared library once per interpreter
+configuration (cached under the system temp directory, written atomically so
+concurrent processes cannot race) and exposes it through :mod:`ctypes`.
+
+No third-party packages, build systems or network access are involved; when
+``cc`` is missing, compilation fails, or ``REPRO_NATIVE=0`` is set, callers
+transparently stay on the NumPy engine.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+#: Set to ``0`` to disable the compiled kernel (forces the NumPy engine).
+NATIVE_ENV_VAR = "REPRO_NATIVE"
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Exact set-associative LRU replay: timestamp per way, linear way scan.
+ * tags/stamps are caller-provided scratch of num_sets*ways entries; tags
+ * must be initialised to -1.  Returns nothing; hits[i] in {0,1} and
+ * misses_per_set accumulate the outcome. */
+void lru_replay(const int64_t *blocks, int64_t n, int32_t num_sets,
+                int32_t ways, int64_t *tags, int64_t *stamps,
+                uint8_t *hits, int64_t *misses_per_set)
+{
+    int64_t clock = 0;
+    const int64_t mask = (int64_t)num_sets - 1;
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t block = blocks[i];
+        const int64_t set = block & mask;
+        int64_t *tag = tags + set * ways;
+        int64_t *stamp = stamps + set * ways;
+        int32_t way = -1;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == block) { way = w; break; }
+        }
+        if (way >= 0) {
+            hits[i] = 1;
+            stamp[way] = ++clock;
+            continue;
+        }
+        hits[i] = 0;
+        misses_per_set[set]++;
+        int32_t victim = 0;
+        int64_t oldest = stamp[0];
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == -1) { victim = w; break; }
+            if (stamp[w] < oldest) { oldest = stamp[w]; victim = w; }
+        }
+        tag[victim] = block;
+        stamp[victim] = ++clock;
+    }
+}
+"""
+
+_lib: Optional[ctypes.CDLL] = None
+_resolved = False
+
+
+def _build_dir() -> str:
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    platform_tag = sysconfig.get_platform().replace("-", "_").replace(".", "_")
+    name = f"repro_fastsim_{digest}_py{sys.version_info[0]}{sys.version_info[1]}_{platform_tag}"
+    # The library is loaded into the process, so the cache must not live at a
+    # predictable path in a world-writable directory (another local user could
+    # plant a malicious .so there).  Prefer the user's cache directory; fall
+    # back to a fresh private temp directory (per-process recompile).
+    cache_home = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    try:
+        directory = os.path.join(cache_home, "repro-fastsim", name)
+        os.makedirs(directory, mode=0o700, exist_ok=True)
+        return directory
+    except OSError:
+        return tempfile.mkdtemp(prefix=name)
+
+
+def _compile() -> Optional[ctypes.CDLL]:
+    try:
+        directory = _build_dir()
+    except OSError:
+        return None
+    library = os.path.join(directory, "lru_replay.so")
+    if not os.path.exists(library):
+        try:
+            source = os.path.join(directory, "lru_replay.c")
+            with open(source, "w") as handle:
+                handle.write(_SOURCE)
+            scratch = os.path.join(directory, f"lru_replay.{os.getpid()}.so")
+            subprocess.run(
+                ["cc", "-O3", "-shared", "-fPIC", "-o", scratch, source],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(scratch, library)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        lib = ctypes.CDLL(library)
+        lib.lru_replay.restype = None
+        lib.lru_replay.argtypes = [
+            ctypes.POINTER(ctypes.c_int64),
+            ctypes.c_int64,
+            ctypes.c_int32,
+            ctypes.c_int32,
+            ctypes.POINTER(ctypes.c_int64),
+            ctypes.POINTER(ctypes.c_int64),
+            ctypes.POINTER(ctypes.c_uint8),
+            ctypes.POINTER(ctypes.c_int64),
+        ]
+        return lib
+    except OSError:
+        return None
+
+
+def available() -> bool:
+    """Whether the compiled kernel can be used (and is not disabled)."""
+    global _lib, _resolved
+    if not _resolved:
+        disabled = os.environ.get(NATIVE_ENV_VAR, "").strip() == "0"
+        _lib = None if disabled else _compile()
+        _resolved = True
+    return _lib is not None
+
+
+def lru_replay(blocks: np.ndarray, num_sets: int, ways: int):
+    """Replay through the compiled kernel; ``None`` when unavailable.
+
+    Returns ``(hits, misses_per_set)`` matching the NumPy engine exactly.
+    """
+    if not available():
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
+    misses_per_set = np.zeros(num_sets, dtype=np.int64)
+    tags = np.full(num_sets * ways, -1, dtype=np.int64)
+    stamps = np.zeros(num_sets * ways, dtype=np.int64)
+    as_i64 = lambda array: array.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))  # noqa: E731
+    _lib.lru_replay(
+        as_i64(blocks),
+        ctypes.c_int64(n),
+        ctypes.c_int32(num_sets),
+        ctypes.c_int32(ways),
+        as_i64(tags),
+        as_i64(stamps),
+        hits.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
+        as_i64(misses_per_set),
+    )
+    return hits.view(bool), misses_per_set

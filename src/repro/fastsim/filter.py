@@ -1,0 +1,164 @@
+"""L1-D/L2 filtering of a reference stream, in both backends.
+
+Pipeline stage 5 replays the ROI trace through the L1-D and L2 caches and
+keeps only the accesses that miss both — the stream the LLC actually sees.
+Both levels always use LRU (Sec. IV of the paper), so the vector backend can
+use the stack-distance engine: filter L1 over the whole trace at once, then
+filter L2 over the surviving subsequence.
+
+Both backends return a :class:`FilterResult` — the keep mask plus the L1/L2
+:class:`~repro.cache.stats.CacheStats` — and must agree exactly; the
+``verify`` backend (:func:`run_filter`) enforces that on every call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache import SetAssociativeCache
+from repro.cache.config import HierarchyConfig
+from repro.cache.policies import LRUPolicy
+from repro.cache.stats import CacheStats
+from repro.fastsim import _native
+from repro.fastsim.dispatch import SCALAR, VECTOR, resolve_backend
+from repro.fastsim.stackdist import (
+    LRUReplay,
+    lru_replay,
+    occurrence_order,
+    previous_occurrence_indices,
+    substream_previous_indices,
+)
+from repro.trace import Trace
+
+
+class FastSimMismatchError(AssertionError):
+    """The vectorized and scalar simulators disagreed (equivalence guard)."""
+
+
+@dataclass(frozen=True)
+class FilterResult:
+    """Outcome of running one trace through the L1-D/L2 filter levels."""
+
+    keep: np.ndarray
+    l1_stats: CacheStats
+    l2_stats: CacheStats
+
+
+def scalar_filter(trace: Trace, hierarchy: HierarchyConfig) -> FilterResult:
+    """Reference implementation: one :meth:`access` call per reference."""
+    l1 = SetAssociativeCache(hierarchy.l1, LRUPolicy())
+    l2 = SetAssociativeCache(hierarchy.l2, LRUPolicy())
+    keep = np.zeros(len(trace), dtype=bool)
+    l1_access, l2_access = l1.access, l2.access
+    for index, address in enumerate(trace.addresses.tolist()):
+        if l1_access(address):
+            continue
+        if l2_access(address):
+            continue
+        keep[index] = True
+    return FilterResult(keep=keep, l1_stats=l1.stats, l2_stats=l2.stats)
+
+
+def _level_stats(name: str, replay: LRUReplay) -> CacheStats:
+    return CacheStats.from_counts(
+        name=name,
+        hits=replay.hit_count,
+        misses=replay.miss_count,
+        evictions=replay.evictions,
+    )
+
+
+def vector_filter(trace: Trace, hierarchy: HierarchyConfig) -> FilterResult:
+    """Vectorized implementation: per-set batched replay of both levels.
+
+    Trace-adjacent accesses to one block (the bulk of a graph trace: a
+    64-byte block serves several consecutive Edge-Array reads) are collapsed
+    to their run head before anything is sorted — they are L1 hits that leave
+    the LRU stack untouched, so only run heads enter the replay machinery.
+    The surviving stream is then sorted by block once
+    (:func:`occurrence_order`); both the L1 replay and the L2 replay of the
+    L1-missing substream derive their previous-same-block links from that
+    single sort.
+    """
+    n = len(trace)
+    keep = np.zeros(n, dtype=bool)
+    if n == 0:
+        return FilterResult(
+            keep=keep,
+            l1_stats=CacheStats(name=hierarchy.l1.name),
+            l2_stats=CacheStats(name=hierarchy.l2.name),
+        )
+    blocks = trace.block_addresses(hierarchy.l1.block_offset_bits)
+    run_head = np.empty(n, dtype=bool)
+    run_head[0] = True
+    np.not_equal(blocks[1:], blocks[:-1], out=run_head[1:])
+    head_indices = np.flatnonzero(run_head)
+    head_blocks = blocks[head_indices]
+
+    # The block sort (and the previous-occurrence links derived from it) only
+    # feeds the NumPy stack-distance engine; the compiled kernel tracks
+    # recency in-line and needs neither.
+    occ = None if _native.available() else occurrence_order(head_blocks)
+    l1_replay = lru_replay(
+        head_blocks,
+        hierarchy.l1.num_sets,
+        hierarchy.l1.ways,
+        prev_indices=None if occ is None else previous_occurrence_indices(head_blocks, occ),
+    )
+    collapsed_hits = n - int(head_indices.shape[0])
+    l1_stats = CacheStats.from_counts(
+        name=hierarchy.l1.name,
+        hits=collapsed_hits + l1_replay.hit_count,
+        misses=l1_replay.miss_count,
+        evictions=l1_replay.evictions,
+    )
+
+    miss_heads = np.flatnonzero(~l1_replay.hits)
+    l2_replay = lru_replay(
+        head_blocks[miss_heads],
+        hierarchy.l2.num_sets,
+        hierarchy.l2.ways,
+        prev_indices=None
+        if occ is None
+        else substream_previous_indices(head_blocks, occ, miss_heads),
+    )
+    keep[head_indices[miss_heads[~l2_replay.hits]]] = True
+    return FilterResult(
+        keep=keep,
+        l1_stats=l1_stats,
+        l2_stats=_level_stats(hierarchy.l2.name, l2_replay),
+    )
+
+
+def assert_stats_equal(scalar: CacheStats, vector: CacheStats, context: str) -> None:
+    """Equivalence guard: raise unless two stat blocks carry identical counts."""
+    fields = ("accesses", "hits", "misses", "evictions", "bypasses")
+    for field_name in fields:
+        left, right = getattr(scalar, field_name), getattr(vector, field_name)
+        if left != right:
+            raise FastSimMismatchError(
+                f"{context}: scalar and vector backends disagree on "
+                f"{scalar.name} {field_name}: {left} != {right}"
+            )
+    if scalar.region_accesses != vector.region_accesses:
+        raise FastSimMismatchError(f"{context}: region access breakdowns differ")
+    if scalar.region_misses != vector.region_misses:
+        raise FastSimMismatchError(f"{context}: region miss breakdowns differ")
+
+
+def run_filter(trace: Trace, hierarchy: HierarchyConfig, backend: str = None) -> FilterResult:
+    """Filter a trace with the selected backend (``verify`` runs both)."""
+    mode = resolve_backend(backend)
+    if mode == SCALAR:
+        return scalar_filter(trace, hierarchy)
+    if mode == VECTOR:
+        return vector_filter(trace, hierarchy)
+    scalar = scalar_filter(trace, hierarchy)
+    vector = vector_filter(trace, hierarchy)
+    if not np.array_equal(scalar.keep, vector.keep):
+        raise FastSimMismatchError("L1/L2 filter: keep masks differ between backends")
+    assert_stats_equal(scalar.l1_stats, vector.l1_stats, "L1/L2 filter")
+    assert_stats_equal(scalar.l2_stats, vector.l2_stats, "L1/L2 filter")
+    return vector

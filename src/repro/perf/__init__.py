@@ -5,9 +5,18 @@ reproduction converts the cache simulator's hit/miss counts into cycles with
 a simple latency model (:mod:`repro.perf.timing`) and models the cost of
 vertex reordering from operation counts (:mod:`repro.perf.reorder_cost`) so
 that Fig. 10a's net-speed-up comparison can be regenerated.
+:mod:`repro.perf.throughput` measures the simulator itself (wall-clock
+accesses per second), backing the fastsim benchmark.
 """
 
 from repro.perf.reorder_cost import ReorderCostModel
+from repro.perf.throughput import ThroughputResult, measure_throughput
 from repro.perf.timing import LevelCounts, TimingModel
 
-__all__ = ["LevelCounts", "ReorderCostModel", "TimingModel"]
+__all__ = [
+    "LevelCounts",
+    "ReorderCostModel",
+    "ThroughputResult",
+    "TimingModel",
+    "measure_throughput",
+]

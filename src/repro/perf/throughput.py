@@ -1,0 +1,53 @@
+"""Wall-clock throughput measurement for the simulation fast path.
+
+Used by ``benchmarks/bench_fastsim_throughput.py`` to report simulated
+accesses per second for each backend and the vector-over-scalar speed-up.
+Timing uses ``time.perf_counter`` and best-of-``repeats`` to damp scheduler
+noise; these numbers describe the *simulator's* speed, not the modelled
+hardware (that is :mod:`repro.perf.timing`'s job).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Best observed wall-clock time for a workload of ``accesses`` references."""
+
+    label: str
+    accesses: int
+    seconds: float
+
+    @property
+    def accesses_per_second(self) -> float:
+        """Simulated references per second (0 when nothing was timed)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.accesses / self.seconds
+
+    def speedup_over(self, baseline: "ThroughputResult") -> float:
+        """How many times faster this run was than ``baseline``."""
+        if self.seconds <= 0.0:
+            return float("inf")
+        return baseline.seconds / self.seconds
+
+
+def measure_throughput(
+    fn: Callable[[], object],
+    accesses: int,
+    label: str = "run",
+    repeats: int = 3,
+) -> ThroughputResult:
+    """Time ``fn`` ``repeats`` times and keep the best run."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return ThroughputResult(label=label, accesses=accesses, seconds=best)

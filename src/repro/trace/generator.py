@@ -50,6 +50,10 @@ class Trace:
         """Number of memory references in the trace."""
         return len(self)
 
+    def block_addresses(self, block_offset_bits: int) -> np.ndarray:
+        """Block-aligned addresses of every reference (used by the fast path)."""
+        return self.addresses >> block_offset_bits
+
     def property_fraction(self) -> float:
         """Fraction of references that target a Property Array (Fig. 2)."""
         if len(self) == 0:
