@@ -24,5 +24,6 @@ __all__ = [
     "CacheConfig",
     "CacheHierarchy",
     "CacheStats",
+    "HierarchyConfig",
     "SetAssociativeCache",
 ]

@@ -14,7 +14,18 @@ provided:
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.cache.policies.base import ReplacementPolicy, register_policy
+
+#: Sentinel in :meth:`_RRIPBase.hint_insertion_table` marking hints whose
+#: insertion RRPV is not a fixed value but the policy's dynamic machinery
+#: (BRRIP's bimodal counter, DRRIP's set duel).
+DYNAMIC_INSERTION = -1
+
+#: Sentinel in :meth:`_RRIPBase.hint_promotion_table` meaning "age the block
+#: one step towards MRU" (GRASP's gradual promotion) instead of a fixed RRPV.
+DECREMENT_PROMOTION = -1
 
 
 class _RRIPBase(ReplacementPolicy):
@@ -69,6 +80,27 @@ class _RRIPBase(ReplacementPolicy):
     def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
         self._rrpv[set_index][way] = self.insertion_rrpv(set_index, block_address, pc, hint)
 
+    # -- array-form policy description (consumed by repro.fastsim.rrip) --------
+
+    def hint_insertion_table(self) -> List[int]:
+        """Insertion RRPV for each 2-bit reuse hint, in hint-value order.
+
+        Entries are either a fixed RRPV or :data:`DYNAMIC_INSERTION` for hints
+        whose insertion position is decided per access by the policy's dynamic
+        machinery (bimodal counter / set duel).  The vectorized replay engine
+        derives its insertion rule from this table, so any policy whose
+        behaviour deviates from its table must not advertise one.
+        """
+        return [self.max_rrpv - 1] * 4
+
+    def hint_promotion_table(self) -> List[int]:
+        """Hit-promotion RRPV for each 2-bit reuse hint, in hint-value order.
+
+        Entries are either the RRPV assigned on a hit or
+        :data:`DECREMENT_PROMOTION` for GRASP's "one step towards MRU".
+        """
+        return [0] * 4
+
 
 @register_policy("srrip")
 class SRRIPPolicy(_RRIPBase):
@@ -96,6 +128,10 @@ class BRRIPPolicy(_RRIPBase):
             return self.max_rrpv - 1
         return self.max_rrpv
 
+    def hint_insertion_table(self) -> List[int]:
+        # Every insertion consults the bimodal counter, regardless of hint.
+        return [DYNAMIC_INSERTION] * 4
+
 
 @register_policy("rrip")
 @register_policy("drrip")
@@ -115,6 +151,8 @@ class DRRIPPolicy(_RRIPBase):
 
     def __init__(self, rrpv_bits: int = 3, epsilon: int = 32, psel_bits: int = 10) -> None:
         super().__init__(rrpv_bits)
+        if epsilon < 1:
+            raise ValueError("epsilon must be at least 1")
         self.epsilon = epsilon
         self.psel_max = (1 << psel_bits) - 1
         self._psel = self.psel_max // 2
@@ -153,3 +191,7 @@ class DRRIPPolicy(_RRIPBase):
         if self._psel < (self.psel_max + 1) // 2:
             return self.max_rrpv - 1
         return self._bimodal_rrpv()
+
+    def hint_insertion_table(self) -> List[int]:
+        # Every insertion goes through the set duel, regardless of hint.
+        return [DYNAMIC_INSERTION] * 4

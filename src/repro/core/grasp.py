@@ -19,9 +19,11 @@ any other block, which is what keeps GRASP flexible compared with pinning.
 
 from __future__ import annotations
 
-from repro.cache.hints import HINT_HIGH, HINT_LOW, HINT_MODERATE
+from typing import List
+
+from repro.cache.hints import HINT_DEFAULT, HINT_HIGH, HINT_LOW, HINT_MODERATE
 from repro.cache.policies.base import register_policy
-from repro.cache.policies.rrip import DRRIPPolicy
+from repro.cache.policies.rrip import DECREMENT_PROMOTION, DYNAMIC_INSERTION, DRRIPPolicy
 
 
 @register_policy("grasp")
@@ -60,3 +62,21 @@ class GraspPolicy(DRRIPPolicy):
 
     # choose_victim is intentionally inherited unchanged from DRRIP: GRASP
     # does not modify the eviction policy (Sec. III-C, "Eviction Policy").
+
+    # -- array-form policy description (consumed by repro.fastsim.rrip) --------
+
+    def hint_insertion_table(self) -> List[int]:
+        # Table II of the paper, hint-indexed.  Only Default accesses reach
+        # the DRRIP duel (and only they touch PSEL / the bimodal counter).
+        table = [0] * 4
+        table[HINT_DEFAULT] = DYNAMIC_INSERTION
+        table[HINT_HIGH] = 0
+        table[HINT_MODERATE] = self._moderate_rrpv()
+        table[HINT_LOW] = self.max_rrpv
+        return table
+
+    def hint_promotion_table(self) -> List[int]:
+        table = [0] * 4
+        table[HINT_MODERATE] = DECREMENT_PROMOTION
+        table[HINT_LOW] = DECREMENT_PROMOTION
+        return table

@@ -12,7 +12,6 @@ from repro.experiments.runner import (
     _run_scheme,
     build_workload,
     compare_policies,
-    llc_trace_for,
     workload_cycles,
 )
 from repro.experiments.schemes import (

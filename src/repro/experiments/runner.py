@@ -21,11 +21,13 @@ figures sharing the same runs (e.g. Figs. 5 and 6) do not recompute them.
 Fast-path dispatch
 ------------------
 Stages 5 and 6 exist in two implementations.  The default ``vector`` backend
-(:mod:`repro.fastsim`) replays LRU levels — the L1-D/L2 filters always, and
-the LLC when the scheme under study is plain LRU — as batched NumPy
-stack-distance computations; every other scheme falls back to the scalar
-per-access simulator, which also remains selectable as a whole via
-``backend="scalar"`` (per call), :attr:`ExperimentConfig.backend` (per
+(:mod:`repro.fastsim`) replays the always-LRU L1-D/L2 filters as batched
+NumPy stack-distance computations, and the LLC whenever the scheme under
+study has a vectorized engine — plain LRU (stack-distance) and the whole
+RRIP family (SRRIP/BRRIP/DRRIP/GRASP, batched set-parallel sweeps with exact
+PSEL set dueling and per-access reuse hints).  Every other scheme falls back
+to the scalar per-access simulator, which also remains selectable as a whole
+via ``backend="scalar"`` (per call), :attr:`ExperimentConfig.backend` (per
 experiment) or the ``REPRO_SIM_BACKEND`` environment variable (process-wide).
 The ``verify`` backend runs both paths and raises
 :class:`~repro.fastsim.filter.FastSimMismatchError` unless their
@@ -62,7 +64,7 @@ from repro.cache.stats import CacheStats
 from repro.core import AddressBoundRegisterFile, GraspClassifier
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.memo import DiskMemo, default_cache_dir
-from repro.fastsim import run_filter, supports_vector_replay, vector_lru_replay
+from repro.fastsim import run_filter, supports_vector_replay, vector_policy_replay
 from repro.fastsim.dispatch import SCALAR, VECTOR, resolve_backend
 from repro.fastsim.filter import assert_stats_equal
 from repro.experiments.schemes import scheme_policy
@@ -323,19 +325,25 @@ def simulate_llc_policy(
 ) -> CacheStats:
     """Replay an LLC trace under one replacement policy.
 
-    Plain-LRU replays dispatch to the vectorized engine under the ``vector``
-    backend; all stateful policies use the scalar simulator regardless of the
-    backend, because their per-access state has no batched equivalent.
+    Under the ``vector`` backend, schemes with a vectorized engine — plain
+    LRU and the exact RRIP-family policies (SRRIP/BRRIP/DRRIP/GRASP, with
+    the trace's reuse-hint stream wired through) — dispatch to
+    :func:`repro.fastsim.vector_policy_replay`; the remaining stateful
+    policies use the scalar simulator regardless of the backend.
     """
     mode = resolve_backend(backend)
     if mode != SCALAR and supports_vector_replay(policy):
-        vector_stats = vector_lru_replay(
-            llc_trace.block_addresses, llc_config, regions=llc_trace.regions
+        vector_stats = vector_policy_replay(
+            policy,
+            llc_trace.block_addresses,
+            llc_config,
+            hints=llc_trace.hints if use_hints else None,
+            regions=llc_trace.regions,
         )
         if mode == VECTOR:
             return vector_stats
         scalar_stats = _scalar_llc_replay(llc_trace, policy, llc_config, use_hints)
-        assert_stats_equal(scalar_stats, vector_stats, "LLC LRU replay")
+        assert_stats_equal(scalar_stats, vector_stats, f"LLC {policy.name} replay")
         return vector_stats
     return _scalar_llc_replay(llc_trace, policy, llc_config, use_hints)
 

@@ -4,14 +4,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.cache.config import CacheConfig
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     _run_scheme,
     build_workload,
     llc_trace_for,
     simulate_llc_policy,
-    simulate_opt,
     workload_cycles,
 )
 from repro.experiments.schemes import scheme_policy

@@ -3,37 +3,46 @@
 The scalar simulator (:mod:`repro.cache.cache`) replays one access at a time
 through Python-level policy objects.  That is the reference implementation —
 easy to audit against the paper, but it costs microseconds per access.  This
-package reimplements the two LRU-only stages of the pipeline as batched NumPy
-computations over whole traces:
+package reimplements the hot stages of the pipeline as batched computations
+over whole traces:
 
 ``stackdist``
-    The core engine.  Exploits the LRU *stack property*: a W-way set hits an
+    The LRU engine.  Exploits the LRU *stack property*: a W-way set hits an
     access exactly when fewer than W distinct blocks of the same set were
     touched since the previous access to the same block.  Stack distances are
     computed for a whole trace at once with a vectorized merge-count, so no
     per-access Python loop remains.
+``rrip``
+    The RRIP-family engine (SRRIP, BRRIP, DRRIP and GRASP with per-access
+    reuse hints) — the policies behind every headline result of the paper.
+    Keeps the whole simulator state (tags, RRPV counters, the set-dueling
+    PSEL counter) in NumPy arrays and replays the trace in batched
+    set-parallel sweeps, reproducing the scalar policies bit-exactly
+    including the global duel state.
 ``_native``
-    Optional accelerator: a tiny C kernel compiled on demand (plain ``cc``,
-    no third-party packages) that replays LRU with per-set timestamps an
-    order of magnitude faster than the NumPy engine.  ``lru_replay``
-    dispatches to it automatically; set ``REPRO_NATIVE=0`` or remove the
-    compiler and everything transparently stays on NumPy.
+    Optional accelerator: tiny C kernels compiled on demand (plain ``cc``,
+    no third-party packages) for both engines, an order of magnitude faster
+    than NumPy.  ``lru_replay``/``rrip_replay`` dispatch to them
+    automatically; set ``REPRO_NATIVE=0`` or remove the compiler and
+    everything transparently stays on NumPy.
 ``filter``
     The L1-D/L2 filter of pipeline stage 5 (both levels are always LRU, see
     Sec. IV of the paper), with a scalar reference path and an equivalence
     guard used by the ``verify`` backend.
 ``replay``
-    Vectorized LLC replay for the LRU scheme (Fig. 11 / Table VII baselines),
+    Vectorized LLC replay dispatch for stage 6 — LRU plus the RRIP family,
     including the per-region statistics breakdown of Fig. 2.
+    :func:`supports_vector_replay` is the predicate deciding which policies
+    qualify (exact policy types only; subclasses fall back to scalar).
 ``dispatch``
     Backend selection: ``vector`` (default), ``scalar`` (reference) or
     ``verify`` (run both, assert identical counts).  The process-wide default
     can be overridden with the ``REPRO_SIM_BACKEND`` environment variable or
     per-call/per-config.
 
-Policies other than LRU (RRIP, GRASP, Hawkeye, ...) carry per-access state
-that has no closed-form batched equivalent; those always use the scalar
-simulator regardless of the selected backend.
+Policies the engines cannot express (Hawkeye, Leeway, SHiP-MEM, pinning and
+the GRASP ablation variants) always use the scalar simulator regardless of
+the selected backend.
 """
 
 from repro.fastsim.dispatch import (
@@ -53,7 +62,18 @@ from repro.fastsim.filter import (
     scalar_filter,
     vector_filter,
 )
-from repro.fastsim.replay import supports_vector_replay, vector_lru_replay
+from repro.fastsim.replay import (
+    supports_vector_replay,
+    vector_lru_replay,
+    vector_policy_replay,
+)
+from repro.fastsim.rrip import (
+    RRIPReplay,
+    RRIPSpec,
+    numpy_rrip_replay,
+    rrip_replay,
+    rrip_spec,
+)
 from repro.fastsim.stackdist import (
     LRUReplay,
     lru_replay,
@@ -73,13 +93,18 @@ __all__ = [
     "FastSimMismatchError",
     "FilterResult",
     "LRUReplay",
+    "RRIPReplay",
+    "RRIPSpec",
     "default_backend",
     "lru_replay",
     "numpy_lru_replay",
+    "numpy_rrip_replay",
     "occurrence_order",
     "previous_occurrence_indices",
     "prior_leq_counts",
     "resolve_backend",
+    "rrip_replay",
+    "rrip_spec",
     "run_filter",
     "scalar_filter",
     "set_default_backend",
@@ -87,4 +112,5 @@ __all__ = [
     "supports_vector_replay",
     "vector_filter",
     "vector_lru_replay",
+    "vector_policy_replay",
 ]

@@ -1,11 +1,12 @@
-"""Optional compiled LRU-replay kernel.
+"""Optional compiled replay kernels (LRU and the RRIP family).
 
-The NumPy stack-distance engine (:mod:`repro.fastsim.stackdist`) needs no
-toolchain and is the guaranteed fallback, but a direct per-set timestamp-LRU
-inner loop in C runs an order of magnitude faster still.  When a C compiler
-is present this module builds a tiny shared library once per interpreter
-configuration (cached under the system temp directory, written atomically so
-concurrent processes cannot race) and exposes it through :mod:`ctypes`.
+The NumPy engines (:mod:`repro.fastsim.stackdist` for LRU,
+:mod:`repro.fastsim.rrip` for SRRIP/BRRIP/DRRIP/GRASP) need no toolchain and
+are the guaranteed fallback, but direct per-set inner loops in C run an order
+of magnitude faster still.  When a C compiler is present this module builds a
+tiny shared library once per interpreter configuration (cached under the
+user's cache directory, written atomically so concurrent processes cannot
+race) and exposes it through :mod:`ctypes`.
 
 No third-party packages, build systems or network access are involved; when
 ``cc`` is missing, compilation fails, or ``REPRO_NATIVE=0`` is set, callers
@@ -67,6 +68,92 @@ void lru_replay(const int64_t *blocks, int64_t n, int32_t num_sets,
         stamp[victim] = ++clock;
     }
 }
+
+/* Exact RRIP-family replay (SRRIP / BRRIP / DRRIP / GRASP).
+ *
+ * Policy behaviour is parameterized in array form: ins_table / promo_table
+ * hold, per 2-bit reuse hint, the insertion RRPV (negative = dynamic:
+ * bimodal counter when psel_max == 0, DRRIP set duel otherwise) and the
+ * hit-promotion RRPV (negative = decrement one step towards MRU).
+ * tags/rrpv are caller-provided scratch of num_sets*ways entries (tags
+ * initialised to -1, rrpv to max_rrpv); state is {psel, insert_count} in/out
+ * so the final duel state can be compared against the scalar policies. */
+void rrip_replay(const int64_t *blocks, const uint8_t *hints, int64_t n,
+                 int32_t num_sets, int32_t ways, int32_t max_rrpv,
+                 const int32_t *ins_table, const int32_t *promo_table,
+                 int64_t epsilon, int64_t psel_max, int32_t leader_period,
+                 int64_t *tags, int32_t *rrpv,
+                 uint8_t *hits, int64_t *misses_per_set, int64_t *state)
+{
+    int64_t psel = state[0];
+    int64_t insert_count = state[1];
+    const int64_t mask = (int64_t)num_sets - 1;
+    const int64_t midpoint = (psel_max + 1) / 2;
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t block = blocks[i];
+        const int64_t set = block & mask;
+        const int32_t hint = hints[i] & 3;
+        int64_t *tag = tags + set * ways;
+        int32_t *r = rrpv + set * ways;
+        int32_t way = -1;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == block) { way = w; break; }
+        }
+        if (way >= 0) {
+            hits[i] = 1;
+            const int32_t promotion = promo_table[hint];
+            if (promotion >= 0) r[way] = promotion;
+            else if (r[way] > 0) r[way]--;
+            continue;
+        }
+        hits[i] = 0;
+        misses_per_set[set]++;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == -1) { way = w; break; }
+        }
+        if (way < 0) {
+            /* Standard RRIP victim search: leftmost saturated way, ageing
+             * every way until one saturates. */
+            for (;;) {
+                for (int32_t w = 0; w < ways; w++) {
+                    if (r[w] >= max_rrpv) { way = w; break; }
+                }
+                if (way >= 0) break;
+                for (int32_t w = 0; w < ways; w++) r[w]++;
+            }
+        }
+        int32_t insertion = ins_table[hint];
+        if (insertion < 0) {
+            if (psel_max <= 0) {
+                /* BRRIP: every insertion consults the bimodal counter. */
+                insert_count++;
+                insertion = (epsilon > 0 && insert_count % epsilon == 0)
+                                ? max_rrpv - 1 : max_rrpv;
+            } else {
+                const int64_t slot = set % leader_period;
+                if (slot == 0) {            /* SRRIP leader */
+                    if (psel < psel_max) psel++;
+                    insertion = max_rrpv - 1;
+                } else if (slot == 1) {     /* BRRIP leader */
+                    if (psel > 0) psel--;
+                    insert_count++;
+                    insertion = (epsilon > 0 && insert_count % epsilon == 0)
+                                    ? max_rrpv - 1 : max_rrpv;
+                } else if (psel < midpoint) {
+                    insertion = max_rrpv - 1;
+                } else {
+                    insert_count++;
+                    insertion = (epsilon > 0 && insert_count % epsilon == 0)
+                                    ? max_rrpv - 1 : max_rrpv;
+                }
+            }
+        }
+        tag[way] = block;
+        r[way] = insertion;
+    }
+    state[0] = psel;
+    state[1] = insert_count;
+}
 """
 
 _lib: Optional[ctypes.CDLL] = None
@@ -126,6 +213,25 @@ def _compile() -> Optional[ctypes.CDLL]:
             ctypes.POINTER(ctypes.c_uint8),
             ctypes.POINTER(ctypes.c_int64),
         ]
+        lib.rrip_replay.restype = None
+        lib.rrip_replay.argtypes = [
+            ctypes.POINTER(ctypes.c_int64),
+            ctypes.POINTER(ctypes.c_uint8),
+            ctypes.c_int64,
+            ctypes.c_int32,
+            ctypes.c_int32,
+            ctypes.c_int32,
+            ctypes.POINTER(ctypes.c_int32),
+            ctypes.POINTER(ctypes.c_int32),
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.c_int32,
+            ctypes.POINTER(ctypes.c_int64),
+            ctypes.POINTER(ctypes.c_int32),
+            ctypes.POINTER(ctypes.c_uint8),
+            ctypes.POINTER(ctypes.c_int64),
+            ctypes.POINTER(ctypes.c_int64),
+        ]
         return lib
     except OSError:
         return None
@@ -166,3 +272,57 @@ def lru_replay(blocks: np.ndarray, num_sets: int, ways: int):
         as_i64(misses_per_set),
     )
     return hits.view(bool), misses_per_set
+
+
+def rrip_replay(
+    blocks: np.ndarray,
+    hints: np.ndarray,
+    num_sets: int,
+    ways: int,
+    max_rrpv: int,
+    ins_table: np.ndarray,
+    promo_table: np.ndarray,
+    epsilon: int,
+    psel_max: int,
+    leader_period: int,
+    psel_init: int,
+):
+    """RRIP-family replay through the compiled kernel; ``None`` when unavailable.
+
+    Returns ``(hits, misses_per_set, psel, insert_count)`` matching the NumPy
+    engine (:func:`repro.fastsim.rrip.numpy_rrip_replay`) exactly.
+    """
+    if not available():
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    hints = np.ascontiguousarray(hints, dtype=np.uint8)
+    ins_table = np.ascontiguousarray(ins_table, dtype=np.int32)
+    promo_table = np.ascontiguousarray(promo_table, dtype=np.int32)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
+    misses_per_set = np.zeros(num_sets, dtype=np.int64)
+    tags = np.full(num_sets * ways, -1, dtype=np.int64)
+    rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
+    state = np.array([psel_init, 0], dtype=np.int64)
+    as_i64 = lambda array: array.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))  # noqa: E731
+    as_i32 = lambda array: array.ctypes.data_as(ctypes.POINTER(ctypes.c_int32))  # noqa: E731
+    as_u8 = lambda array: array.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8))  # noqa: E731
+    _lib.rrip_replay(
+        as_i64(blocks),
+        as_u8(hints),
+        ctypes.c_int64(n),
+        ctypes.c_int32(num_sets),
+        ctypes.c_int32(ways),
+        ctypes.c_int32(max_rrpv),
+        as_i32(ins_table),
+        as_i32(promo_table),
+        ctypes.c_int64(epsilon),
+        ctypes.c_int64(psel_max),
+        ctypes.c_int32(leader_period),
+        as_i64(tags),
+        as_i32(rrpv),
+        as_u8(hits),
+        as_i64(misses_per_set),
+        as_i64(state),
+    )
+    return hits.view(bool), misses_per_set, int(state[0]), int(state[1])

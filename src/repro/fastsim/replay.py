@@ -1,8 +1,11 @@
-"""Vectorized LLC replay for the LRU scheme.
+"""Vectorized LLC replay dispatch for the schemes the fast engines cover.
 
-Only LRU has the stack property the fast engine relies on; stateful schemes
-(RRIP variants, GRASP, Hawkeye, Leeway, pinning) must go through the scalar
-simulator.  :func:`supports_vector_replay` is the dispatch predicate used by
+Two exact engines exist: the stack-distance engine for plain LRU
+(:mod:`repro.fastsim.stackdist`) and the batched RRIP-family engine for
+SRRIP/BRRIP/DRRIP/GRASP (:mod:`repro.fastsim.rrip`).  Stateful schemes the
+engines cannot express (Hawkeye, Leeway, SHiP-MEM, pinning, the GRASP
+ablation variants) go through the scalar simulator.
+:func:`supports_vector_replay` is the dispatch predicate used by
 :func:`repro.experiments.runner.simulate_llc_policy`.
 """
 
@@ -16,16 +19,38 @@ from repro.cache.config import CacheConfig
 from repro.cache.policies import LRUPolicy
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.stats import CacheStats
+from repro.fastsim.rrip import rrip_replay, rrip_spec
 from repro.fastsim.stackdist import lru_replay
 
 
 def supports_vector_replay(policy: ReplacementPolicy) -> bool:
-    """Whether the fast engine reproduces this policy exactly.
+    """Whether a fast engine reproduces this policy exactly.
 
-    Restricted to :class:`LRUPolicy` itself — a subclass could override any
+    Restricted to exact policy types — :class:`LRUPolicy` plus the four
+    RRIP-family policies :func:`repro.fastsim.rrip.rrip_spec` recognises
+    (:class:`~repro.cache.policies.rrip.SRRIPPolicy`,
+    :class:`~repro.cache.policies.rrip.BRRIPPolicy`,
+    :class:`~repro.cache.policies.rrip.DRRIPPolicy`,
+    :class:`~repro.core.grasp.GraspPolicy`).  A subclass could override any
     hook and silently diverge, so it falls back to the scalar simulator.
     """
-    return type(policy) is LRUPolicy
+    return type(policy) is LRUPolicy or rrip_spec(policy) is not None
+
+
+def _region_breakdown(hits: np.ndarray, regions: Optional[np.ndarray]):
+    """Per-region access/miss counts (Fig. 2) from a replay's hit mask."""
+    if regions is None or not len(regions):
+        return None, None
+    labels = np.asarray(regions, dtype=np.int64)
+    access_counts = np.bincount(labels)
+    miss_counts = np.bincount(labels[~hits], minlength=access_counts.shape[0])
+    region_accesses = {
+        region: int(count) for region, count in enumerate(access_counts) if count
+    }
+    region_misses = {
+        region: int(count) for region, count in enumerate(miss_counts) if count
+    }
+    return region_accesses, region_misses
 
 
 def vector_lru_replay(
@@ -40,17 +65,42 @@ def vector_lru_replay(
     ``np.bincount`` instead of per-access dictionary updates.
     """
     replay = lru_replay(block_addresses, llc_config.num_sets, llc_config.ways)
-    region_accesses = region_misses = None
-    if regions is not None and len(regions):
-        labels = np.asarray(regions, dtype=np.int64)
-        access_counts = np.bincount(labels)
-        miss_counts = np.bincount(labels[~replay.hits], minlength=access_counts.shape[0])
-        region_accesses = {
-            region: int(count) for region, count in enumerate(access_counts) if count
-        }
-        region_misses = {
-            region: int(count) for region, count in enumerate(miss_counts) if count
-        }
+    region_accesses, region_misses = _region_breakdown(replay.hits, regions)
+    return CacheStats.from_counts(
+        name=llc_config.name,
+        hits=replay.hit_count,
+        misses=replay.miss_count,
+        evictions=replay.evictions,
+        region_accesses=region_accesses,
+        region_misses=region_misses,
+    )
+
+
+def vector_policy_replay(
+    policy: ReplacementPolicy,
+    block_addresses: np.ndarray,
+    llc_config: CacheConfig,
+    hints: Optional[np.ndarray] = None,
+    regions: Optional[np.ndarray] = None,
+) -> CacheStats:
+    """Replay an LLC trace under any policy :func:`supports_vector_replay` accepts.
+
+    ``hints`` is the 2-bit GRASP reuse-hint stream aligned with
+    ``block_addresses`` (``None`` replays hint-blind, like the scalar
+    simulator with ``use_hints=False``); only GRASP's tables consult it.
+    """
+    if type(policy) is LRUPolicy:
+        return vector_lru_replay(block_addresses, llc_config, regions=regions)
+    spec = rrip_spec(policy)
+    if spec is None:
+        raise ValueError(
+            f"policy {policy!r} has no vectorized replay engine; "
+            "use supports_vector_replay() before dispatching"
+        )
+    replay = rrip_replay(
+        block_addresses, hints, llc_config.num_sets, llc_config.ways, spec
+    )
+    region_accesses, region_misses = _region_breakdown(replay.hits, regions)
     return CacheStats.from_counts(
         name=llc_config.name,
         hits=replay.hit_count,

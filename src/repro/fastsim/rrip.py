@@ -1,0 +1,348 @@
+"""Exact vectorized replay for the RRIP family (SRRIP, BRRIP, DRRIP, GRASP).
+
+Unlike LRU, RRIP-family policies have no stack property: hit/miss outcomes
+depend on mutable per-way RRPV counters, on BRRIP's global bimodal insertion
+counter and on DRRIP's set-dueling PSEL counter.  The engine here still
+eliminates the per-access Python policy dispatch by keeping the whole
+simulator state in NumPy arrays — one ``(num_sets, ways)`` tag array and one
+``(num_sets, ways)`` RRPV array — and replaying the trace in *batched
+set-parallel sweeps*:
+
+1. The trace is cut into maximal trace-ordered chunks in which every cache
+   set appears at most once (``_chunk_end`` finds each boundary from the
+   previous-same-set links in amortized O(n)).  Within such a chunk no access
+   depends on another access's per-set state, so the whole chunk is one batch
+   of vectorized work: a single broadcast tag compare classifies every access,
+   hit promotions and insertions are scatter writes, and victim selection
+   (age-until-saturated + leftmost-max) is two array reductions per chunk.
+2. The only state shared *across* sets — DRRIP's saturating PSEL counter and
+   the bimodal insertion counter — is advanced in trace order inside the
+   chunk: PSEL is walked over the chunk's (sparse) leader-set misses and every
+   follower reads the value after the latest earlier leader update via one
+   ``searchsorted``; bimodal counter values fall out of a cumulative sum.
+
+The policy-specific rules are not hard-coded: each policy publishes its
+insertion and hit-promotion behaviour in array form
+(:meth:`~repro.cache.policies.rrip._RRIPBase.hint_insertion_table` /
+``hint_promotion_table``), and :func:`rrip_spec` snapshots those tables plus
+the duel parameters into an :class:`RRIPSpec`.  Only the four exact policy
+types are eligible — a subclass could override any hook and silently diverge,
+so :func:`rrip_spec` returns ``None`` for anything else and the caller falls
+back to the scalar simulator.
+
+:func:`rrip_replay` dispatches to the compiled kernel
+(:func:`repro.fastsim._native.rrip_replay`) when one is available and to
+:func:`numpy_rrip_replay` otherwise; both are exact, including the final
+PSEL / bimodal-counter state, which the equivalence tests compare against
+the scalar policies.
+
+Chunk width — and with it the NumPy engine's batch parallelism — is bounded
+by the number of LLC sets, which the scaled-down default geometry caps at
+16.  The NumPy engine is therefore the exactness/portability fallback; the
+compiled kernel is the throughput path and the one
+``benchmarks/bench_rrip_throughput.py`` holds to the >=5x bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.policies.rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from repro.core.grasp import GraspPolicy
+from repro.fastsim import _native
+from repro.fastsim.stackdist import previous_occurrence_indices
+
+
+@dataclass(frozen=True)
+class RRIPSpec:
+    """Array-form description of one RRIP-family policy instance.
+
+    ``insertion_table`` / ``promotion_table`` are hint-indexed (4 entries);
+    negative insertion entries mean "dynamic" (bimodal counter when
+    ``psel_max == 0``, set duel otherwise) and negative promotion entries
+    mean "decrement towards MRU".
+    """
+
+    max_rrpv: int
+    insertion_table: Tuple[int, int, int, int]
+    promotion_table: Tuple[int, int, int, int]
+    #: Bimodal insertion period (0 when the policy never inserts bimodally).
+    epsilon: int = 0
+    #: PSEL saturation value; 0 disables set dueling (SRRIP/BRRIP).
+    psel_max: int = 0
+    #: One SRRIP leader and one BRRIP leader per ``leader_period`` sets.
+    leader_period: int = 0
+
+    @property
+    def dueling(self) -> bool:
+        """Whether the policy runs a DRRIP-style set duel."""
+        return self.psel_max > 0
+
+
+def rrip_spec(policy: ReplacementPolicy) -> Optional[RRIPSpec]:
+    """Snapshot a policy into an :class:`RRIPSpec`, or ``None`` if ineligible.
+
+    Restricted to the exact types :class:`SRRIPPolicy`, :class:`BRRIPPolicy`,
+    :class:`DRRIPPolicy` and :class:`GraspPolicy` — subclasses (SHiP, Hawkeye,
+    pinning, the GRASP ablations) override hooks the tables cannot express.
+    """
+    kind = type(policy)
+    if kind is SRRIPPolicy:
+        epsilon, psel_max, leader_period = 0, 0, 0
+    elif kind is BRRIPPolicy:
+        epsilon, psel_max, leader_period = policy.epsilon, 0, 0
+    elif kind is DRRIPPolicy or kind is GraspPolicy:
+        epsilon = policy.epsilon
+        psel_max = policy.psel_max
+        leader_period = policy.LEADER_PERIOD
+    else:
+        return None
+    return RRIPSpec(
+        max_rrpv=policy.max_rrpv,
+        insertion_table=tuple(policy.hint_insertion_table()),
+        promotion_table=tuple(policy.hint_promotion_table()),
+        epsilon=epsilon,
+        psel_max=psel_max,
+        leader_period=leader_period,
+    )
+
+
+@dataclass(frozen=True)
+class RRIPReplay:
+    """Outcome of replaying a block stream through one RRIP-family cache."""
+
+    hits: np.ndarray
+    misses_per_set: np.ndarray
+    ways: int
+    #: Final PSEL value (``None`` for non-dueling policies).
+    psel: Optional[int]
+    #: Final bimodal insertion count (0 for SRRIP).
+    insert_count: int
+
+    @property
+    def hit_count(self) -> int:
+        """Total number of hits."""
+        return int(self.hits.sum())
+
+    @property
+    def miss_count(self) -> int:
+        """Total number of misses."""
+        return int(self.misses_per_set.sum())
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions (RRIP never bypasses, so misses beyond capacity)."""
+        return int(np.maximum(0, self.misses_per_set - self.ways).sum())
+
+
+def _hint_array(hints: Optional[np.ndarray], n: int) -> np.ndarray:
+    """Normalise an optional hint stream to ``n`` 2-bit values."""
+    if hints is None:
+        return np.zeros(n, dtype=np.int64)
+    values = np.asarray(hints, dtype=np.int64) & 3
+    if values.shape[0] != n:
+        raise ValueError(f"hint stream length {values.shape[0]} != trace length {n}")
+    return values
+
+
+def _chunk_end(prev: np.ndarray, start: int, n: int) -> int:
+    """First index past ``start`` whose set already appeared in the chunk.
+
+    ``prev`` holds previous-same-set links; index ``i`` conflicts with the
+    chunk ``[start, i)`` exactly when ``prev[i] >= start``.  Scanned in
+    doubling windows so the total cost over all chunks stays linear.
+    """
+    lo = start + 1
+    width = 64
+    while lo < n:
+        hi = min(n, lo + width)
+        conflict = prev[lo:hi] >= start
+        if conflict.any():
+            return lo + int(conflict.argmax())
+        lo = hi
+        width *= 2
+    return n
+
+
+def _dynamic_insertions(
+    miss_sets: np.ndarray, spec: RRIPSpec, psel: int, insert_count: int
+) -> Tuple[np.ndarray, int, int]:
+    """Insertion RRPVs for one chunk's dynamic misses, in trace order.
+
+    Advances (and returns) the global PSEL and bimodal counters exactly as
+    the scalar policies do: leader-set misses steer PSEL saturating by one,
+    follower misses read the value left by the latest earlier leader update,
+    and every bimodal insertion increments the shared counter whose value
+    modulo ``epsilon`` picks the insertion position.
+    """
+    m = int(miss_sets.shape[0])
+    max_rrpv = spec.max_rrpv
+    values = np.full(m, max_rrpv - 1, dtype=np.int32)
+    if not spec.dueling:
+        bimodal = np.ones(m, dtype=bool)
+    else:
+        slot = miss_sets % spec.leader_period
+        srrip_leader = slot == 0
+        brrip_leader = slot == 1
+        follower = ~(srrip_leader | brrip_leader)
+        leader_positions = np.flatnonzero(~follower)
+        # Saturating PSEL walk over the (sparse) leader misses of the chunk.
+        psel_after = np.empty(leader_positions.shape[0] + 1, dtype=np.int64)
+        psel_after[0] = psel
+        for index, position in enumerate(leader_positions.tolist()):
+            if srrip_leader[position]:
+                if psel < spec.psel_max:
+                    psel += 1
+            elif psel > 0:
+                psel -= 1
+            psel_after[index + 1] = psel
+        # A follower reads PSEL after the latest earlier leader update.
+        follower_positions = np.flatnonzero(follower)
+        reads = psel_after[np.searchsorted(leader_positions, follower_positions, side="left")]
+        midpoint = (spec.psel_max + 1) // 2
+        bimodal = brrip_leader.copy()
+        bimodal[follower_positions] = reads >= midpoint
+    counters = insert_count + np.cumsum(bimodal)
+    bimodal_positions = np.flatnonzero(bimodal)
+    values[bimodal_positions] = np.where(
+        counters[bimodal_positions] % spec.epsilon == 0, max_rrpv - 1, max_rrpv
+    )
+    insert_count += int(bimodal_positions.shape[0])
+    return values, psel, insert_count
+
+
+def numpy_rrip_replay(
+    block_addresses: np.ndarray,
+    hints: Optional[np.ndarray],
+    num_sets: int,
+    ways: int,
+    spec: RRIPSpec,
+) -> RRIPReplay:
+    """Pure-NumPy batched replay (the portable engine behind :func:`rrip_replay`).
+
+    Exact with respect to the scalar policies: identical per-access hit masks,
+    per-set miss counts, way contents and final PSEL/bimodal state.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hint_values = _hint_array(hints, n)
+    psel = spec.psel_max // 2
+    insert_count = 0
+    hits = np.zeros(n, dtype=bool)
+    set_ids = blocks & (num_sets - 1)
+    if n == 0:
+        return RRIPReplay(
+            hits=hits,
+            misses_per_set=np.zeros(num_sets, dtype=np.int64),
+            ways=ways,
+            psel=psel if spec.dueling else None,
+            insert_count=insert_count,
+        )
+
+    insertion_table = np.asarray(spec.insertion_table, dtype=np.int32)
+    promotion_table = np.asarray(spec.promotion_table, dtype=np.int32)
+    tags = np.full((num_sets, ways), -1, dtype=np.int64)
+    rrpv = np.full((num_sets, ways), spec.max_rrpv, dtype=np.int32)
+    prev = previous_occurrence_indices(set_ids)
+
+    position = 0
+    while position < n:
+        end = _chunk_end(prev, position, n)
+        sets = set_ids[position:end]
+        chunk_blocks = blocks[position:end]
+        chunk_hints = hint_values[position:end]
+
+        match = tags[sets] == chunk_blocks[:, None]
+        is_hit = match.any(axis=1)
+        hits[position:end] = is_hit
+
+        if is_hit.any():
+            hit_sets = sets[is_hit]
+            hit_ways = match[is_hit].argmax(axis=1)
+            promotion = promotion_table[chunk_hints[is_hit]]
+            current = rrpv[hit_sets, hit_ways]
+            rrpv[hit_sets, hit_ways] = np.where(
+                promotion >= 0, promotion, np.maximum(current - 1, 0)
+            )
+
+        if not is_hit.all():
+            miss = ~is_hit
+            miss_sets = sets[miss]
+            # Fills take the leftmost empty way without ageing; victim search
+            # (age every way until one saturates, take the leftmost) only runs
+            # on full sets, exactly like the scalar cache.
+            empty = tags[miss_sets] == -1
+            has_empty = empty.any(axis=1)
+            victim_way = np.empty(miss_sets.shape[0], dtype=np.int64)
+            victim_way[has_empty] = empty[has_empty].argmax(axis=1)
+            full_sets = miss_sets[~has_empty]
+            if full_sets.size:
+                full_rrpvs = rrpv[full_sets]
+                full_rrpvs += (spec.max_rrpv - full_rrpvs.max(axis=1))[:, None]
+                victim_way[~has_empty] = (full_rrpvs == spec.max_rrpv).argmax(axis=1)
+                rrpv[full_sets] = full_rrpvs
+            insertion = insertion_table[chunk_hints[miss]]
+            dynamic = insertion < 0
+            if dynamic.any():
+                dynamic_values, psel, insert_count = _dynamic_insertions(
+                    miss_sets[dynamic], spec, psel, insert_count
+                )
+                insertion[dynamic] = dynamic_values
+            tags[miss_sets, victim_way] = chunk_blocks[miss]
+            rrpv[miss_sets, victim_way] = insertion
+        position = end
+
+    misses_per_set = np.bincount(set_ids[~hits], minlength=num_sets)
+    return RRIPReplay(
+        hits=hits,
+        misses_per_set=misses_per_set,
+        ways=ways,
+        psel=psel if spec.dueling else None,
+        insert_count=insert_count,
+    )
+
+
+def rrip_replay(
+    block_addresses: np.ndarray,
+    hints: Optional[np.ndarray],
+    num_sets: int,
+    ways: int,
+    spec: RRIPSpec,
+) -> RRIPReplay:
+    """Replay a block stream through a ``num_sets`` x ``ways`` RRIP cache.
+
+    ``num_sets`` must be a power of two (set index is ``block & mask``,
+    matching :class:`repro.cache.cache.SetAssociativeCache`).  Dispatches to
+    the compiled kernel (:mod:`repro.fastsim._native`) when available and to
+    :func:`numpy_rrip_replay` otherwise; both are exact.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hint_values = _hint_array(hints, n)
+    native = _native.rrip_replay(
+        blocks,
+        hint_values.astype(np.uint8),
+        num_sets,
+        ways,
+        spec.max_rrpv,
+        np.asarray(spec.insertion_table, dtype=np.int32),
+        np.asarray(spec.promotion_table, dtype=np.int32),
+        spec.epsilon,
+        spec.psel_max,
+        spec.leader_period,
+        spec.psel_max // 2,
+    )
+    if native is not None:
+        native_hits, misses_per_set, psel, insert_count = native
+        return RRIPReplay(
+            hits=native_hits,
+            misses_per_set=misses_per_set,
+            ways=ways,
+            psel=psel if spec.dueling else None,
+            insert_count=insert_count,
+        )
+    return numpy_rrip_replay(blocks, hint_values, num_sets, ways, spec)

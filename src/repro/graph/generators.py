@@ -19,8 +19,6 @@ available offline, so this module provides scaled-down generators whose
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.graph.builder import build_csr

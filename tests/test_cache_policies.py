@@ -1,7 +1,6 @@
 """Unit tests for the baseline replacement policies (LRU, RRIP family, SHiP,
 Hawkeye, Leeway, pinning, OPT) on hand-built access patterns."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for the GRASP replacement policy and its ablation variants (Table II / Fig. 7)."""
 
-import pytest
 
 from repro.cache import CacheConfig, SetAssociativeCache
 from repro.cache.hints import HINT_DEFAULT, HINT_HIGH, HINT_LOW, HINT_MODERATE

@@ -8,7 +8,7 @@ policy comparison.
 import numpy as np
 import pytest
 
-from repro.cache.hints import HINT_DEFAULT, HINT_HIGH
+from repro.cache.hints import HINT_HIGH
 from repro.experiments import (
     ExperimentConfig,
     build_workload,

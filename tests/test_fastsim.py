@@ -179,11 +179,23 @@ class TestLLCReplayEquivalence:
         assert scalar.region_accesses == vector.region_accesses
         assert scalar.region_misses == vector.region_misses
 
-    def test_stateful_policies_never_use_fast_path(self):
+    def test_vector_replay_dispatch_predicate(self):
         from repro.experiments.schemes import scheme_policy
 
         assert supports_vector_replay(LRUPolicy())
-        for scheme in ("RRIP", "GRASP", "Hawkeye", "Leeway", "SHiP-MEM", "PIN-50"):
+        # The RRIP family (including GRASP) has a vectorized engine...
+        for scheme in ("RRIP", "GRASP"):
+            assert supports_vector_replay(scheme_policy(scheme))
+        # ...while policies the engines cannot express stay on the scalar
+        # simulator, as do the GRASP ablation subclasses.
+        for scheme in (
+            "Hawkeye",
+            "Leeway",
+            "SHiP-MEM",
+            "PIN-50",
+            "RRIP+Hints",
+            "GRASP (Insertion-Only)",
+        ):
             assert not supports_vector_replay(scheme_policy(scheme))
 
     def test_lru_subclass_falls_back_to_scalar(self):
