@@ -86,10 +86,14 @@ class LeewayPolicy(ReplacementPolicy):
 
     def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
         stack = self._stack[set_index]
+        signatures = self._signature[set_index]
         # Walk from LRU towards MRU and take the first predicted-dead block.
-        for way in reversed(stack):
-            signature = self._signature[set_index][way]
-            if self._stack_position(set_index, way) > self.predicted_live_distance(signature):
+        # The stack position of ``stack[position]`` is ``position`` itself, so
+        # one reversed-enumerate pass replaces the per-way ``list.index`` scan
+        # (which made the victim search O(ways^2)).
+        for position in range(len(stack) - 1, -1, -1):
+            way = stack[position]
+            if position > self.predicted_live_distance(signatures[way]):
                 return way
         # No dead block: fall back to plain LRU.
         return stack[-1]

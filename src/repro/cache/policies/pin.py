@@ -75,10 +75,13 @@ class PinningPolicy(DRRIPPolicy):
             return
         # Unpinned blocks are managed by the base RRIP policy.  A block that
         # arrives with a High-Reuse hint while unpinned may still be pinned on
-        # a hit if reserved capacity remains.
+        # a hit if reserved capacity remains.  Pinning must also refresh the
+        # RRPV: a newly pinned block keeps hit priority, it does not linger at
+        # whatever stale re-reference interval it happened to carry.
         if hint == HINT_HIGH and self._pinned_count[set_index] < self.reserved_ways:
             self._pinned[set_index][way] = True
             self._pinned_count[set_index] += 1
+            self.set_rrpv(set_index, way, 0)
             return
         super().on_hit(set_index, way, block_address, pc, hint)
 
@@ -103,10 +106,15 @@ class PinningPolicy(DRRIPPolicy):
         super().on_evict(set_index, way, block_address)
 
     def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+        # Every insertion — pinned or not — is a miss that must feed the DRRIP
+        # set duel: leader-set misses steer PSEL and bimodal insertions tick
+        # the shared counter regardless of whether the block ends up pinned.
+        # The superclass runs that machinery and assigns the duel RRPV; the
+        # pinning path then overrides the RRPV with hit priority.
+        super().on_insert(set_index, way, block_address, pc, hint)
         if hint == HINT_HIGH and self._pinned_count[set_index] < self.reserved_ways:
             self._pinned[set_index][way] = True
             self._pinned_count[set_index] += 1
             self.set_rrpv(set_index, way, 0)
-            return
-        self._pinned[set_index][way] = False
-        super().on_insert(set_index, way, block_address, pc, hint)
+        else:
+            self._pinned[set_index][way] = False

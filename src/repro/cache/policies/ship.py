@@ -47,7 +47,16 @@ class ShipMemPolicy(_RRIPBase):
         super().__init__(rrpv_bits)
         if region_bytes < block_bytes:
             raise ValueError("region_bytes must be at least one cache block")
-        self.region_shift = (region_bytes // block_bytes).bit_length() - 1
+        blocks_per_region = region_bytes // block_bytes
+        # The signature is formed by shifting the block address, so the
+        # region/block ratio must be an exact power of two; anything else
+        # would silently truncate to the next smaller region size.
+        if region_bytes % block_bytes or blocks_per_region & (blocks_per_region - 1):
+            raise ValueError(
+                f"region_bytes ({region_bytes}) must be a power-of-two multiple "
+                f"of block_bytes ({block_bytes})"
+            )
+        self.region_shift = blocks_per_region.bit_length() - 1
         self.counter_max = (1 << counter_bits) - 1
         # The paper provisions the table with unlimited entries to assess the
         # scheme's maximum potential; a dict gives exactly that.

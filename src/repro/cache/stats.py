@@ -13,6 +13,14 @@ class CacheStats:
     ``region_accesses`` / ``region_misses`` break the totals down by the
     memory-region label carried with each access (Property Array, Edge Array,
     ...), which is what Fig. 2 of the paper reports.
+
+    BYPASS semantics: a bypassed insertion (a policy returning
+    :data:`~repro.cache.policies.base.BYPASS`, e.g. PIN-100 with every way of
+    a full set pinned) is counted **inside** ``misses`` and additionally in
+    ``bypasses``.  ``hits + misses`` therefore always equals ``accesses``,
+    and ``evictions`` excludes bypassed insertions (nothing was displaced).
+    Both simulation backends follow this accounting and the ``verify``
+    backend asserts it.
     """
 
     name: str = "cache"

@@ -5,13 +5,13 @@ one process; this module persists the same three kinds of artifacts so that
 separate invocations (each figure/table benchmark, every worker of the
 parallel runner) reuse each other's work:
 
-``<root>/v1/workload/<sha256>.pkl``
+``<root>/v2/workload/<sha256>.pkl``
     Built :class:`~repro.experiments.runner.Workload` objects, keyed by the
     in-memory workload memo key (app, dataset, reorder, scale, seed, merged).
-``<root>/v1/llctrace/<sha256>.pkl``
+``<root>/v2/llctrace/<sha256>.pkl``
     L1/L2-filtered :class:`~repro.experiments.runner.LLCTrace` streams, keyed
     by the workload key plus the cache hierarchy.
-``<root>/v1/policy/<sha256>.pkl``
+``<root>/v2/policy/<sha256>.pkl``
     Per-scheme :class:`~repro.cache.stats.CacheStats`, keyed by the trace key
     plus the scheme name.
 
@@ -37,8 +37,12 @@ from typing import Any, Optional
 #: Environment variable naming the on-disk memo root directory.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 
-#: Layout version; bump when any persisted type changes incompatibly.
-MEMO_VERSION = 1
+#: Layout version; bump when any persisted type changes incompatibly *or*
+#: when a simulation-semantics fix invalidates previously computed results
+#: (v1 -> v2: the PIN policy-state bugfix — pinned insertions now feed the
+#: DRRIP set duel and pin-on-hit refreshes the RRPV — changed PIN-X stats,
+#: which v1 stores would otherwise keep serving).
+MEMO_VERSION = 2
 
 
 def default_cache_dir() -> Optional[Path]:

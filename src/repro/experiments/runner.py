@@ -23,12 +23,15 @@ Fast-path dispatch
 Stages 5 and 6 exist in two implementations.  The default ``vector`` backend
 (:mod:`repro.fastsim`) replays the always-LRU L1-D/L2 filters as batched
 NumPy stack-distance computations, and the LLC whenever the scheme under
-study has a vectorized engine — plain LRU (stack-distance) and the whole
-RRIP family (SRRIP/BRRIP/DRRIP/GRASP, batched set-parallel sweeps with exact
-PSEL set dueling and per-access reuse hints).  Every other scheme falls back
-to the scalar per-access simulator, which also remains selectable as a whole
-via ``backend="scalar"`` (per call), :attr:`ExperimentConfig.backend` (per
-experiment) or the ``REPRO_SIM_BACKEND`` environment variable (process-wide).
+study has a vectorized engine — plain LRU (stack-distance), the whole RRIP
+family (SRRIP/BRRIP/DRRIP/GRASP, batched set-parallel sweeps with exact PSEL
+set dueling and per-access reuse hints), and since PR 4 the full comparison
+matrix: SHiP-MEM, Hawkeye, Leeway, the PIN-X pinning configurations
+(including BYPASS accounting) and Belady's OPT.  Only the GRASP ablation
+subclasses fall back to the scalar per-access simulator, which also remains
+selectable as a whole via ``backend="scalar"`` (per call),
+:attr:`ExperimentConfig.backend` (per experiment) or the
+``REPRO_SIM_BACKEND`` environment variable (process-wide).
 The ``verify`` backend runs both paths and raises
 :class:`~repro.fastsim.filter.FastSimMismatchError` unless their
 hit/miss/eviction counts are identical.  Backends are bit-equivalent by
@@ -39,7 +42,7 @@ On-disk memoisation
 The three in-memory memo tables (workloads, filtered LLC traces, per-scheme
 stats) can additionally be backed by a persistent store shared across
 processes and invocations — see :mod:`repro.experiments.memo` for the
-``<cache_dir>/v1/{workload,llctrace,policy}/<sha256-of-key>.pkl`` layout.
+``<cache_dir>/v2/{workload,llctrace,policy}/<sha256-of-key>.pkl`` layout.
 The store is off unless ``REPRO_CACHE_DIR`` is set or
 :func:`set_disk_memo` is called; the parallel runner
 (:mod:`repro.experiments.parallel`) installs it in every worker so shards
@@ -58,13 +61,18 @@ from repro.analytics import get_application
 from repro.analytics.base import AppResult, IterationRecord
 from repro.cache import CacheConfig, SetAssociativeCache
 from repro.cache.config import HierarchyConfig
-from repro.cache.policies import simulate_opt_misses
+from repro.cache.policies import BeladyOptimal, simulate_opt_misses
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.stats import CacheStats
 from repro.core import AddressBoundRegisterFile, GraspClassifier
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.memo import DiskMemo, default_cache_dir
-from repro.fastsim import run_filter, supports_vector_replay, vector_policy_replay
+from repro.fastsim import (
+    run_filter,
+    supports_vector_replay,
+    vector_opt_replay,
+    vector_policy_replay,
+)
 from repro.fastsim.dispatch import SCALAR, VECTOR, resolve_backend
 from repro.fastsim.filter import assert_stats_equal
 from repro.experiments.schemes import scheme_policy
@@ -326,11 +334,17 @@ def simulate_llc_policy(
     """Replay an LLC trace under one replacement policy.
 
     Under the ``vector`` backend, schemes with a vectorized engine — plain
-    LRU and the exact RRIP-family policies (SRRIP/BRRIP/DRRIP/GRASP, with
-    the trace's reuse-hint stream wired through) — dispatch to
-    :func:`repro.fastsim.vector_policy_replay`; the remaining stateful
-    policies use the scalar simulator regardless of the backend.
+    LRU, the exact RRIP-family policies (SRRIP/BRRIP/DRRIP/GRASP, with the
+    trace's reuse-hint stream wired through) and the PR 4 engines for
+    SHiP-MEM, Hawkeye, Leeway and PIN-X (hint and PC streams wired through)
+    — dispatch to :func:`repro.fastsim.vector_policy_replay`; only the GRASP
+    ablation subclasses use the scalar simulator regardless of the backend.
     """
+    if type(policy) is BeladyOptimal:
+        # OPT cannot run online through SetAssociativeCache: its "scalar"
+        # reference is the offline loop, which simulate_opt dispatches to
+        # (with the same vector/scalar/verify semantics as every policy).
+        return simulate_opt(llc_trace, llc_config, backend=backend)
     mode = resolve_backend(backend)
     if mode != SCALAR and supports_vector_replay(policy):
         vector_stats = vector_policy_replay(
@@ -339,6 +353,7 @@ def simulate_llc_policy(
             llc_config,
             hints=llc_trace.hints if use_hints else None,
             regions=llc_trace.regions,
+            pcs=llc_trace.pcs,
         )
         if mode == VECTOR:
             return vector_stats
@@ -366,9 +381,25 @@ def _scalar_llc_replay(
     return cache.stats
 
 
-def simulate_opt(llc_trace: LLCTrace, llc_config: CacheConfig) -> CacheStats:
-    """Belady's OPT lower bound on misses for an LLC trace."""
-    return simulate_opt_misses(llc_trace.block_addresses, llc_config)
+def simulate_opt(
+    llc_trace: LLCTrace, llc_config: CacheConfig, backend: Optional[str] = None
+) -> CacheStats:
+    """Belady's OPT lower bound on misses for an LLC trace.
+
+    Dispatches like :func:`simulate_llc_policy`: the ``vector`` backend uses
+    the batched next-use engine (:mod:`repro.fastsim.opt`), ``scalar`` the
+    offline reference loop, and ``verify`` runs both and asserts identical
+    counts.
+    """
+    mode = resolve_backend(backend)
+    if mode == SCALAR:
+        return simulate_opt_misses(llc_trace.block_addresses, llc_config)
+    vector_stats = vector_opt_replay(llc_trace.block_addresses, llc_config)
+    if mode == VECTOR:
+        return vector_stats
+    scalar_stats = simulate_opt_misses(llc_trace.block_addresses, llc_config)
+    assert_stats_equal(scalar_stats, vector_stats, "LLC OPT replay")
+    return vector_stats
 
 
 def _run_scheme(workload: Workload, scheme: str, config: ExperimentConfig) -> CacheStats:
@@ -378,7 +409,7 @@ def _run_scheme(workload: Workload, scheme: str, config: ExperimentConfig) -> Ca
     def compute() -> CacheStats:
         llc_trace = llc_trace_for(workload, config)
         if scheme == "OPT":
-            return simulate_opt(llc_trace, config.hierarchy.llc)
+            return simulate_opt(llc_trace, config.hierarchy.llc, backend=config.backend)
         return simulate_llc_policy(
             llc_trace, scheme_policy(scheme), config.hierarchy.llc, backend=config.backend
         )

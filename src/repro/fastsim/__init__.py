@@ -19,19 +19,28 @@ over whole traces:
     PSEL counter) in NumPy arrays and replays the trace in batched
     set-parallel sweeps, reproducing the scalar policies bit-exactly
     including the global duel state.
+``ship`` / ``hawkeye`` / ``leeway`` / ``pin`` / ``opt``
+    The remaining schemes of the paper's comparison matrix (Figs. 5-11):
+    SHiP-MEM, Hawkeye, Leeway, the PIN-X pinning configurations (including
+    BYPASS when a set is fully pinned) and Belady's OPT.  Per-set state
+    (tags, RRPVs, pinned masks, recency positions, next-use values) batches
+    under the same set-parallel chunking as ``rrip``; globally shared
+    learning state (SHiP's SHCT, Leeway's and Hawkeye's PC predictors) is
+    advanced in exact trace order over each chunk's sparse events, the same
+    way the RRIP engine walks PSEL updates.
 ``_native``
     Optional accelerator: tiny C kernels compiled on demand (plain ``cc``,
-    no third-party packages) for both engines, an order of magnitude faster
-    than NumPy.  ``lru_replay``/``rrip_replay`` dispatch to them
-    automatically; set ``REPRO_NATIVE=0`` or remove the compiler and
-    everything transparently stays on NumPy.
+    no third-party packages) for every engine, an order of magnitude faster
+    than NumPy.  The ``*_replay`` dispatchers use them automatically; set
+    ``REPRO_NATIVE=0`` or remove the compiler and everything transparently
+    stays on NumPy.
 ``filter``
     The L1-D/L2 filter of pipeline stage 5 (both levels are always LRU, see
     Sec. IV of the paper), with a scalar reference path and an equivalence
     guard used by the ``verify`` backend.
 ``replay``
-    Vectorized LLC replay dispatch for stage 6 — LRU plus the RRIP family,
-    including the per-region statistics breakdown of Fig. 2.
+    Vectorized LLC replay dispatch for stage 6 — every scheme of the paper's
+    matrix, including the per-region statistics breakdown of Fig. 2.
     :func:`supports_vector_replay` is the predicate deciding which policies
     qualify (exact policy types only; subclasses fall back to scalar).
 ``dispatch``
@@ -40,9 +49,9 @@ over whole traces:
     can be overridden with the ``REPRO_SIM_BACKEND`` environment variable or
     per-call/per-config.
 
-Policies the engines cannot express (Hawkeye, Leeway, SHiP-MEM, pinning and
-the GRASP ablation variants) always use the scalar simulator regardless of
-the selected backend.
+Only the GRASP ablation variants (RRIP+Hints, insertion-only GRASP) still
+use the scalar simulator regardless of the selected backend — they subclass
+DRRIP/GRASP and override hooks the array-form specs cannot express.
 """
 
 from repro.fastsim.dispatch import (
@@ -62,9 +71,37 @@ from repro.fastsim.filter import (
     scalar_filter,
     vector_filter,
 )
+from repro.fastsim.hawkeye import (
+    HawkeyeReplay,
+    HawkeyeSpec,
+    hawkeye_replay,
+    hawkeye_spec,
+    numpy_hawkeye_replay,
+)
+from repro.fastsim.leeway import (
+    LeewayReplay,
+    LeewaySpec,
+    leeway_replay,
+    leeway_spec,
+    numpy_leeway_replay,
+)
+from repro.fastsim.opt import (
+    OptReplay,
+    next_use_indices,
+    numpy_opt_replay,
+    opt_replay,
+)
+from repro.fastsim.pin import (
+    PinReplay,
+    PinSpec,
+    numpy_pin_replay,
+    pin_replay,
+    pin_spec,
+)
 from repro.fastsim.replay import (
     supports_vector_replay,
     vector_lru_replay,
+    vector_opt_replay,
     vector_policy_replay,
 )
 from repro.fastsim.rrip import (
@@ -73,6 +110,13 @@ from repro.fastsim.rrip import (
     numpy_rrip_replay,
     rrip_replay,
     rrip_spec,
+)
+from repro.fastsim.ship import (
+    ShipReplay,
+    ShipSpec,
+    numpy_ship_replay,
+    ship_replay,
+    ship_spec,
 )
 from repro.fastsim.stackdist import (
     LRUReplay,
@@ -92,14 +136,36 @@ __all__ = [
     "VERIFY",
     "FastSimMismatchError",
     "FilterResult",
+    "HawkeyeReplay",
+    "HawkeyeSpec",
     "LRUReplay",
+    "LeewayReplay",
+    "LeewaySpec",
+    "OptReplay",
+    "PinReplay",
+    "PinSpec",
     "RRIPReplay",
     "RRIPSpec",
+    "ShipReplay",
+    "ShipSpec",
     "default_backend",
+    "hawkeye_replay",
+    "hawkeye_spec",
+    "leeway_replay",
+    "leeway_spec",
     "lru_replay",
+    "next_use_indices",
+    "numpy_hawkeye_replay",
+    "numpy_leeway_replay",
     "numpy_lru_replay",
+    "numpy_opt_replay",
+    "numpy_pin_replay",
     "numpy_rrip_replay",
+    "numpy_ship_replay",
     "occurrence_order",
+    "opt_replay",
+    "pin_replay",
+    "pin_spec",
     "previous_occurrence_indices",
     "prior_leq_counts",
     "resolve_backend",
@@ -108,9 +174,12 @@ __all__ = [
     "run_filter",
     "scalar_filter",
     "set_default_backend",
+    "ship_replay",
+    "ship_spec",
     "substream_previous_indices",
     "supports_vector_replay",
     "vector_filter",
     "vector_lru_replay",
+    "vector_opt_replay",
     "vector_policy_replay",
 ]

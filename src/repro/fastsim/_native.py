@@ -1,12 +1,18 @@
-"""Optional compiled replay kernels (LRU and the RRIP family).
+"""Optional compiled replay kernels for every vectorized LLC engine.
 
 The NumPy engines (:mod:`repro.fastsim.stackdist` for LRU,
-:mod:`repro.fastsim.rrip` for SRRIP/BRRIP/DRRIP/GRASP) need no toolchain and
-are the guaranteed fallback, but direct per-set inner loops in C run an order
-of magnitude faster still.  When a C compiler is present this module builds a
-tiny shared library once per interpreter configuration (cached under the
-user's cache directory, written atomically so concurrent processes cannot
-race) and exposes it through :mod:`ctypes`.
+:mod:`repro.fastsim.rrip` for SRRIP/BRRIP/DRRIP/GRASP, and the
+:mod:`~repro.fastsim.ship` / :mod:`~repro.fastsim.hawkeye` /
+:mod:`~repro.fastsim.leeway` / :mod:`~repro.fastsim.pin` /
+:mod:`~repro.fastsim.opt` engines behind the remaining paper schemes) need no
+toolchain and are the guaranteed fallback, but direct per-set inner loops in
+C run an order of magnitude faster still.  When a C compiler is present this
+module builds a tiny shared library once per interpreter configuration
+(cached under the user's cache directory, written atomically so concurrent
+processes cannot race) and exposes it through :mod:`ctypes`.  Learning
+structures with unbounded key spaces (SHiP's SHCT, Leeway's and Hawkeye's
+PC tables, OPTgen's per-block history) are densified to flat arrays by the
+callers via ``np.unique`` so the kernels never need a hash table.
 
 No third-party packages, build systems or network access are involved; when
 ``cc`` is missing, compilation fails, or ``REPRO_NATIVE=0`` is set, callers
@@ -154,6 +160,399 @@ void rrip_replay(const int64_t *blocks, const uint8_t *hints, int64_t n,
     state[0] = psel;
     state[1] = insert_count;
 }
+
+/* Exact PIN-X replay: DRRIP plus per-way pinned masks and a reserved-ways
+ * cap (the paper's XMem adaptation).  Matches the bug-fixed scalar policy:
+ * every non-bypassed insertion feeds the set duel, pinning assigns hit
+ * priority on both the hit and insert paths, victim search ages only the
+ * unpinned ways, and a full set whose every way is pinned bypasses the
+ * incoming block (PIN-100 only), leaving all state — including PSEL —
+ * untouched. */
+void pin_replay(const int64_t *blocks, const uint8_t *hints, int64_t n,
+                int32_t num_sets, int32_t ways, int32_t max_rrpv,
+                int64_t epsilon, int64_t psel_max, int32_t leader_period,
+                int32_t reserved_ways, int32_t hint_high,
+                int64_t *tags, int32_t *rrpv, uint8_t *pinned,
+                int32_t *pinned_count, uint8_t *hits, int64_t *misses_per_set,
+                int64_t *bypasses_per_set, int64_t *state)
+{
+    int64_t psel = state[0];
+    int64_t insert_count = state[1];
+    const int64_t mask = (int64_t)num_sets - 1;
+    const int64_t midpoint = (psel_max + 1) / 2;
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t block = blocks[i];
+        const int64_t set = block & mask;
+        const int32_t hint = hints[i] & 3;
+        int64_t *tag = tags + set * ways;
+        int32_t *r = rrpv + set * ways;
+        uint8_t *pin = pinned + set * ways;
+        int32_t way = -1;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == block) { way = w; break; }
+        }
+        if (way >= 0) {
+            hits[i] = 1;
+            if (pin[way]) continue;
+            if (hint == hint_high && pinned_count[set] < reserved_ways) {
+                pin[way] = 1;
+                pinned_count[set]++;
+            }
+            r[way] = 0;
+            continue;
+        }
+        hits[i] = 0;
+        misses_per_set[set]++;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == -1) { way = w; break; }
+        }
+        if (way < 0) {
+            if (pinned_count[set] >= ways) { bypasses_per_set[set]++; continue; }
+            for (;;) {
+                for (int32_t w = 0; w < ways; w++) {
+                    if (!pin[w] && r[w] >= max_rrpv) { way = w; break; }
+                }
+                if (way >= 0) break;
+                for (int32_t w = 0; w < ways; w++) {
+                    if (!pin[w]) r[w]++;
+                }
+            }
+        }
+        /* Every inserted block runs the DRRIP duel (the scalar bug fix);
+         * the pinning path below then overrides the RRPV with hit priority. */
+        int32_t insertion;
+        const int64_t slot = set % leader_period;
+        if (slot == 0) {
+            if (psel < psel_max) psel++;
+            insertion = max_rrpv - 1;
+        } else if (slot == 1) {
+            if (psel > 0) psel--;
+            insert_count++;
+            insertion = (epsilon > 0 && insert_count % epsilon == 0)
+                            ? max_rrpv - 1 : max_rrpv;
+        } else if (psel < midpoint) {
+            insertion = max_rrpv - 1;
+        } else {
+            insert_count++;
+            insertion = (epsilon > 0 && insert_count % epsilon == 0)
+                            ? max_rrpv - 1 : max_rrpv;
+        }
+        tag[way] = block;
+        if (hint == hint_high && pinned_count[set] < reserved_ways) {
+            pin[way] = 1;
+            pinned_count[set]++;
+            r[way] = 0;
+        } else {
+            pin[way] = 0;
+            r[way] = insertion;
+        }
+    }
+    state[0] = psel;
+    state[1] = insert_count;
+}
+
+/* Exact Belady's OPT replay over precomputed next-use indices: on a
+ * capacity miss, evict the resident block whose next use lies farthest in
+ * the future (ties only occur between never-used-again blocks and cannot
+ * change any count).  next_vals is caller-provided scratch. */
+void opt_replay(const int64_t *blocks, const int64_t *next_use, int64_t n,
+                int32_t num_sets, int32_t ways, int64_t *tags,
+                int64_t *next_vals, uint8_t *hits, int64_t *misses_per_set)
+{
+    const int64_t mask = (int64_t)num_sets - 1;
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t block = blocks[i];
+        const int64_t set = block & mask;
+        int64_t *tag = tags + set * ways;
+        int64_t *nv = next_vals + set * ways;
+        int32_t way = -1;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == block) { way = w; break; }
+        }
+        if (way >= 0) {
+            hits[i] = 1;
+            nv[way] = next_use[i];
+            continue;
+        }
+        hits[i] = 0;
+        misses_per_set[set]++;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == -1) { way = w; break; }
+        }
+        if (way < 0) {
+            way = 0;
+            for (int32_t w = 1; w < ways; w++) {
+                if (nv[w] > nv[way]) way = w;
+            }
+        }
+        tag[way] = block;
+        nv[way] = next_use[i];
+    }
+}
+
+/* Exact SHiP-MEM replay: SRRIP plus the Signature History Counter Table,
+ * indexed by dense region-signature ids (the caller densifies with
+ * np.unique; shct is initialised to the unseen value).  A first reuse
+ * trains the line's signature up, a capacity eviction of a never-reused
+ * line trains it down, and every insertion reads the incoming signature to
+ * pick between long and distant re-reference insertion. */
+void ship_replay(const int64_t *blocks, const int64_t *sig_ids, int64_t n,
+                 int32_t num_sets, int32_t ways, int32_t max_rrpv,
+                 int32_t counter_max, int64_t *tags, int32_t *rrpv,
+                 int64_t *line_sig, uint8_t *reused, int64_t *shct,
+                 uint8_t *hits, int64_t *misses_per_set)
+{
+    const int64_t mask = (int64_t)num_sets - 1;
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t block = blocks[i];
+        const int64_t set = block & mask;
+        const int64_t sig = sig_ids[i];
+        int64_t *tag = tags + set * ways;
+        int32_t *r = rrpv + set * ways;
+        int64_t *ls = line_sig + set * ways;
+        uint8_t *ru = reused + set * ways;
+        int32_t way = -1;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == block) { way = w; break; }
+        }
+        if (way >= 0) {
+            hits[i] = 1;
+            r[way] = 0;
+            if (!ru[way]) {
+                ru[way] = 1;
+                if (shct[ls[way]] < counter_max) shct[ls[way]]++;
+            }
+            continue;
+        }
+        hits[i] = 0;
+        misses_per_set[set]++;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == -1) { way = w; break; }
+        }
+        if (way < 0) {
+            for (;;) {
+                for (int32_t w = 0; w < ways; w++) {
+                    if (r[w] >= max_rrpv) { way = w; break; }
+                }
+                if (way >= 0) break;
+                for (int32_t w = 0; w < ways; w++) r[w]++;
+            }
+            if (!ru[way] && shct[ls[way]] > 0) shct[ls[way]]--;
+        }
+        tag[way] = block;
+        r[way] = (shct[sig] == 0) ? max_rrpv : max_rrpv - 1;
+        ls[way] = sig;
+        ru[way] = 0;
+    }
+}
+
+/* Exact Leeway replay: per-set recency-stack positions (0 = MRU), per-line
+ * observed live distances, and the global per-signature predictor with the
+ * reuse-oriented (grow fast, shrink slowly) update.  pos is caller-
+ * initialised to 0..ways-1 per set; predicted/votes are dense per-PC
+ * arrays (caller densifies with np.unique). */
+void leeway_replay(const int64_t *blocks, const int64_t *pc_ids, int64_t n,
+                   int32_t num_sets, int32_t ways, int32_t decay_period,
+                   int64_t *tags, int32_t *pos, int64_t *line_sig,
+                   int32_t *observed, int64_t *predicted, int64_t *votes,
+                   uint8_t *hits, int64_t *misses_per_set)
+{
+    const int64_t mask = (int64_t)num_sets - 1;
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t block = blocks[i];
+        const int64_t set = block & mask;
+        int64_t *tag = tags + set * ways;
+        int32_t *p = pos + set * ways;
+        int64_t *ls = line_sig + set * ways;
+        int32_t *ob = observed + set * ways;
+        int32_t way = -1;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == block) { way = w; break; }
+        }
+        if (way >= 0) {
+            hits[i] = 1;
+            const int32_t depth = p[way];
+            if (depth > ob[way]) ob[way] = depth;
+            for (int32_t w = 0; w < ways; w++) {
+                if (p[w] < depth) p[w]++;
+            }
+            p[way] = 0;
+            continue;
+        }
+        hits[i] = 0;
+        misses_per_set[set]++;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == -1) { way = w; break; }
+        }
+        if (way < 0) {
+            /* Deepest predicted-dead line, else plain LRU (positions are a
+             * permutation, so comparisons are tie-free). */
+            int32_t lru = 0;
+            int32_t best = -1;
+            for (int32_t w = 0; w < ways; w++) {
+                if (p[w] > p[lru]) lru = w;
+                if (p[w] > predicted[ls[w]] && (best < 0 || p[w] > p[best])) best = w;
+            }
+            way = (best >= 0) ? best : lru;
+            const int64_t sig = ls[way];
+            const int64_t obs = ob[way];
+            const int64_t prd = predicted[sig];
+            if (obs > prd) {
+                predicted[sig] = obs;
+                votes[sig] = 0;
+            } else if (obs < prd) {
+                if (++votes[sig] >= decay_period) {
+                    predicted[sig] = prd - 1;
+                    votes[sig] = 0;
+                }
+            }
+        }
+        tag[way] = block;
+        ls[way] = pc_ids[i];
+        ob[way] = 0;
+        const int32_t depth = p[way];
+        for (int32_t w = 0; w < ways; w++) {
+            if (p[w] < depth) p[w]++;
+        }
+        p[way] = 0;
+    }
+}
+
+/* Hawkeye's OPTgen step for one sampled set: replicate _OptGen.access with
+ * a ring-buffer occupancy window and global (dense-block-id) last-access /
+ * last-PC tables — a block maps to exactly one set, so one global table
+ * serves every sampler, and the scalar structure's stale-entry trimming is
+ * subsumed by the start >= 0 window check. */
+static void hawkeye_observe(int64_t sampler, int64_t bid, int64_t pc,
+                            int32_t capacity, int64_t history,
+                            int32_t *occupancy, int64_t *occ_head,
+                            int64_t *occ_len, int64_t *timestamps,
+                            int64_t *last_access, int64_t *last_pc,
+                            int32_t *predictor, int32_t predictor_max)
+{
+    int32_t *occ = occupancy + sampler * history;
+    const int64_t t = timestamps[sampler];
+    const int64_t len = occ_len[sampler];
+    const int64_t head = occ_head[sampler];
+    const int64_t base = t - len;
+    const int64_t last = last_access[bid];
+    int64_t train_pc = -1;
+    int opt_hit = 0;
+    if (last >= 0) {
+        const int64_t start = last - base;
+        if (start >= 0) {
+            train_pc = last_pc[bid];
+            if (start < len) {
+                int32_t max_occ = 0;
+                for (int64_t k = start; k < len; k++) {
+                    const int32_t v = occ[(head + k) % history];
+                    if (v > max_occ) max_occ = v;
+                }
+                if (max_occ < capacity) {
+                    opt_hit = 1;
+                    for (int64_t k = start; k < len; k++) occ[(head + k) % history]++;
+                }
+            } else {
+                opt_hit = 1;  /* same-timestamp re-access: empty interval */
+            }
+        }
+    }
+    last_access[bid] = t;
+    last_pc[bid] = pc;
+    if (len == history) {
+        occ[head] = 0;
+        occ_head[sampler] = (head + 1) % history;
+    } else {
+        occ[(head + len) % history] = 0;
+        occ_len[sampler] = len + 1;
+    }
+    timestamps[sampler] = t + 1;
+    if (train_pc >= 0) {
+        const int32_t v = predictor[train_pc];
+        if (opt_hit) {
+            if (v < predictor_max) predictor[train_pc] = v + 1;
+        } else if (v > 0) {
+            predictor[train_pc] = v - 1;
+        }
+    }
+}
+
+/* Exact Hawkeye replay: sampled-set OPTgen training, the PC predictor
+ * (dense pc ids, initialised to the weakly-friendly midpoint), friendly /
+ * averse insertion and hit promotion, ageing of other lines on friendly
+ * insertions, and detraining when an oldest friendly line is evicted. */
+void hawkeye_replay(const int64_t *blocks, const int64_t *block_ids,
+                    const int64_t *pc_ids, int64_t n, int32_t num_sets,
+                    int32_t ways, int32_t max_rrpv, int32_t sample_period,
+                    int32_t predictor_max, int64_t history, int64_t *tags,
+                    int32_t *rrpv, uint8_t *friendly, int64_t *line_pc,
+                    int32_t *predictor, int64_t *last_access, int64_t *last_pc,
+                    int32_t *occupancy, int64_t *occ_head, int64_t *occ_len,
+                    int64_t *timestamps, uint8_t *hits, int64_t *misses_per_set)
+{
+    const int64_t mask = (int64_t)num_sets - 1;
+    const int32_t midpoint = (predictor_max + 1) / 2;
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t block = blocks[i];
+        const int64_t set = block & mask;
+        const int64_t pc = pc_ids[i];
+        int64_t *tag = tags + set * ways;
+        int32_t *r = rrpv + set * ways;
+        uint8_t *fr = friendly + set * ways;
+        int64_t *lp = line_pc + set * ways;
+        const int sampled = (set % sample_period) == 0;
+        const int64_t sampler = set / sample_period;
+        int32_t way = -1;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == block) { way = w; break; }
+        }
+        if (way >= 0) {
+            hits[i] = 1;
+            if (sampled)
+                hawkeye_observe(sampler, block_ids[i], pc, ways, history,
+                                occupancy, occ_head, occ_len, timestamps,
+                                last_access, last_pc, predictor, predictor_max);
+            const int f = predictor[pc] >= midpoint;
+            fr[way] = (uint8_t)f;
+            lp[way] = pc;
+            r[way] = f ? 0 : max_rrpv;
+            continue;
+        }
+        hits[i] = 0;
+        misses_per_set[set]++;
+        for (int32_t w = 0; w < ways; w++) {
+            if (tag[w] == -1) { way = w; break; }
+        }
+        if (way < 0) {
+            /* Prefer a cache-averse (saturated) line; otherwise evict the
+             * oldest line and detrain its PC if it was friendly. */
+            for (int32_t w = 0; w < ways; w++) {
+                if (r[w] >= max_rrpv) { way = w; break; }
+            }
+            if (way < 0) {
+                way = 0;
+                for (int32_t w = 1; w < ways; w++) {
+                    if (r[w] > r[way]) way = w;
+                }
+                if (fr[way] && predictor[lp[way]] > 0) predictor[lp[way]]--;
+            }
+        }
+        if (sampled)
+            hawkeye_observe(sampler, block_ids[i], pc, ways, history,
+                            occupancy, occ_head, occ_len, timestamps,
+                            last_access, last_pc, predictor, predictor_max);
+        const int f = predictor[pc] >= midpoint;
+        if (f) {
+            for (int32_t w = 0; w < ways; w++) {
+                if (w != way && r[w] < max_rrpv - 1) r[w]++;
+            }
+        }
+        fr[way] = (uint8_t)f;
+        lp[way] = pc;
+        r[way] = f ? 0 : max_rrpv;
+        tag[way] = block;
+    }
+}
 """
 
 _lib: Optional[ctypes.CDLL] = None
@@ -200,40 +599,46 @@ def _compile() -> Optional[ctypes.CDLL]:
             os.replace(scratch, library)
         except (OSError, subprocess.SubprocessError):
             return None
+    # Signature shorthand: pointers (P*) and scalars (i32/i64) in C argument
+    # order, one row per kernel.
+    p_i64 = ctypes.POINTER(ctypes.c_int64)
+    p_i32 = ctypes.POINTER(ctypes.c_int32)
+    p_u8 = ctypes.POINTER(ctypes.c_uint8)
+    i64 = ctypes.c_int64
+    i32 = ctypes.c_int32
+    signatures = {
+        "lru_replay": [p_i64, i64, i32, i32, p_i64, p_i64, p_u8, p_i64],
+        "rrip_replay": [
+            p_i64, p_u8, i64, i32, i32, i32, p_i32, p_i32, i64, i64, i32,
+            p_i64, p_i32, p_u8, p_i64, p_i64,
+        ],
+        "pin_replay": [
+            p_i64, p_u8, i64, i32, i32, i32, i64, i64, i32, i32, i32,
+            p_i64, p_i32, p_u8, p_i32, p_u8, p_i64, p_i64, p_i64,
+        ],
+        "opt_replay": [p_i64, p_i64, i64, i32, i32, p_i64, p_i64, p_u8, p_i64],
+        "ship_replay": [
+            p_i64, p_i64, i64, i32, i32, i32, i32, p_i64, p_i32, p_i64, p_u8,
+            p_i64, p_u8, p_i64,
+        ],
+        "leeway_replay": [
+            p_i64, p_i64, i64, i32, i32, i32, p_i64, p_i32, p_i64, p_i32,
+            p_i64, p_i64, p_u8, p_i64,
+        ],
+        "hawkeye_replay": [
+            p_i64, p_i64, p_i64, i64, i32, i32, i32, i32, i32, i64, p_i64,
+            p_i32, p_u8, p_i64, p_i32, p_i64, p_i64, p_i32, p_i64, p_i64,
+            p_i64, p_u8, p_i64,
+        ],
+    }
     try:
         lib = ctypes.CDLL(library)
-        lib.lru_replay.restype = None
-        lib.lru_replay.argtypes = [
-            ctypes.POINTER(ctypes.c_int64),
-            ctypes.c_int64,
-            ctypes.c_int32,
-            ctypes.c_int32,
-            ctypes.POINTER(ctypes.c_int64),
-            ctypes.POINTER(ctypes.c_int64),
-            ctypes.POINTER(ctypes.c_uint8),
-            ctypes.POINTER(ctypes.c_int64),
-        ]
-        lib.rrip_replay.restype = None
-        lib.rrip_replay.argtypes = [
-            ctypes.POINTER(ctypes.c_int64),
-            ctypes.POINTER(ctypes.c_uint8),
-            ctypes.c_int64,
-            ctypes.c_int32,
-            ctypes.c_int32,
-            ctypes.c_int32,
-            ctypes.POINTER(ctypes.c_int32),
-            ctypes.POINTER(ctypes.c_int32),
-            ctypes.c_int64,
-            ctypes.c_int64,
-            ctypes.c_int32,
-            ctypes.POINTER(ctypes.c_int64),
-            ctypes.POINTER(ctypes.c_int32),
-            ctypes.POINTER(ctypes.c_uint8),
-            ctypes.POINTER(ctypes.c_int64),
-            ctypes.POINTER(ctypes.c_int64),
-        ]
+        for name, argtypes in signatures.items():
+            function = getattr(lib, name)
+            function.restype = None
+            function.argtypes = argtypes
         return lib
-    except OSError:
+    except (OSError, AttributeError):
         return None
 
 
@@ -326,3 +731,260 @@ def rrip_replay(
         as_i64(state),
     )
     return hits.view(bool), misses_per_set, int(state[0]), int(state[1])
+
+
+def _as_i64(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+
+
+def _as_i32(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_int32))
+
+
+def _as_u8(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8))
+
+
+def pin_replay(
+    blocks: np.ndarray,
+    hints: np.ndarray,
+    num_sets: int,
+    ways: int,
+    max_rrpv: int,
+    epsilon: int,
+    psel_max: int,
+    leader_period: int,
+    reserved_ways: int,
+    hint_high: int,
+    psel_init: int,
+):
+    """PIN-X replay through the compiled kernel; ``None`` when unavailable.
+
+    Returns ``(hits, misses_per_set, bypasses_per_set, psel, insert_count)``
+    matching :func:`repro.fastsim.pin.numpy_pin_replay` exactly.
+    """
+    if not available():
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    hints = np.ascontiguousarray(hints, dtype=np.uint8)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
+    misses_per_set = np.zeros(num_sets, dtype=np.int64)
+    bypasses_per_set = np.zeros(num_sets, dtype=np.int64)
+    tags = np.full(num_sets * ways, -1, dtype=np.int64)
+    rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
+    pinned = np.zeros(num_sets * ways, dtype=np.uint8)
+    pinned_count = np.zeros(num_sets, dtype=np.int32)
+    state = np.array([psel_init, 0], dtype=np.int64)
+    _lib.pin_replay(
+        _as_i64(blocks),
+        _as_u8(hints),
+        ctypes.c_int64(n),
+        ctypes.c_int32(num_sets),
+        ctypes.c_int32(ways),
+        ctypes.c_int32(max_rrpv),
+        ctypes.c_int64(epsilon),
+        ctypes.c_int64(psel_max),
+        ctypes.c_int32(leader_period),
+        ctypes.c_int32(reserved_ways),
+        ctypes.c_int32(hint_high),
+        _as_i64(tags),
+        _as_i32(rrpv),
+        _as_u8(pinned),
+        _as_i32(pinned_count),
+        _as_u8(hits),
+        _as_i64(misses_per_set),
+        _as_i64(bypasses_per_set),
+        _as_i64(state),
+    )
+    return hits.view(bool), misses_per_set, bypasses_per_set, int(state[0]), int(state[1])
+
+
+def opt_replay(blocks: np.ndarray, next_use: np.ndarray, num_sets: int, ways: int):
+    """Belady OPT replay through the compiled kernel; ``None`` when unavailable.
+
+    Returns ``(hits, misses_per_set)`` matching
+    :func:`repro.fastsim.opt.numpy_opt_replay` exactly.
+    """
+    if not available():
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    next_use = np.ascontiguousarray(next_use, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
+    misses_per_set = np.zeros(num_sets, dtype=np.int64)
+    tags = np.full(num_sets * ways, -1, dtype=np.int64)
+    next_vals = np.zeros(num_sets * ways, dtype=np.int64)
+    _lib.opt_replay(
+        _as_i64(blocks),
+        _as_i64(next_use),
+        ctypes.c_int64(n),
+        ctypes.c_int32(num_sets),
+        ctypes.c_int32(ways),
+        _as_i64(tags),
+        _as_i64(next_vals),
+        _as_u8(hits),
+        _as_i64(misses_per_set),
+    )
+    return hits.view(bool), misses_per_set
+
+
+def ship_replay(
+    blocks: np.ndarray,
+    sig_ids: np.ndarray,
+    num_signatures: int,
+    num_sets: int,
+    ways: int,
+    max_rrpv: int,
+    counter_max: int,
+    unseen_value: int,
+):
+    """SHiP-MEM replay through the compiled kernel; ``None`` when unavailable.
+
+    Returns ``(hits, misses_per_set, shct)`` matching
+    :func:`repro.fastsim.ship.numpy_ship_replay` exactly; ``shct`` is the
+    final counter table indexed by dense signature id.
+    """
+    if not available():
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    sig_ids = np.ascontiguousarray(sig_ids, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
+    misses_per_set = np.zeros(num_sets, dtype=np.int64)
+    tags = np.full(num_sets * ways, -1, dtype=np.int64)
+    rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
+    line_sig = np.zeros(num_sets * ways, dtype=np.int64)
+    reused = np.zeros(num_sets * ways, dtype=np.uint8)
+    shct = np.full(max(1, num_signatures), unseen_value, dtype=np.int64)
+    _lib.ship_replay(
+        _as_i64(blocks),
+        _as_i64(sig_ids),
+        ctypes.c_int64(n),
+        ctypes.c_int32(num_sets),
+        ctypes.c_int32(ways),
+        ctypes.c_int32(max_rrpv),
+        ctypes.c_int32(counter_max),
+        _as_i64(tags),
+        _as_i32(rrpv),
+        _as_i64(line_sig),
+        _as_u8(reused),
+        _as_i64(shct),
+        _as_u8(hits),
+        _as_i64(misses_per_set),
+    )
+    return hits.view(bool), misses_per_set, shct[:num_signatures]
+
+
+def leeway_replay(
+    blocks: np.ndarray,
+    pc_ids: np.ndarray,
+    num_signatures: int,
+    num_sets: int,
+    ways: int,
+    decay_period: int,
+):
+    """Leeway replay through the compiled kernel; ``None`` when unavailable.
+
+    Returns ``(hits, misses_per_set, predicted)`` matching
+    :func:`repro.fastsim.leeway.numpy_leeway_replay` exactly; ``predicted``
+    is the final live-distance table indexed by dense PC id.
+    """
+    if not available():
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    pc_ids = np.ascontiguousarray(pc_ids, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
+    misses_per_set = np.zeros(num_sets, dtype=np.int64)
+    tags = np.full(num_sets * ways, -1, dtype=np.int64)
+    pos = np.tile(np.arange(ways, dtype=np.int32), num_sets)
+    line_sig = np.zeros(num_sets * ways, dtype=np.int64)
+    observed = np.zeros(num_sets * ways, dtype=np.int32)
+    predicted = np.zeros(max(1, num_signatures), dtype=np.int64)
+    votes = np.zeros(max(1, num_signatures), dtype=np.int64)
+    _lib.leeway_replay(
+        _as_i64(blocks),
+        _as_i64(pc_ids),
+        ctypes.c_int64(n),
+        ctypes.c_int32(num_sets),
+        ctypes.c_int32(ways),
+        ctypes.c_int32(decay_period),
+        _as_i64(tags),
+        _as_i32(pos),
+        _as_i64(line_sig),
+        _as_i32(observed),
+        _as_i64(predicted),
+        _as_i64(votes),
+        _as_u8(hits),
+        _as_i64(misses_per_set),
+    )
+    return hits.view(bool), misses_per_set, predicted[:num_signatures]
+
+
+def hawkeye_replay(
+    blocks: np.ndarray,
+    block_ids: np.ndarray,
+    num_blocks: int,
+    pc_ids: np.ndarray,
+    num_pcs: int,
+    num_sets: int,
+    ways: int,
+    max_rrpv: int,
+    sample_period: int,
+    predictor_max: int,
+    history: int,
+):
+    """Hawkeye replay through the compiled kernel; ``None`` when unavailable.
+
+    Returns ``(hits, misses_per_set, predictor)`` matching
+    :func:`repro.fastsim.hawkeye.numpy_hawkeye_replay` exactly;
+    ``predictor`` is the final counter table indexed by dense PC id.
+    """
+    if not available() or history <= 0:
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    block_ids = np.ascontiguousarray(block_ids, dtype=np.int64)
+    pc_ids = np.ascontiguousarray(pc_ids, dtype=np.int64)
+    n = int(blocks.shape[0])
+    num_samplers = (num_sets + sample_period - 1) // sample_period
+    midpoint = (predictor_max + 1) // 2
+    hits = np.empty(n, dtype=np.uint8)
+    misses_per_set = np.zeros(num_sets, dtype=np.int64)
+    tags = np.full(num_sets * ways, -1, dtype=np.int64)
+    rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
+    friendly = np.zeros(num_sets * ways, dtype=np.uint8)
+    line_pc = np.zeros(num_sets * ways, dtype=np.int64)
+    predictor = np.full(max(1, num_pcs), midpoint, dtype=np.int32)
+    last_access = np.full(max(1, num_blocks), -1, dtype=np.int64)
+    last_pc = np.zeros(max(1, num_blocks), dtype=np.int64)
+    occupancy = np.zeros(max(1, num_samplers * history), dtype=np.int32)
+    occ_head = np.zeros(max(1, num_samplers), dtype=np.int64)
+    occ_len = np.zeros(max(1, num_samplers), dtype=np.int64)
+    timestamps = np.zeros(max(1, num_samplers), dtype=np.int64)
+    _lib.hawkeye_replay(
+        _as_i64(blocks),
+        _as_i64(block_ids),
+        _as_i64(pc_ids),
+        ctypes.c_int64(n),
+        ctypes.c_int32(num_sets),
+        ctypes.c_int32(ways),
+        ctypes.c_int32(max_rrpv),
+        ctypes.c_int32(sample_period),
+        ctypes.c_int32(predictor_max),
+        ctypes.c_int64(history),
+        _as_i64(tags),
+        _as_i32(rrpv),
+        _as_u8(friendly),
+        _as_i64(line_pc),
+        _as_i32(predictor),
+        _as_i64(last_access),
+        _as_i64(last_pc),
+        _as_i32(occupancy),
+        _as_i64(occ_head),
+        _as_i64(occ_len),
+        _as_i64(timestamps),
+        _as_u8(hits),
+        _as_i64(misses_per_set),
+    )
+    return hits.view(bool), misses_per_set, predictor[:num_pcs]

@@ -1,0 +1,273 @@
+"""Exact vectorized replay for Hawkeye (OPTgen-trained PC prediction).
+
+:class:`~repro.cache.policies.hawkeye.HawkeyePolicy` couples every cache set
+through one global PC predictor: accesses to sampled sets train it via the
+per-set OPTgen reconstruction, every hit and insertion reads it, and
+evictions of friendly lines detrain it.  What *does* batch under the RRIP
+engine's chunking (every set at most once per chunk) is everything keyed by
+per-set state alone:
+
+* the broadcast tag compare classifying the whole chunk's hits;
+* empty-way discovery and the victim way itself — Hawkeye's victim choice
+  (leftmost saturated line, else the oldest line) reads only RRPVs, which a
+  chunk's other accesses cannot touch;
+* the tag scatter writes for the chunk's insertions.
+
+The predictor reads (insertion/hit RRPVs depend on the PC's current
+friendliness), detrains and OPTgen updates are then applied in exact trace
+order by a walk over the chunk — the same pattern the RRIP engine uses for
+PSEL, with a heavier per-event body.  The walk reuses the scalar policy's
+:class:`~repro.cache.policies.hawkeye._OptGen` so the reconstruction cannot
+drift from the reference; the compiled kernel reimplements it with dense
+block/PC ids and ring-buffer occupancy vectors and is the throughput path
+(the NumPy engine is the exactness/portability fallback, as for RRIP).
+
+:func:`hawkeye_replay` dispatches to the compiled kernel
+(:func:`repro.fastsim._native.hawkeye_replay`) when one is available and to
+:func:`numpy_hawkeye_replay` otherwise; both are exact, including the final
+predictor contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.policies.hawkeye import HawkeyePolicy, _OptGen
+from repro.fastsim import _native
+from repro.fastsim.leeway import _pc_array
+from repro.fastsim.rrip import _chunk_end
+from repro.fastsim.stackdist import previous_occurrence_indices
+
+
+@dataclass(frozen=True)
+class HawkeyeSpec:
+    """Array-form description of one :class:`HawkeyePolicy` instance."""
+
+    max_rrpv: int
+    sample_period: int
+    predictor_max: int
+    history_factor: int
+
+    @property
+    def midpoint(self) -> int:
+        """Predictor threshold at and above which a PC is cache-friendly."""
+        return (self.predictor_max + 1) // 2
+
+
+def hawkeye_spec(policy: ReplacementPolicy) -> Optional[HawkeyeSpec]:
+    """Snapshot a policy into a :class:`HawkeyeSpec`, or ``None`` if ineligible.
+
+    Restricted to the exact type :class:`HawkeyePolicy` — a subclass could
+    override any hook and silently diverge.
+    """
+    if type(policy) is not HawkeyePolicy:
+        return None
+    return HawkeyeSpec(
+        max_rrpv=policy.max_rrpv,
+        sample_period=policy.sample_period,
+        predictor_max=policy.predictor_max,
+        history_factor=policy.history_factor,
+    )
+
+
+@dataclass(frozen=True)
+class HawkeyeReplay:
+    """Outcome of replaying a block stream through one Hawkeye cache."""
+
+    hits: np.ndarray
+    misses_per_set: np.ndarray
+    ways: int
+    #: Final PC predictor as ``{pc: counter}``, restricted to counters away
+    #: from the weakly-friendly midpoint (absent PCs predict the midpoint,
+    #: matching the scalar policy's default).
+    predictor: Dict[int, int]
+
+    @property
+    def hit_count(self) -> int:
+        """Total number of hits."""
+        return int(self.hits.sum())
+
+    @property
+    def miss_count(self) -> int:
+        """Total number of misses."""
+        return int(self.misses_per_set.sum())
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions (Hawkeye never bypasses, so misses beyond capacity)."""
+        return int(np.maximum(0, self.misses_per_set - self.ways).sum())
+
+
+def numpy_hawkeye_replay(
+    block_addresses: np.ndarray,
+    pcs: Optional[np.ndarray],
+    num_sets: int,
+    ways: int,
+    spec: HawkeyeSpec,
+) -> HawkeyeReplay:
+    """Batched-classification replay (the portable engine).
+
+    Exact with respect to the scalar policy: identical per-access hit masks,
+    per-set miss counts, predictor trainings and OPTgen decisions.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    n = int(blocks.shape[0])
+    pc_values = _pc_array(pcs, n)
+    hits = np.zeros(n, dtype=bool)
+    if n == 0:
+        return HawkeyeReplay(
+            hits=hits,
+            misses_per_set=np.zeros(num_sets, dtype=np.int64),
+            ways=ways,
+            predictor={},
+        )
+    max_rrpv = spec.max_rrpv
+    sample_period = spec.sample_period
+    predictor_max = spec.predictor_max
+    midpoint = spec.midpoint
+    history = spec.history_factor * ways
+
+    predictor: Dict[int, int] = {}
+    samplers: Dict[int, _OptGen] = {}
+    set_ids = blocks & (num_sets - 1)
+    tags = np.full((num_sets, ways), -1, dtype=np.int64)
+    rrpv = np.full((num_sets, ways), max_rrpv, dtype=np.int64)
+    friendly = [[False] * ways for _ in range(num_sets)]
+    line_pc = [[0] * ways for _ in range(num_sets)]
+    prev = previous_occurrence_indices(set_ids)
+
+    def train(pc: int, positive: bool) -> None:
+        value = predictor.get(pc, midpoint)
+        predictor[pc] = (
+            min(predictor_max, value + 1) if positive else max(0, value - 1)
+        )
+
+    def observe(set_index: int, block: int, pc: int) -> None:
+        sampler = samplers.get(set_index)
+        if sampler is None:
+            sampler = _OptGen(ways, history)
+            samplers[set_index] = sampler
+        training_pc, opt_hit = sampler.access(block, pc)
+        if training_pc is not None:
+            train(training_pc, opt_hit)
+
+    position = 0
+    while position < n:
+        end = _chunk_end(prev, position, n)
+        sets = set_ids[position:end]
+        chunk_blocks = blocks[position:end]
+
+        match = tags[sets] == chunk_blocks[:, None]
+        is_hit = match.any(axis=1)
+        hits[position:end] = is_hit
+        hit_way = match.argmax(axis=1)
+        # Victim preselection is predictor-independent (RRPVs only) and a
+        # chunk's other accesses cannot touch this set's RRPVs, so it batches;
+        # the no-saturated-line fallback must detrain during the walk below.
+        empty = tags[sets] == -1
+        has_empty = empty.any(axis=1)
+        empty_way = empty.argmax(axis=1)
+        saturated = rrpv[sets] >= max_rrpv
+        has_saturated = saturated.any(axis=1)
+        saturated_way = saturated.argmax(axis=1)
+        oldest_way = rrpv[sets].argmax(axis=1)
+
+        sets_list = sets.tolist()
+        blocks_list = chunk_blocks.tolist()
+        pcs_list = pc_values[position:end].tolist()
+        for k, (set_index, block, pc) in enumerate(
+            zip(sets_list, blocks_list, pcs_list)
+        ):
+            sampled = set_index % sample_period == 0
+            if is_hit[k]:
+                way = int(hit_way[k])
+                if sampled:
+                    observe(set_index, block, pc)
+                is_friendly = predictor.get(pc, midpoint) >= midpoint
+                friendly[set_index][way] = is_friendly
+                line_pc[set_index][way] = pc
+                rrpv[set_index, way] = 0 if is_friendly else max_rrpv
+                continue
+            if has_empty[k]:
+                way = int(empty_way[k])
+            elif has_saturated[k]:
+                way = int(saturated_way[k])
+            else:
+                way = int(oldest_way[k])
+                if friendly[set_index][way]:
+                    train(line_pc[set_index][way], positive=False)
+            if sampled:
+                observe(set_index, block, pc)
+            is_friendly = predictor.get(pc, midpoint) >= midpoint
+            if is_friendly:
+                # Age everyone else so older friendly lines eventually age out.
+                row = rrpv[set_index]
+                ageable = row < max_rrpv - 1
+                ageable[way] = False
+                row[ageable] += 1
+            friendly[set_index][way] = is_friendly
+            line_pc[set_index][way] = pc
+            rrpv[set_index, way] = 0 if is_friendly else max_rrpv
+            tags[set_index, way] = block
+        position = end
+
+    misses_per_set = np.bincount(set_ids[~hits], minlength=num_sets)
+    return HawkeyeReplay(
+        hits=hits,
+        misses_per_set=misses_per_set,
+        ways=ways,
+        predictor={pc: value for pc, value in predictor.items() if value != midpoint},
+    )
+
+
+def hawkeye_replay(
+    block_addresses: np.ndarray,
+    pcs: Optional[np.ndarray],
+    num_sets: int,
+    ways: int,
+    spec: HawkeyeSpec,
+) -> HawkeyeReplay:
+    """Replay a block stream through a ``num_sets`` x ``ways`` Hawkeye cache.
+
+    ``num_sets`` must be a power of two (set index is ``block & mask``,
+    matching :class:`repro.cache.cache.SetAssociativeCache`).  Dispatches to
+    the compiled kernel (:mod:`repro.fastsim._native`) when available and to
+    :func:`numpy_hawkeye_replay` otherwise; both are exact.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    n = int(blocks.shape[0])
+    pc_values = _pc_array(pcs, n)
+    unique_blocks, block_ids = np.unique(blocks, return_inverse=True)
+    unique_pcs, pc_ids = np.unique(pc_values, return_inverse=True)
+    native = _native.hawkeye_replay(
+        blocks,
+        block_ids.astype(np.int64),
+        int(unique_blocks.shape[0]),
+        pc_ids.astype(np.int64),
+        int(unique_pcs.shape[0]),
+        num_sets,
+        ways,
+        spec.max_rrpv,
+        spec.sample_period,
+        spec.predictor_max,
+        spec.history_factor * ways,
+    )
+    if native is not None:
+        native_hits, misses_per_set, predictor_values = native
+        midpoint = spec.midpoint
+        predictor = {
+            int(unique_pcs[index]): int(value)
+            for index, value in enumerate(predictor_values.tolist())
+            if value != midpoint
+        }
+        return HawkeyeReplay(
+            hits=native_hits,
+            misses_per_set=misses_per_set,
+            ways=ways,
+            predictor=predictor,
+        )
+    return numpy_hawkeye_replay(blocks, pc_values, num_sets, ways, spec)

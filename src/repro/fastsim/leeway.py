@@ -1,0 +1,253 @@
+"""Exact vectorized replay for Leeway (live-distance dead-block prediction).
+
+:class:`~repro.cache.policies.leeway.LeewayPolicy` keeps a true LRU recency
+stack per set plus per-line observed live distances, and one global
+per-signature (PC) predictor updated on evictions with reuse-oriented bias.
+The per-set state vectorizes with the RRIP engine's chunking: recency stacks
+become a ``(num_sets, ways)`` *position* matrix (0 = MRU), so within a chunk
+— where every set appears at most once — all hit bookkeeping (observed
+live-distance maxima, move-to-MRU rotations) is batched array arithmetic.
+
+The predictor is global: a victim's eviction may update the very signature a
+later miss in another set consults, so victim selection and prediction
+updates advance in trace order over the chunk's *misses only* (hits never
+touch the predictor — the batched phase handles them entirely).  Victim
+choice per miss is two array reductions on the set's position row: the
+deepest predicted-dead line, else plain LRU.  PC signatures are densified
+with one ``np.unique`` so the predictor is flat arrays rather than dicts.
+
+:func:`leeway_replay` dispatches to the compiled kernel
+(:func:`repro.fastsim._native.leeway_replay`) when one is available and to
+:func:`numpy_leeway_replay` otherwise; both are exact, including the final
+predicted live distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.policies.leeway import LeewayPolicy
+from repro.fastsim import _native
+from repro.fastsim.rrip import _chunk_end
+from repro.fastsim.stackdist import previous_occurrence_indices
+
+
+@dataclass(frozen=True)
+class LeewaySpec:
+    """Array-form description of one :class:`LeewayPolicy` instance."""
+
+    decay_period: int
+
+
+def leeway_spec(policy: ReplacementPolicy) -> Optional[LeewaySpec]:
+    """Snapshot a policy into a :class:`LeewaySpec`, or ``None`` if ineligible.
+
+    Restricted to the exact type :class:`LeewayPolicy` — a subclass could
+    override any hook and silently diverge.
+    """
+    if type(policy) is not LeewayPolicy:
+        return None
+    return LeewaySpec(decay_period=policy.decay_period)
+
+
+@dataclass(frozen=True)
+class LeewayReplay:
+    """Outcome of replaying a block stream through one Leeway cache."""
+
+    hits: np.ndarray
+    misses_per_set: np.ndarray
+    ways: int
+    #: Final predicted live distance per PC signature (only trained PCs;
+    #: untrained signatures predict 0, like the scalar policy).
+    predicted_live_distances: Dict[int, int]
+
+    @property
+    def hit_count(self) -> int:
+        """Total number of hits."""
+        return int(self.hits.sum())
+
+    @property
+    def miss_count(self) -> int:
+        """Total number of misses."""
+        return int(self.misses_per_set.sum())
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions (Leeway never bypasses, so misses beyond capacity)."""
+        return int(np.maximum(0, self.misses_per_set - self.ways).sum())
+
+
+def _pc_array(pcs: Optional[np.ndarray], n: int) -> np.ndarray:
+    """Normalise an optional PC stream to ``n`` values (0 when absent)."""
+    if pcs is None:
+        return np.zeros(n, dtype=np.int64)
+    values = np.asarray(pcs, dtype=np.int64)
+    if values.shape[0] != n:
+        raise ValueError(f"pc stream length {values.shape[0]} != trace length {n}")
+    return values
+
+
+def numpy_leeway_replay(
+    block_addresses: np.ndarray,
+    pcs: Optional[np.ndarray],
+    num_sets: int,
+    ways: int,
+    spec: LeewaySpec,
+) -> LeewayReplay:
+    """Pure-NumPy batched replay (the portable engine behind :func:`leeway_replay`).
+
+    Exact with respect to the scalar policy: identical per-access hit masks,
+    per-set miss counts, victim choices and final predictor state.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    n = int(blocks.shape[0])
+    pc_values = _pc_array(pcs, n)
+    hits = np.zeros(n, dtype=bool)
+    if n == 0:
+        return LeewayReplay(
+            hits=hits,
+            misses_per_set=np.zeros(num_sets, dtype=np.int64),
+            ways=ways,
+            predicted_live_distances={},
+        )
+    unique_pcs, pc_ids = np.unique(pc_values, return_inverse=True)
+    predicted = np.zeros(unique_pcs.shape[0], dtype=np.int64)
+    votes = np.zeros(unique_pcs.shape[0], dtype=np.int64)
+    decay_period = spec.decay_period
+
+    set_ids = blocks & (num_sets - 1)
+    tags = np.full((num_sets, ways), -1, dtype=np.int64)
+    # positions[s, w] is way w's depth in set s's recency stack (0 = MRU);
+    # each row is a permutation of 0..ways-1, mirroring the scalar policy's
+    # bind-time stack [0, 1, ..., ways-1].
+    positions = np.tile(np.arange(ways, dtype=np.int64), (num_sets, 1))
+    observed = np.zeros((num_sets, ways), dtype=np.int64)
+    # Line signatures as dense PC ids; the initial value is never consulted
+    # (victim search only runs on full sets, whose lines were all inserted).
+    line_sig = np.zeros((num_sets, ways), dtype=np.int64)
+    prev = previous_occurrence_indices(set_ids)
+
+    position = 0
+    while position < n:
+        end = _chunk_end(prev, position, n)
+        sets = set_ids[position:end]
+        chunk_blocks = blocks[position:end]
+        chunk_pcs = pc_ids[position:end]
+
+        match = tags[sets] == chunk_blocks[:, None]
+        is_hit = match.any(axis=1)
+        hits[position:end] = is_hit
+
+        if is_hit.any():
+            # Batched hit phase (hits never touch the global predictor):
+            # record live-distance maxima, then rotate each hit line to MRU.
+            hit_sets = sets[is_hit]
+            hit_ways = match[is_hit].argmax(axis=1)
+            rows = positions[hit_sets]
+            depth = rows[np.arange(rows.shape[0]), hit_ways]
+            observed[hit_sets, hit_ways] = np.maximum(
+                observed[hit_sets, hit_ways], depth
+            )
+            rows += rows < depth[:, None]
+            rows[np.arange(rows.shape[0]), hit_ways] = 0
+            positions[hit_sets] = rows
+
+        if not is_hit.all():
+            # Trace-order miss walk: victim selection reads the predictor
+            # that earlier evictions (possibly in other sets) just updated.
+            miss = ~is_hit
+            for pos_in_chunk in np.flatnonzero(miss).tolist():
+                set_index = int(sets[pos_in_chunk])
+                tag_row = tags[set_index]
+                empty = np.flatnonzero(tag_row == -1)
+                if empty.size:
+                    way = int(empty[0])
+                else:
+                    pos_row = positions[set_index]
+                    sig_row = line_sig[set_index]
+                    dead = pos_row > predicted[sig_row]
+                    if dead.any():
+                        # Deepest predicted-dead line == first dead line on
+                        # the scalar LRU-to-MRU walk (positions are unique).
+                        way = int(np.where(dead, pos_row, -1).argmax())
+                    else:
+                        way = int(pos_row.argmax())
+                    # Eviction: reuse-oriented predictor update (grow fast,
+                    # shrink only after decay_period consecutive votes).
+                    signature = int(sig_row[way])
+                    observation = int(observed[set_index, way])
+                    prediction = int(predicted[signature])
+                    if observation > prediction:
+                        predicted[signature] = observation
+                        votes[signature] = 0
+                    elif observation < prediction:
+                        votes[signature] += 1
+                        if votes[signature] >= decay_period:
+                            predicted[signature] = prediction - 1
+                            votes[signature] = 0
+                tag_row[way] = chunk_blocks[pos_in_chunk]
+                line_sig[set_index, way] = chunk_pcs[pos_in_chunk]
+                observed[set_index, way] = 0
+                pos_row = positions[set_index]
+                pos_row += pos_row < pos_row[way]
+                pos_row[way] = 0
+        position = end
+
+    misses_per_set = np.bincount(set_ids[~hits], minlength=num_sets)
+    final = {
+        int(unique_pcs[index]): int(value)
+        for index, value in enumerate(predicted.tolist())
+        if value
+    }
+    return LeewayReplay(
+        hits=hits,
+        misses_per_set=misses_per_set,
+        ways=ways,
+        predicted_live_distances=final,
+    )
+
+
+def leeway_replay(
+    block_addresses: np.ndarray,
+    pcs: Optional[np.ndarray],
+    num_sets: int,
+    ways: int,
+    spec: LeewaySpec,
+) -> LeewayReplay:
+    """Replay a block stream through a ``num_sets`` x ``ways`` Leeway cache.
+
+    ``num_sets`` must be a power of two (set index is ``block & mask``,
+    matching :class:`repro.cache.cache.SetAssociativeCache`).  Dispatches to
+    the compiled kernel (:mod:`repro.fastsim._native`) when available and to
+    :func:`numpy_leeway_replay` otherwise; both are exact.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    n = int(blocks.shape[0])
+    pc_values = _pc_array(pcs, n)
+    unique_pcs, pc_ids = np.unique(pc_values, return_inverse=True)
+    native = _native.leeway_replay(
+        blocks,
+        pc_ids.astype(np.int64),
+        int(unique_pcs.shape[0]),
+        num_sets,
+        ways,
+        spec.decay_period,
+    )
+    if native is not None:
+        native_hits, misses_per_set, predicted = native
+        final = {
+            int(unique_pcs[index]): int(value)
+            for index, value in enumerate(predicted.tolist())
+            if value
+        }
+        return LeewayReplay(
+            hits=native_hits,
+            misses_per_set=misses_per_set,
+            ways=ways,
+            predicted_live_distances=final,
+        )
+    return numpy_leeway_replay(blocks, pc_values, num_sets, ways, spec)

@@ -1,0 +1,162 @@
+"""Vectorized Belady's OPT (MIN) replay over precomputed next-use arrays.
+
+The scalar reference (:func:`repro.cache.policies.opt.simulate_opt_misses`)
+walks the trace once backwards to build per-access next-use indices and then
+replays forwards with a per-set ``dict`` of resident blocks, scanning it with
+``max()`` on every capacity eviction.  Both halves vectorize:
+
+* the next-use links are the mirror image of the previous-occurrence links
+  the LRU engine already computes — one stable block-sort
+  (:func:`repro.fastsim.stackdist.occurrence_order`) yields both directions;
+* OPT keeps *no* cross-set state at all, so the batched set-parallel chunking
+  of the RRIP engine applies unchanged: within a maximal trace-ordered chunk
+  in which every set appears at most once, a broadcast tag compare classifies
+  every access and the Belady victim ("resident block whose next use lies
+  farthest in the future") is one row-wise ``argmax`` over a
+  ``(num_sets, ways)`` array of next-use indices.
+
+Victim ties can only occur between never-referenced-again blocks (finite
+next-use values are distinct trace indices); evicting either leaves every
+future hit/miss decision — and therefore every reported count — unchanged,
+so the engine's leftmost-way tie-break is exact with respect to the scalar
+reference even though the latter breaks ties in dict-insertion order.
+
+:func:`opt_replay` dispatches to the compiled kernel
+(:func:`repro.fastsim._native.opt_replay`) when one is available and to
+:func:`numpy_opt_replay` otherwise; both are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fastsim import _native
+from repro.fastsim.rrip import _chunk_end
+from repro.fastsim.stackdist import occurrence_order, previous_occurrence_indices
+
+#: "Never referenced again" marker, matching the scalar reference.
+NEVER = np.iinfo(np.int64).max
+
+
+def next_use_indices(blocks: np.ndarray, occ: Optional[np.ndarray] = None) -> np.ndarray:
+    """Index of the next access to the same block, :data:`NEVER` for the last.
+
+    The forward mirror of
+    :func:`repro.fastsim.stackdist.previous_occurrence_indices`, derived from
+    the same stable block-sort.
+    """
+    n = int(blocks.shape[0])
+    nxt = np.full(n, NEVER, dtype=np.int64)
+    if n < 2:
+        return nxt
+    if occ is None:
+        occ = occurrence_order(blocks)
+    occ_blocks = blocks[occ]
+    same = occ_blocks[1:] == occ_blocks[:-1]
+    nxt[occ[:-1][same]] = occ[1:][same]
+    return nxt
+
+
+@dataclass(frozen=True)
+class OptReplay:
+    """Outcome of replaying a block stream under Belady's OPT."""
+
+    hits: np.ndarray
+    misses_per_set: np.ndarray
+    ways: int
+
+    @property
+    def hit_count(self) -> int:
+        """Total number of hits."""
+        return int(self.hits.sum())
+
+    @property
+    def miss_count(self) -> int:
+        """Total number of misses."""
+        return int(self.misses_per_set.sum())
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions (OPT never bypasses, so misses beyond capacity)."""
+        return int(np.maximum(0, self.misses_per_set - self.ways).sum())
+
+
+def numpy_opt_replay(
+    block_addresses: np.ndarray,
+    num_sets: int,
+    ways: int,
+    next_use: Optional[np.ndarray] = None,
+) -> OptReplay:
+    """Pure-NumPy batched Belady replay (the portable engine).
+
+    Exact with respect to :func:`~repro.cache.policies.opt.simulate_opt_misses`:
+    identical per-access hit masks and per-set miss counts.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hits = np.zeros(n, dtype=bool)
+    if n == 0:
+        return OptReplay(
+            hits=hits, misses_per_set=np.zeros(num_sets, dtype=np.int64), ways=ways
+        )
+    set_ids = blocks & (num_sets - 1)
+    if next_use is None:
+        next_use = next_use_indices(blocks)
+    prev = previous_occurrence_indices(set_ids)
+
+    tags = np.full((num_sets, ways), -1, dtype=np.int64)
+    next_values = np.zeros((num_sets, ways), dtype=np.int64)
+
+    position = 0
+    while position < n:
+        end = _chunk_end(prev, position, n)
+        sets = set_ids[position:end]
+        chunk_blocks = blocks[position:end]
+        chunk_next = next_use[position:end]
+
+        match = tags[sets] == chunk_blocks[:, None]
+        is_hit = match.any(axis=1)
+        hits[position:end] = is_hit
+
+        if is_hit.any():
+            hit_sets = sets[is_hit]
+            hit_ways = match[is_hit].argmax(axis=1)
+            next_values[hit_sets, hit_ways] = chunk_next[is_hit]
+
+        if not is_hit.all():
+            miss = ~is_hit
+            miss_sets = sets[miss]
+            empty = tags[miss_sets] == -1
+            has_empty = empty.any(axis=1)
+            victim_way = np.empty(miss_sets.shape[0], dtype=np.int64)
+            victim_way[has_empty] = empty[has_empty].argmax(axis=1)
+            full_sets = miss_sets[~has_empty]
+            if full_sets.size:
+                # Belady: evict the resident block whose next use is farthest.
+                victim_way[~has_empty] = next_values[full_sets].argmax(axis=1)
+            tags[miss_sets, victim_way] = chunk_blocks[miss]
+            next_values[miss_sets, victim_way] = chunk_next[miss]
+        position = end
+
+    misses_per_set = np.bincount(set_ids[~hits], minlength=num_sets)
+    return OptReplay(hits=hits, misses_per_set=misses_per_set, ways=ways)
+
+
+def opt_replay(block_addresses: np.ndarray, num_sets: int, ways: int) -> OptReplay:
+    """Replay a block stream under Belady's OPT on a ``num_sets`` x ``ways`` cache.
+
+    ``num_sets`` must be a power of two (set index is ``block & mask``,
+    matching the scalar reference).  Dispatches to the compiled kernel
+    (:mod:`repro.fastsim._native`) when available and to
+    :func:`numpy_opt_replay` otherwise; both are exact.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    next_use = next_use_indices(blocks)
+    native = _native.opt_replay(blocks, next_use, num_sets, ways)
+    if native is not None:
+        native_hits, misses_per_set = native
+        return OptReplay(hits=native_hits, misses_per_set=misses_per_set, ways=ways)
+    return numpy_opt_replay(blocks, num_sets, ways, next_use=next_use)

@@ -1,0 +1,293 @@
+"""Exact vectorized replay for the XMem-style pinning policy (PIN-X).
+
+:class:`~repro.cache.policies.pin.PinningPolicy` is DRRIP plus three per-set
+extensions: a boolean pinned mask, a reserved-capacity cap on how many ways
+may be pinned, and a BYPASS outcome when an insertion finds every way of a
+full set pinned (possible only under PIN-100).  All of that state is per-set,
+so the batched set-parallel chunking of the RRIP engine applies unchanged —
+the pinned mask simply layers on top:
+
+* hit promotions set RRPV 0 exactly like DRRIP, but skip already-pinned ways
+  (their RRPV is pinned at 0 anyway) and may newly pin a High-Reuse line when
+  reserved capacity remains;
+* victim search runs age-until-saturated / leftmost-saturated over the
+  *unpinned* ways only;
+* every non-bypassed insertion feeds DRRIP's set duel (leader-set PSEL
+  updates and the shared bimodal counter) via the same trace-order walk the
+  RRIP engine uses (:func:`repro.fastsim.rrip._dynamic_insertions`), and
+  pinned insertions then override the duel RRPV with hit priority —
+  mirroring the bug-fixed scalar policy, where pinning no longer short-
+  circuits the duel;
+* bypassed accesses are counted (misses that evict nothing and insert
+  nothing) and leave every piece of state untouched, including PSEL.
+
+:func:`pin_replay` dispatches to the compiled kernel
+(:func:`repro.fastsim._native.pin_replay`) when one is available and to
+:func:`numpy_pin_replay` otherwise; both are exact, including the final
+PSEL / bimodal-counter state and the per-set pinned populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.hints import HINT_HIGH
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.policies.pin import PinningPolicy
+from repro.fastsim import _native
+from repro.fastsim.rrip import (
+    RRIPSpec,
+    _chunk_end,
+    _dynamic_insertions,
+    _hint_array,
+)
+from repro.fastsim.stackdist import previous_occurrence_indices
+
+
+@dataclass(frozen=True)
+class PinSpec:
+    """Array-form description of one :class:`PinningPolicy` instance."""
+
+    max_rrpv: int
+    reserved_fraction: float
+    epsilon: int
+    psel_max: int
+    leader_period: int
+
+    def reserved_ways(self, ways: int) -> int:
+        """Ways pinnable per set, with the scalar policy's exact rounding."""
+        return max(1, int(round(ways * self.reserved_fraction)))
+
+    def duel_spec(self) -> RRIPSpec:
+        """The underlying DRRIP duel, for :func:`_dynamic_insertions`."""
+        return RRIPSpec(
+            max_rrpv=self.max_rrpv,
+            insertion_table=(-1, -1, -1, -1),
+            promotion_table=(0, 0, 0, 0),
+            epsilon=self.epsilon,
+            psel_max=self.psel_max,
+            leader_period=self.leader_period,
+        )
+
+
+def pin_spec(policy: ReplacementPolicy) -> Optional[PinSpec]:
+    """Snapshot a policy into a :class:`PinSpec`, or ``None`` if ineligible.
+
+    Restricted to the exact type :class:`PinningPolicy` — a subclass could
+    override any hook and silently diverge.
+    """
+    if type(policy) is not PinningPolicy:
+        return None
+    return PinSpec(
+        max_rrpv=policy.max_rrpv,
+        reserved_fraction=policy.reserved_fraction,
+        epsilon=policy.epsilon,
+        psel_max=policy.psel_max,
+        leader_period=policy.LEADER_PERIOD,
+    )
+
+
+@dataclass(frozen=True)
+class PinReplay:
+    """Outcome of replaying a block stream through one PIN-X cache."""
+
+    hits: np.ndarray
+    misses_per_set: np.ndarray
+    bypasses_per_set: np.ndarray
+    ways: int
+    psel: int
+    insert_count: int
+
+    @property
+    def hit_count(self) -> int:
+        """Total number of hits."""
+        return int(self.hits.sum())
+
+    @property
+    def miss_count(self) -> int:
+        """Total number of misses (bypassed accesses included)."""
+        return int(self.misses_per_set.sum())
+
+    @property
+    def bypass_count(self) -> int:
+        """Total number of bypassed insertions."""
+        return int(self.bypasses_per_set.sum())
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions: non-bypassed misses beyond each set's capacity."""
+        filled = self.misses_per_set - self.bypasses_per_set
+        return int(np.maximum(0, filled - self.ways).sum())
+
+
+def numpy_pin_replay(
+    block_addresses: np.ndarray,
+    hints: Optional[np.ndarray],
+    num_sets: int,
+    ways: int,
+    spec: PinSpec,
+) -> PinReplay:
+    """Pure-NumPy batched replay (the portable engine behind :func:`pin_replay`).
+
+    Exact with respect to the (bug-fixed) scalar policy: identical per-access
+    hit masks, per-set miss/bypass counts, pinned populations and final
+    PSEL/bimodal state.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hint_values = _hint_array(hints, n)
+    duel = spec.duel_spec()
+    reserved = spec.reserved_ways(ways)
+    psel = spec.psel_max // 2
+    insert_count = 0
+    hits = np.zeros(n, dtype=bool)
+    bypasses_per_set = np.zeros(num_sets, dtype=np.int64)
+    set_ids = blocks & (num_sets - 1)
+    if n == 0:
+        return PinReplay(
+            hits=hits,
+            misses_per_set=np.zeros(num_sets, dtype=np.int64),
+            bypasses_per_set=bypasses_per_set,
+            ways=ways,
+            psel=psel,
+            insert_count=insert_count,
+        )
+
+    max_rrpv = spec.max_rrpv
+    tags = np.full((num_sets, ways), -1, dtype=np.int64)
+    rrpv = np.full((num_sets, ways), max_rrpv, dtype=np.int32)
+    pinned = np.zeros((num_sets, ways), dtype=bool)
+    pinned_count = np.zeros(num_sets, dtype=np.int64)
+    prev = previous_occurrence_indices(set_ids)
+
+    position = 0
+    while position < n:
+        end = _chunk_end(prev, position, n)
+        sets = set_ids[position:end]
+        chunk_blocks = blocks[position:end]
+        chunk_hints = hint_values[position:end]
+
+        match = tags[sets] == chunk_blocks[:, None]
+        is_hit = match.any(axis=1)
+        hits[position:end] = is_hit
+
+        if is_hit.any():
+            hit_sets = sets[is_hit]
+            hit_ways = match[is_hit].argmax(axis=1)
+            already = pinned[hit_sets, hit_ways]
+            # Both the pin-on-hit path and DRRIP's hit promotion assign hit
+            # priority; only already-pinned lines are left untouched.
+            rrpv[hit_sets[~already], hit_ways[~already]] = 0
+            pin_now = (
+                ~already
+                & (chunk_hints[is_hit] == HINT_HIGH)
+                & (pinned_count[hit_sets] < reserved)
+            )
+            if pin_now.any():
+                pinned[hit_sets[pin_now], hit_ways[pin_now]] = True
+                pinned_count[hit_sets[pin_now]] += 1
+
+        if not is_hit.all():
+            miss = ~is_hit
+            miss_sets = sets[miss]
+            miss_hints = chunk_hints[miss]
+            empty = tags[miss_sets] == -1
+            has_empty = empty.any(axis=1)
+            # A full set whose every way is pinned declines the insertion.
+            bypass = ~has_empty & (pinned_count[miss_sets] >= ways)
+            if bypass.any():
+                bypasses_per_set += np.bincount(
+                    miss_sets[bypass], minlength=num_sets
+                )
+            insert = ~bypass
+            victim_way = np.empty(miss_sets.shape[0], dtype=np.int64)
+            victim_way[has_empty] = empty[has_empty].argmax(axis=1)
+            full = ~has_empty & insert
+            full_sets = miss_sets[full]
+            if full_sets.size:
+                full_rrpvs = rrpv[full_sets]
+                full_pinned = pinned[full_sets]
+                # Age only the unpinned ways until one saturates, then take
+                # the leftmost saturated unpinned way — the scalar loop in
+                # PinningPolicy.choose_victim collapsed into two reductions.
+                unpinned_max = np.where(full_pinned, -1, full_rrpvs).max(axis=1)
+                full_rrpvs = full_rrpvs + np.where(
+                    full_pinned, 0, (max_rrpv - unpinned_max)[:, None]
+                ).astype(np.int32)
+                victim_way[full] = (
+                    (full_rrpvs == max_rrpv) & ~full_pinned
+                ).argmax(axis=1)
+                rrpv[full_sets] = full_rrpvs
+            if insert.any():
+                ins_sets = miss_sets[insert]
+                ins_hints = miss_hints[insert]
+                ins_ways = victim_way[insert]
+                # Every non-bypassed insertion feeds the DRRIP duel (the
+                # scalar bug fix), pinned or not.
+                values, psel, insert_count = _dynamic_insertions(
+                    ins_sets, duel, psel, insert_count
+                )
+                pin_ins = (ins_hints == HINT_HIGH) & (pinned_count[ins_sets] < reserved)
+                values[pin_ins] = 0
+                tags[ins_sets, ins_ways] = chunk_blocks[miss][insert]
+                rrpv[ins_sets, ins_ways] = values
+                pinned[ins_sets, ins_ways] = pin_ins
+                if pin_ins.any():
+                    pinned_count[ins_sets[pin_ins]] += 1
+        position = end
+
+    misses_per_set = np.bincount(set_ids[~hits], minlength=num_sets)
+    return PinReplay(
+        hits=hits,
+        misses_per_set=misses_per_set,
+        bypasses_per_set=bypasses_per_set,
+        ways=ways,
+        psel=psel,
+        insert_count=insert_count,
+    )
+
+
+def pin_replay(
+    block_addresses: np.ndarray,
+    hints: Optional[np.ndarray],
+    num_sets: int,
+    ways: int,
+    spec: PinSpec,
+) -> PinReplay:
+    """Replay a block stream through a ``num_sets`` x ``ways`` PIN-X cache.
+
+    ``num_sets`` must be a power of two (set index is ``block & mask``,
+    matching :class:`repro.cache.cache.SetAssociativeCache`).  Dispatches to
+    the compiled kernel (:mod:`repro.fastsim._native`) when available and to
+    :func:`numpy_pin_replay` otherwise; both are exact.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hint_values = _hint_array(hints, n)
+    native = _native.pin_replay(
+        blocks,
+        hint_values.astype(np.uint8),
+        num_sets,
+        ways,
+        spec.max_rrpv,
+        spec.epsilon,
+        spec.psel_max,
+        spec.leader_period,
+        spec.reserved_ways(ways),
+        HINT_HIGH,
+        spec.psel_max // 2,
+    )
+    if native is not None:
+        native_hits, misses_per_set, bypasses_per_set, psel, insert_count = native
+        return PinReplay(
+            hits=native_hits,
+            misses_per_set=misses_per_set,
+            bypasses_per_set=bypasses_per_set,
+            ways=ways,
+            psel=psel,
+            insert_count=insert_count,
+        )
+    return numpy_pin_replay(blocks, hint_values, num_sets, ways, spec)

@@ -1,10 +1,14 @@
 """Vectorized LLC replay dispatch for the schemes the fast engines cover.
 
-Two exact engines exist: the stack-distance engine for plain LRU
-(:mod:`repro.fastsim.stackdist`) and the batched RRIP-family engine for
-SRRIP/BRRIP/DRRIP/GRASP (:mod:`repro.fastsim.rrip`).  Stateful schemes the
-engines cannot express (Hawkeye, Leeway, SHiP-MEM, pinning, the GRASP
-ablation variants) go through the scalar simulator.
+Every replacement scheme of the paper's evaluation has an exact fast engine:
+the stack-distance engine for plain LRU (:mod:`repro.fastsim.stackdist`), the
+batched RRIP-family engine for SRRIP/BRRIP/DRRIP/GRASP
+(:mod:`repro.fastsim.rrip`), and the PR 4 engines for SHiP-MEM
+(:mod:`repro.fastsim.ship`), Hawkeye (:mod:`repro.fastsim.hawkeye`), Leeway
+(:mod:`repro.fastsim.leeway`), the PIN-X pinning configurations
+(:mod:`repro.fastsim.pin`) and Belady's OPT (:mod:`repro.fastsim.opt`).
+Only the GRASP ablation variants — subclasses that override hooks the array
+specs cannot express — remain scalar-only.
 :func:`supports_vector_replay` is the dispatch predicate used by
 :func:`repro.experiments.runner.simulate_llc_policy`.
 """
@@ -17,24 +21,39 @@ import numpy as np
 
 from repro.cache.config import CacheConfig
 from repro.cache.policies import LRUPolicy
-from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.policies.opt import BeladyOptimal
 from repro.cache.stats import CacheStats
+from repro.fastsim.hawkeye import hawkeye_replay, hawkeye_spec
+from repro.fastsim.leeway import leeway_replay, leeway_spec
+from repro.fastsim.opt import opt_replay
+from repro.fastsim.pin import pin_replay, pin_spec
 from repro.fastsim.rrip import rrip_replay, rrip_spec
+from repro.fastsim.ship import ship_replay, ship_spec
 from repro.fastsim.stackdist import lru_replay
 
 
-def supports_vector_replay(policy: ReplacementPolicy) -> bool:
+def supports_vector_replay(policy) -> bool:
     """Whether a fast engine reproduces this policy exactly.
 
-    Restricted to exact policy types — :class:`LRUPolicy` plus the four
+    Restricted to exact policy types — :class:`LRUPolicy`, the four
     RRIP-family policies :func:`repro.fastsim.rrip.rrip_spec` recognises
-    (:class:`~repro.cache.policies.rrip.SRRIPPolicy`,
-    :class:`~repro.cache.policies.rrip.BRRIPPolicy`,
-    :class:`~repro.cache.policies.rrip.DRRIPPolicy`,
-    :class:`~repro.core.grasp.GraspPolicy`).  A subclass could override any
-    hook and silently diverge, so it falls back to the scalar simulator.
+    (SRRIP/BRRIP/DRRIP/GRASP), :class:`~repro.cache.policies.ship.ShipMemPolicy`,
+    :class:`~repro.cache.policies.hawkeye.HawkeyePolicy`,
+    :class:`~repro.cache.policies.leeway.LeewayPolicy`,
+    :class:`~repro.cache.policies.pin.PinningPolicy` and the offline
+    :class:`~repro.cache.policies.opt.BeladyOptimal` wrapper.  A subclass
+    could override any hook and silently diverge, so anything else falls
+    back to the scalar simulator.
     """
-    return type(policy) is LRUPolicy or rrip_spec(policy) is not None
+    if type(policy) in (LRUPolicy, BeladyOptimal):
+        return True
+    return (
+        rrip_spec(policy) is not None
+        or ship_spec(policy) is not None
+        or hawkeye_spec(policy) is not None
+        or leeway_spec(policy) is not None
+        or pin_spec(policy) is not None
+    )
 
 
 def _region_breakdown(hits: np.ndarray, regions: Optional[np.ndarray]):
@@ -76,36 +95,76 @@ def vector_lru_replay(
     )
 
 
+def vector_opt_replay(
+    block_addresses: np.ndarray, llc_config: CacheConfig
+) -> CacheStats:
+    """Belady's OPT statistics for an LLC trace via the vectorized engine.
+
+    Mirrors :func:`repro.cache.policies.opt.simulate_opt_misses` (including
+    the ``-OPT`` stats name); the scalar reference records no per-region
+    breakdown, so neither does this path.
+    """
+    replay = opt_replay(block_addresses, llc_config.num_sets, llc_config.ways)
+    return CacheStats.from_counts(
+        name=f"{llc_config.name}-OPT",
+        hits=replay.hit_count,
+        misses=replay.miss_count,
+        evictions=replay.evictions,
+    )
+
+
 def vector_policy_replay(
-    policy: ReplacementPolicy,
+    policy,
     block_addresses: np.ndarray,
     llc_config: CacheConfig,
     hints: Optional[np.ndarray] = None,
     regions: Optional[np.ndarray] = None,
+    pcs: Optional[np.ndarray] = None,
 ) -> CacheStats:
     """Replay an LLC trace under any policy :func:`supports_vector_replay` accepts.
 
     ``hints`` is the 2-bit GRASP reuse-hint stream aligned with
     ``block_addresses`` (``None`` replays hint-blind, like the scalar
-    simulator with ``use_hints=False``); only GRASP's tables consult it.
+    simulator with ``use_hints=False``); GRASP's tables and PIN's pinning
+    decisions consult it.  ``pcs`` is the synthetic program-counter stream
+    the PC-indexed schemes (Hawkeye, Leeway) train on (``None`` replays with
+    a constant PC, like the scalar simulator's default).
     """
     if type(policy) is LRUPolicy:
         return vector_lru_replay(block_addresses, llc_config, regions=regions)
+    if type(policy) is BeladyOptimal:
+        return vector_opt_replay(block_addresses, llc_config)
+    num_sets, ways = llc_config.num_sets, llc_config.ways
+    bypasses = 0
     spec = rrip_spec(policy)
-    if spec is None:
-        raise ValueError(
-            f"policy {policy!r} has no vectorized replay engine; "
-            "use supports_vector_replay() before dispatching"
-        )
-    replay = rrip_replay(
-        block_addresses, hints, llc_config.num_sets, llc_config.ways, spec
-    )
+    if spec is not None:
+        replay = rrip_replay(block_addresses, hints, num_sets, ways, spec)
+    else:
+        pspec = pin_spec(policy)
+        sspec = ship_spec(policy)
+        hspec = hawkeye_spec(policy)
+        lspec = leeway_spec(policy)
+        if pspec is not None:
+            replay = pin_replay(block_addresses, hints, num_sets, ways, pspec)
+            bypasses = replay.bypass_count
+        elif sspec is not None:
+            replay = ship_replay(block_addresses, num_sets, ways, sspec)
+        elif hspec is not None:
+            replay = hawkeye_replay(block_addresses, pcs, num_sets, ways, hspec)
+        elif lspec is not None:
+            replay = leeway_replay(block_addresses, pcs, num_sets, ways, lspec)
+        else:
+            raise ValueError(
+                f"policy {policy!r} has no vectorized replay engine; "
+                "use supports_vector_replay() before dispatching"
+            )
     region_accesses, region_misses = _region_breakdown(replay.hits, regions)
     return CacheStats.from_counts(
         name=llc_config.name,
         hits=replay.hit_count,
         misses=replay.miss_count,
         evictions=replay.evictions,
+        bypasses=bypasses,
         region_accesses=region_accesses,
         region_misses=region_misses,
     )

@@ -1,0 +1,248 @@
+"""Exact vectorized replay for SHiP-MEM (memory-region signature SHiP).
+
+:class:`~repro.cache.policies.ship.ShipMemPolicy` is SRRIP plus one global
+learning structure: the Signature History Counter Table (SHCT), keyed by the
+block's memory region.  Per-set state (tags, RRPVs, per-line signature and
+reused bits) batches exactly like the RRIP engine — within a maximal
+trace-ordered chunk every set appears at most once, so the tag compare, the
+hit promotion (RRPV 0 for every hint) and the age-until-saturated victim
+search are whole-chunk array operations.
+
+The SHCT itself is shared *across* sets, so its reads and saturating updates
+must advance in trace order: a first reuse trains the line's signature up, an
+eviction of a never-reused line trains it down, and every insertion reads the
+incoming block's signature to pick between long (``max-1``) and distant
+(``max``) re-reference insertion.  Those events are sparse relative to the
+trace (misses plus first-reuse hits only) and all their inputs — victim ways,
+line signatures, reused bits — are known from the batched phase, so the
+engine walks just the chunk's event positions in order, exactly like the
+RRIP engine walks leader-set PSEL updates.  Signatures are densified with one
+``np.unique`` so the SHCT is a flat array rather than a dict (the paper's
+table is unbounded, so no aliasing is introduced).
+
+:func:`ship_replay` dispatches to the compiled kernel
+(:func:`repro.fastsim._native.ship_replay`) when one is available and to
+:func:`numpy_ship_replay` otherwise; both are exact, including the final
+SHCT contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.policies.ship import ShipMemPolicy
+from repro.fastsim import _native
+from repro.fastsim.rrip import _chunk_end
+from repro.fastsim.stackdist import previous_occurrence_indices
+
+#: SHCT value assumed for a signature that was never trained (weakly reused).
+_UNSEEN = 1
+
+
+@dataclass(frozen=True)
+class ShipSpec:
+    """Array-form description of one :class:`ShipMemPolicy` instance."""
+
+    max_rrpv: int
+    region_shift: int
+    counter_max: int
+
+
+def ship_spec(policy: ReplacementPolicy) -> Optional[ShipSpec]:
+    """Snapshot a policy into a :class:`ShipSpec`, or ``None`` if ineligible.
+
+    Restricted to the exact type :class:`ShipMemPolicy` — a subclass could
+    override any hook and silently diverge.
+    """
+    if type(policy) is not ShipMemPolicy:
+        return None
+    return ShipSpec(
+        max_rrpv=policy.max_rrpv,
+        region_shift=policy.region_shift,
+        counter_max=policy.counter_max,
+    )
+
+
+@dataclass(frozen=True)
+class ShipReplay:
+    """Outcome of replaying a block stream through one SHiP-MEM cache."""
+
+    hits: np.ndarray
+    misses_per_set: np.ndarray
+    ways: int
+    #: Final SHCT as ``{signature: counter}`` over every signature in the
+    #: trace (untrained signatures report the unseen value, 1).
+    shct: Dict[int, int]
+
+    @property
+    def hit_count(self) -> int:
+        """Total number of hits."""
+        return int(self.hits.sum())
+
+    @property
+    def miss_count(self) -> int:
+        """Total number of misses."""
+        return int(self.misses_per_set.sum())
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions (SHiP never bypasses, so misses beyond capacity)."""
+        return int(np.maximum(0, self.misses_per_set - self.ways).sum())
+
+
+def _dense_signatures(blocks: np.ndarray, region_shift: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Map block addresses to dense signature ids (and the id→signature table)."""
+    return np.unique(blocks >> region_shift, return_inverse=True)
+
+
+def numpy_ship_replay(
+    block_addresses: np.ndarray, num_sets: int, ways: int, spec: ShipSpec
+) -> ShipReplay:
+    """Pure-NumPy batched replay (the portable engine behind :func:`ship_replay`).
+
+    Exact with respect to the scalar policy: identical per-access hit masks,
+    per-set miss counts and final SHCT contents.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hits = np.zeros(n, dtype=bool)
+    max_rrpv = spec.max_rrpv
+    counter_max = spec.counter_max
+    if n == 0:
+        return ShipReplay(
+            hits=hits,
+            misses_per_set=np.zeros(num_sets, dtype=np.int64),
+            ways=ways,
+            shct={},
+        )
+    signatures, sig_ids = _dense_signatures(blocks, spec.region_shift)
+    shct = np.full(signatures.shape[0], _UNSEEN, dtype=np.int64)
+
+    set_ids = blocks & (num_sets - 1)
+    tags = np.full((num_sets, ways), -1, dtype=np.int64)
+    rrpv = np.full((num_sets, ways), max_rrpv, dtype=np.int32)
+    line_sig = np.zeros((num_sets, ways), dtype=np.int64)
+    reused = np.zeros((num_sets, ways), dtype=bool)
+    prev = previous_occurrence_indices(set_ids)
+
+    position = 0
+    while position < n:
+        end = _chunk_end(prev, position, n)
+        sets = set_ids[position:end]
+        chunk_blocks = blocks[position:end]
+        chunk_sigs = sig_ids[position:end]
+
+        match = tags[sets] == chunk_blocks[:, None]
+        is_hit = match.any(axis=1)
+        hits[position:end] = is_hit
+
+        # Batched per-set phase: promotions, victim selection, reused bits.
+        # SHCT reads/updates are deferred to the trace-order walk below.
+        train_up = np.empty(0, dtype=np.int64)
+        train_up_pos = np.empty(0, dtype=np.int64)
+        if is_hit.any():
+            hit_sets = sets[is_hit]
+            hit_ways = match[is_hit].argmax(axis=1)
+            rrpv[hit_sets, hit_ways] = 0
+            first_reuse = ~reused[hit_sets, hit_ways]
+            reused[hit_sets[first_reuse], hit_ways[first_reuse]] = True
+            train_up = line_sig[hit_sets[first_reuse], hit_ways[first_reuse]]
+            train_up_pos = np.flatnonzero(is_hit)[first_reuse]
+
+        miss_pos = np.empty(0, dtype=np.int64)
+        train_down = np.empty(0, dtype=np.int64)
+        ins_sigs = np.empty(0, dtype=np.int64)
+        miss_sets = victim_way = None
+        if not is_hit.all():
+            miss = ~is_hit
+            miss_pos = np.flatnonzero(miss)
+            miss_sets = sets[miss]
+            empty = tags[miss_sets] == -1
+            has_empty = empty.any(axis=1)
+            victim_way = np.empty(miss_sets.shape[0], dtype=np.int64)
+            victim_way[has_empty] = empty[has_empty].argmax(axis=1)
+            full_sets = miss_sets[~has_empty]
+            if full_sets.size:
+                full_rrpvs = rrpv[full_sets]
+                full_rrpvs += (max_rrpv - full_rrpvs.max(axis=1))[:, None]
+                victim_way[~has_empty] = (full_rrpvs == max_rrpv).argmax(axis=1)
+                rrpv[full_sets] = full_rrpvs
+            # A capacity eviction of a never-reused line trains its signature
+            # down; -1 marks fills (no eviction, nothing to train).
+            victim_sig = line_sig[miss_sets, victim_way]
+            victim_reused = reused[miss_sets, victim_way]
+            train_down = np.where(~has_empty & ~victim_reused, victim_sig, -1)
+            ins_sigs = chunk_sigs[miss]
+            # State writes independent of the SHCT can land now; the
+            # insertion RRPVs are filled in by the walk below.
+            tags[miss_sets, victim_way] = chunk_blocks[miss]
+            line_sig[miss_sets, victim_way] = ins_sigs
+            reused[miss_sets, victim_way] = False
+
+        # Trace-order SHCT walk over the chunk's sparse events: first-reuse
+        # hits train up, evictions train down, insertions read.
+        ins_values = np.empty(ins_sigs.shape[0], dtype=np.int32)
+        up_iter = iter(zip(train_up_pos.tolist(), train_up.tolist()))
+        next_up = next(up_iter, None)
+        for index, (pos, down_sig, ins_sig) in enumerate(
+            zip(miss_pos.tolist(), train_down.tolist(), ins_sigs.tolist())
+        ):
+            while next_up is not None and next_up[0] < pos:
+                up_sig = next_up[1]
+                if shct[up_sig] < counter_max:
+                    shct[up_sig] += 1
+                next_up = next(up_iter, None)
+            if down_sig >= 0 and shct[down_sig] > 0:
+                shct[down_sig] -= 1
+            ins_values[index] = max_rrpv if shct[ins_sig] == 0 else max_rrpv - 1
+        while next_up is not None:
+            up_sig = next_up[1]
+            if shct[up_sig] < counter_max:
+                shct[up_sig] += 1
+            next_up = next(up_iter, None)
+        if miss_pos.size:
+            rrpv[miss_sets, victim_way] = ins_values
+        position = end
+
+    misses_per_set = np.bincount(set_ids[~hits], minlength=num_sets)
+    final = {int(sig): int(value) for sig, value in zip(signatures.tolist(), shct.tolist())}
+    return ShipReplay(
+        hits=hits, misses_per_set=misses_per_set, ways=ways, shct=final
+    )
+
+
+def ship_replay(
+    block_addresses: np.ndarray, num_sets: int, ways: int, spec: ShipSpec
+) -> ShipReplay:
+    """Replay a block stream through a ``num_sets`` x ``ways`` SHiP-MEM cache.
+
+    ``num_sets`` must be a power of two (set index is ``block & mask``,
+    matching :class:`repro.cache.cache.SetAssociativeCache`).  Dispatches to
+    the compiled kernel (:mod:`repro.fastsim._native`) when available and to
+    :func:`numpy_ship_replay` otherwise; both are exact.
+    """
+    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+    signatures, sig_ids = _dense_signatures(blocks, spec.region_shift)
+    native = _native.ship_replay(
+        blocks,
+        sig_ids.astype(np.int64),
+        int(signatures.shape[0]),
+        num_sets,
+        ways,
+        spec.max_rrpv,
+        spec.counter_max,
+        _UNSEEN,
+    )
+    if native is not None:
+        native_hits, misses_per_set, shct = native
+        final = {
+            int(sig): int(value) for sig, value in zip(signatures.tolist(), shct.tolist())
+        }
+        return ShipReplay(
+            hits=native_hits, misses_per_set=misses_per_set, ways=ways, shct=final
+        )
+    return numpy_ship_replay(blocks, num_sets, ways, spec)

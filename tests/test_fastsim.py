@@ -183,19 +183,13 @@ class TestLLCReplayEquivalence:
         from repro.experiments.schemes import scheme_policy
 
         assert supports_vector_replay(LRUPolicy())
-        # The RRIP family (including GRASP) has a vectorized engine...
-        for scheme in ("RRIP", "GRASP"):
+        # Every scheme of the paper's comparison matrix has a vectorized
+        # engine (LRU, the RRIP family, SHiP-MEM, Hawkeye, Leeway, PIN-X)...
+        for scheme in ("RRIP", "GRASP", "Hawkeye", "Leeway", "SHiP-MEM", "PIN-50"):
             assert supports_vector_replay(scheme_policy(scheme))
-        # ...while policies the engines cannot express stay on the scalar
-        # simulator, as do the GRASP ablation subclasses.
-        for scheme in (
-            "Hawkeye",
-            "Leeway",
-            "SHiP-MEM",
-            "PIN-50",
-            "RRIP+Hints",
-            "GRASP (Insertion-Only)",
-        ):
+        # ...while the GRASP ablation subclasses override hooks the array
+        # specs cannot express and stay on the scalar simulator.
+        for scheme in ("RRIP+Hints", "GRASP (Insertion-Only)"):
             assert not supports_vector_replay(scheme_policy(scheme))
 
     def test_lru_subclass_falls_back_to_scalar(self):

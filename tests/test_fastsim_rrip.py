@@ -105,7 +105,12 @@ class TestSpecExtraction:
             scheme_policy("Leeway"),
             scheme_policy("PIN-50"),
         ):
+            # None of these may masquerade as a plain RRIP-family policy...
             assert rrip_spec(policy) is None
+        # ...but the exact SHiP/Hawkeye/Leeway/PIN types have dedicated
+        # engines (tests/test_fastsim_policies.py); only true subclasses
+        # fall back to the scalar simulator.
+        for policy in (NotQuiteDRRIP(), RRIPWithHintsPolicy(), GraspInsertionOnlyPolicy()):
             assert not supports_vector_replay(policy)
 
     def test_invalid_epsilon_rejected(self):
@@ -219,7 +224,7 @@ class TestVectorPolicyReplay:
     def test_unsupported_policy_raises(self):
         with pytest.raises(ValueError):
             vector_policy_replay(
-                scheme_policy("Hawkeye"),
+                scheme_policy("RRIP+Hints"),
                 np.arange(10),
                 CacheConfig(size_bytes=16 * 64 * 4, ways=4, name="LLC"),
             )
