@@ -32,10 +32,16 @@ from repro.experiments.runner import (
     build_workload,
     clear_caches,
     compare_policies,
+    compare_policies_streaming,
+    execution_trace,
     filter_trace,
+    iter_execution_chunks,
+    iter_llc_chunks,
     set_disk_memo,
     simulate_llc_policy,
+    simulate_llc_policy_streaming,
     simulate_opt,
+    simulate_opt_streaming,
 )
 from repro.experiments.schemes import POLICY_SPECS, scheme_policy
 
@@ -49,9 +55,15 @@ __all__ = [
     "clear_caches",
     "compare_policies",
     "compare_policies_parallel",
+    "compare_policies_streaming",
+    "execution_trace",
     "filter_trace",
+    "iter_execution_chunks",
+    "iter_llc_chunks",
     "scheme_policy",
     "set_disk_memo",
     "simulate_llc_policy",
+    "simulate_llc_policy_streaming",
     "simulate_opt",
+    "simulate_opt_streaming",
 ]

@@ -44,6 +44,15 @@ class ExperimentConfig:
         default (``REPRO_SIM_BACKEND`` or ``vector``).  Backends produce
         identical counts, so this never changes experiment results — only how
         fast they are obtained.
+    chunk_accesses:
+        Access budget per chunk of the streaming full-execution pipeline
+        (:func:`repro.experiments.runner.simulate_llc_policy_streaming`);
+        ``None`` uses the runner's default.  Like the backend, this is a
+        performance/memory knob only — streaming results are bit-identical
+        for every budget — so it is excluded from *result* memo keys
+        (``policystream`` stats, stream summaries); only the chunk store
+        itself (``llcchunk`` entries and their ``llcstream`` manifest) is
+        budget-keyed, because chunk boundaries depend on it.
     """
 
     scale: float = 1.0
@@ -56,6 +65,7 @@ class ExperimentConfig:
     timing: TimingModel = field(default_factory=TimingModel)
     merged_properties: bool = True
     backend: Optional[str] = None
+    chunk_accesses: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -64,6 +74,8 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS} or None"
             )
+        if self.chunk_accesses is not None and self.chunk_accesses <= 0:
+            raise ValueError("chunk_accesses must be positive (or None)")
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with selected fields replaced."""

@@ -5,15 +5,34 @@ one process; this module persists the same three kinds of artifacts so that
 separate invocations (each figure/table benchmark, every worker of the
 parallel runner) reuse each other's work:
 
-``<root>/v2/workload/<sha256>.pkl``
+``<root>/v3/workload/<sha256>.pkl``
     Built :class:`~repro.experiments.runner.Workload` objects, keyed by the
     in-memory workload memo key (app, dataset, reorder, scale, seed, merged).
-``<root>/v2/llctrace/<sha256>.pkl``
+``<root>/v3/llctrace/<sha256>.pkl``
     L1/L2-filtered :class:`~repro.experiments.runner.LLCTrace` streams, keyed
     by the workload key plus the cache hierarchy.
-``<root>/v2/policy/<sha256>.pkl``
+``<root>/v3/policy/<sha256>.pkl``
     Per-scheme :class:`~repro.cache.stats.CacheStats`, keyed by the trace key
     plus the scheme name.
+
+The streaming pipeline (PR 5) adds three kinds with the same layout:
+
+``<root>/v3/llcchunk/<sha256>.pkl``
+    One L1/L2-filtered chunk of a full-execution stream, keyed by the stream
+    key plus the chunk index.
+``<root>/v3/llcstream/<sha256>.pkl``
+    The stream manifest — chunk count plus aggregate L1/L2 filter counters —
+    written once every chunk of a stream has been persisted; a later replay
+    serves the whole stream from disk without re-filtering.
+``<root>/v3/policystream/<sha256>.pkl``
+    Per-scheme :class:`~repro.cache.stats.CacheStats` of a *full-execution*
+    streaming replay (chunk budgets do not affect results, so they are not
+    part of the key).
+
+:class:`ChunkSpill` is the unkeyed sibling of the chunk store: a scratch
+directory for out-of-core intermediates that are only meaningful within one
+computation (e.g. streaming OPT's per-chunk block and next-use arrays
+between its reverse and forward passes).
 
 Keys are hashed from their ``repr`` — every component is a primitive or a
 frozen dataclass with a deterministic ``repr``.  Writes go through a
@@ -31,8 +50,12 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import shutil
+import tempfile
 from pathlib import Path
 from typing import Any, Optional
+
+import numpy as np
 
 #: Environment variable naming the on-disk memo root directory.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
@@ -41,8 +64,11 @@ CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 #: when a simulation-semantics fix invalidates previously computed results
 #: (v1 -> v2: the PIN policy-state bugfix — pinned insertions now feed the
 #: DRRIP set duel and pin-on-hit refreshes the RRPV — changed PIN-X stats,
-#: which v1 stores would otherwise keep serving).
-MEMO_VERSION = 2
+#: which v1 stores would otherwise keep serving; v2 -> v3: the trace
+#: generator's np.insert tie-ordering fix — per-vertex property updates now
+#: precede the next vertex's Vertex-Array load — changed every generated
+#: trace and therefore every downstream llctrace/policy result).
+MEMO_VERSION = 3
 
 
 def default_cache_dir() -> Optional[Path]:
@@ -97,3 +123,41 @@ class DiskMemo:
         if not base.exists():
             return 0
         return sum(1 for _ in base.rglob("*.pkl"))
+
+
+class ChunkSpill:
+    """Scratch store for per-chunk arrays of one out-of-core computation.
+
+    Streaming consumers that need more than one pass over a chunk stream
+    (e.g. OPT's reverse next-use pass followed by its forward replay) spill
+    each chunk here instead of holding the stream in memory.  Entries are
+    ``.npy`` files under a private temporary directory that is removed by
+    :meth:`close` (or context-manager exit); unlike :class:`DiskMemo` there
+    is no content key — the store is scoped to a single computation.
+    """
+
+    def __init__(self, directory: Optional[Path | str] = None) -> None:
+        self._owned = directory is None
+        self.root = Path(
+            tempfile.mkdtemp(prefix="repro-spill-") if directory is None else directory
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def put(self, name: str, index: int, array: np.ndarray) -> None:
+        """Persist one chunk array under (name, index)."""
+        np.save(self.root / f"{name}.{index}.npy", np.asarray(array))
+
+    def get(self, name: str, index: int) -> np.ndarray:
+        """Load the chunk array stored under (name, index)."""
+        return np.load(self.root / f"{name}.{index}.npy")
+
+    def close(self) -> None:
+        """Delete the spill directory (if owned by this instance)."""
+        if self._owned:
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    def __enter__(self) -> "ChunkSpill":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

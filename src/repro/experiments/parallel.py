@@ -30,13 +30,20 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.memo import CACHE_DIR_ENV_VAR, DiskMemo, default_cache_dir
-from repro.experiments.runner import DataPoint, compare_policies, set_disk_memo
+from repro.experiments.runner import (
+    DataPoint,
+    compare_policies,
+    compare_policies_streaming,
+    set_disk_memo,
+)
 from repro.fastsim.dispatch import set_default_backend
 
 #: Environment variable capping the worker count (0 or 1 forces serial).
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
-_PairTask = Tuple[str, str, Tuple[str, ...], ExperimentConfig, Optional[str], str, Optional[str]]
+_PairTask = Tuple[
+    str, str, Tuple[str, ...], ExperimentConfig, Optional[str], str, Optional[str], bool
+]
 
 
 def _init_worker(cache_dir: Optional[str], backend: Optional[str]) -> None:
@@ -49,12 +56,13 @@ def _init_worker(cache_dir: Optional[str], backend: Optional[str]) -> None:
 
 def _simulate_pair(task: _PairTask) -> List[DataPoint]:
     """Run all schemes of one (app, dataset) pair (executed in a worker)."""
-    app_name, dataset_name, schemes, config, reorder, baseline, cache_dir = task
+    app_name, dataset_name, schemes, config, reorder, baseline, cache_dir, streaming = task
     if cache_dir:
         # Covers the fork start method, where _init_worker state is inherited
         # but a worker may be reused across pools with different cache dirs.
         set_disk_memo(DiskMemo(Path(cache_dir)))
-    return compare_policies(
+    compare = compare_policies_streaming if streaming else compare_policies
+    return compare(
         [app_name], [dataset_name], list(schemes), config=config, reorder=reorder, baseline=baseline
     )
 
@@ -83,6 +91,7 @@ def compare_policies_parallel(
     baseline: str = "RRIP",
     max_workers: Optional[int] = None,
     cache_dir: Optional[Path | str] = None,
+    streaming: bool = False,
 ) -> List[DataPoint]:
     """Parallel :func:`~repro.experiments.runner.compare_policies`.
 
@@ -97,22 +106,30 @@ def compare_policies_parallel(
         in this process, so the parent reuses worker results on later calls).
         Defaults to ``REPRO_CACHE_DIR``; without either, workers still run in
         parallel but share nothing across invocations.
+    streaming:
+        Run the full-execution streaming comparison
+        (:func:`~repro.experiments.runner.compare_policies_streaming`)
+        instead of the one-shot ROI comparison.  Each worker's peak memory
+        is bounded by the config's chunk budget, and with a shared
+        ``cache_dir`` the workers' per-chunk LLC streams (``llcchunk`` /
+        ``llcstream`` entries) are reused across schemes and invocations.
     """
     config = config or ExperimentConfig.default()
     root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     if root is not None:
         set_disk_memo(DiskMemo(root))
 
+    serial = compare_policies_streaming if streaming else compare_policies
     pairs = [(app, dataset) for dataset in dataset_names for app in app_names]
     workers = _worker_budget(len(pairs), max_workers)
     if workers < 2 or len(pairs) < 2:
-        return compare_policies(
+        return serial(
             app_names, dataset_names, schemes, config=config, reorder=reorder, baseline=baseline
         )
 
     tasks: List[_PairTask] = [
         (app, dataset, tuple(schemes), config, reorder, baseline,
-         str(root) if root is not None else None)
+         str(root) if root is not None else None, streaming)
         for app, dataset in pairs
     ]
     try:
@@ -125,7 +142,7 @@ def compare_policies_parallel(
     except (OSError, BrokenProcessPool):
         # Process pools can be unavailable (sandboxes) or die mid-flight;
         # the serial path always works and reuses whatever reached the memo.
-        return compare_policies(
+        return serial(
             app_names, dataset_names, schemes, config=config, reorder=reorder, baseline=baseline
         )
     return [point for chunk in chunks for point in chunk]

@@ -42,7 +42,7 @@ On-disk memoisation
 The three in-memory memo tables (workloads, filtered LLC traces, per-scheme
 stats) can additionally be backed by a persistent store shared across
 processes and invocations — see :mod:`repro.experiments.memo` for the
-``<cache_dir>/v2/{workload,llctrace,policy}/<sha256-of-key>.pkl`` layout.
+``<cache_dir>/v3/{workload,llctrace,policy}/<sha256-of-key>.pkl`` layout.
 The store is off unless ``REPRO_CACHE_DIR`` is set or
 :func:`set_disk_memo` is called; the parallel runner
 (:mod:`repro.experiments.parallel`) installs it in every worker so shards
@@ -53,7 +53,7 @@ and later invocations (Figs. 5-11, Tables 1-7) reuse each other's runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,21 +66,32 @@ from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.stats import CacheStats
 from repro.core import AddressBoundRegisterFile, GraspClassifier
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.memo import DiskMemo, default_cache_dir
+from repro.experiments.memo import ChunkSpill, DiskMemo, default_cache_dir
 from repro.fastsim import (
+    FilterStream,
+    OptStream,
+    PolicyReplayStream,
+    resolve_chunk_next_use,
     run_filter,
     supports_vector_replay,
     vector_opt_replay,
     vector_policy_replay,
 )
-from repro.fastsim.dispatch import SCALAR, VECTOR, resolve_backend
+from repro.fastsim.dispatch import SCALAR, VECTOR, VERIFY, resolve_backend
 from repro.fastsim.filter import assert_stats_equal
 from repro.experiments.schemes import scheme_policy
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import get_dataset
 from repro.perf.timing import LevelCounts, TimingModel
 from repro.reorder import get_technique
-from repro.trace import MemoryLayout, Trace, generate_iteration_trace
+from repro.trace import (
+    MemoryLayout,
+    Trace,
+    TraceChunk,
+    generate_execution_trace,
+    generate_iteration_trace,
+    iter_execution_trace,
+)
 
 
 @dataclass
@@ -154,6 +165,8 @@ class DataPoint:
 _WORKLOADS: Dict[tuple, Workload] = {}
 _LLC_TRACES: Dict[tuple, LLCTrace] = {}
 _POLICY_RUNS: Dict[tuple, CacheStats] = {}
+_POLICY_STREAM_RUNS: Dict[tuple, CacheStats] = {}
+_STREAM_SUMMARIES: Dict[tuple, dict] = {}
 
 # Optional persistent layer underneath the tables above.  ``None`` plus an
 # unresolved flag means "look at REPRO_CACHE_DIR on first use".
@@ -200,6 +213,8 @@ def clear_caches() -> None:
     _WORKLOADS.clear()
     _LLC_TRACES.clear()
     _POLICY_RUNS.clear()
+    _POLICY_STREAM_RUNS.clear()
+    _STREAM_SUMMARIES.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -293,18 +308,24 @@ def filter_trace(
     )
 
 
+def _hint_classifier(
+    layout: Optional[MemoryLayout], llc_config: CacheConfig
+) -> GraspClassifier:
+    """GRASP classifier configured with the workload's Address Bound Registers."""
+    abrs = AddressBoundRegisterFile(capacity=8)
+    if layout is not None:
+        for start, end in layout.property_array_bounds():
+            abrs.configure(start, end)
+    return GraspClassifier(abrs, llc_size_bytes=llc_config.size_bytes)
+
+
 def _classify_hints(
     byte_addresses: np.ndarray,
     layout: Optional[MemoryLayout],
     llc_config: CacheConfig,
 ) -> np.ndarray:
     """Tag LLC accesses with GRASP reuse hints from the workload's ABRs."""
-    abrs = AddressBoundRegisterFile(capacity=8)
-    if layout is not None:
-        for start, end in layout.property_array_bounds():
-            abrs.configure(start, end)
-    classifier = GraspClassifier(abrs, llc_size_bytes=llc_config.size_bytes)
-    return classifier.classify_array(byte_addresses)
+    return _hint_classifier(layout, llc_config).classify_array(byte_addresses)
 
 
 def llc_trace_for(workload: Workload, config: ExperimentConfig) -> LLCTrace:
@@ -370,15 +391,9 @@ def _scalar_llc_replay(
     use_hints: bool,
 ) -> CacheStats:
     """Reference LLC replay: one :meth:`access_block` call per access."""
-    cache = SetAssociativeCache(llc_config, policy)
-    access = cache.access_block
-    blocks = llc_trace.block_addresses.tolist()
-    pcs = llc_trace.pcs.tolist()
-    regions = llc_trace.regions.tolist()
-    hints = llc_trace.hints.tolist() if use_hints else [0] * len(blocks)
-    for block, pc, hint, region in zip(blocks, pcs, hints, regions):
-        access(block, pc, hint, region)
-    return cache.stats
+    stream = _ScalarLLCStream(policy, llc_config)
+    stream.feed(llc_trace, use_hints)
+    return stream.stats()
 
 
 def simulate_opt(
@@ -400,6 +415,420 @@ def simulate_opt(
     scalar_stats = simulate_opt_misses(llc_trace.block_addresses, llc_config)
     assert_stats_equal(scalar_stats, vector_stats, "LLC OPT replay")
     return vector_stats
+
+
+# ---------------------------------------------------------------------------
+# streaming full-execution pipeline
+# ---------------------------------------------------------------------------
+
+#: Default access budget per streamed trace chunk (a few tens of MB of
+#: working set); override per config (`ExperimentConfig.chunk_accesses`) or
+#: per call.  The budget only bounds peak memory — results are bit-identical
+#: for every value.
+DEFAULT_CHUNK_ACCESSES = 1 << 20
+
+
+def execution_trace(workload: Workload) -> Trace:
+    """One-shot reference stream of the workload's *full* execution.
+
+    Every iteration of the application run contributes its direction and
+    frontier (warmup, push/pull switches, frontier evolution), unlike
+    :func:`roi_trace`, which materializes only the busiest iteration.  Large
+    executions should use :func:`iter_execution_chunks` instead — this
+    function holds the whole stream in memory and exists for small workloads
+    and the streaming-equivalence tests.
+    """
+    return generate_execution_trace(
+        workload.graph, workload.layout, workload.app_result.iterations
+    )
+
+
+def iter_execution_chunks(
+    workload: Workload, max_chunk_accesses: Optional[int] = None
+) -> Iterator[TraceChunk]:
+    """Stream the workload's full execution as bounded trace chunks."""
+    return iter_execution_trace(
+        workload.graph,
+        workload.layout,
+        workload.app_result.iterations,
+        max_chunk_accesses=max_chunk_accesses,
+    )
+
+
+def _chunk_budget(config: ExperimentConfig, max_chunk_accesses: Optional[int]) -> int:
+    if max_chunk_accesses is not None:
+        return max_chunk_accesses
+    if config.chunk_accesses is not None:
+        return config.chunk_accesses
+    return DEFAULT_CHUNK_ACCESSES
+
+
+def _summary_key(workload: Workload, config: ExperimentConfig) -> tuple:
+    """Budget-independent key for the aggregate L1/L2 stream counters."""
+    return (
+        workload.key,
+        config.scale,
+        config.seed,
+        config.hierarchy,
+        workload.layout.profile.merged,
+        "execution",
+    )
+
+
+def _stream_key(workload: Workload, config: ExperimentConfig, budget: int) -> tuple:
+    """Key for the chunked stream itself — chunk boundaries depend on the budget."""
+    return _summary_key(workload, config) + (budget,)
+
+
+def iter_llc_chunks(
+    workload: Workload,
+    config: ExperimentConfig,
+    max_chunk_accesses: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Iterator[LLCTrace]:
+    """Stream the full execution's post-L1/L2 LLC accesses, chunk by chunk.
+
+    The streaming analogue of :func:`llc_trace_for`: each generated trace
+    chunk runs through one persistent :class:`~repro.fastsim.FilterStream`
+    (whose L1/L2 state carries across chunks) and is tagged with GRASP reuse
+    hints, yielding per-chunk :class:`LLCTrace` pieces whose concatenation is
+    bit-identical to filtering the materialized execution trace.
+
+    With the on-disk memo enabled, every filtered chunk is persisted
+    (``llcchunk``) and a manifest (``llcstream``) is written once the stream
+    completes; later iterations — other policies replaying the same
+    workload, other processes — serve the stream from disk one chunk at a
+    time (peak memory stays O(chunk) on the memo-hit path too) without
+    regenerating or re-filtering anything.  A missing or corrupt persisted
+    chunk falls back to regeneration mid-stream: the already-served prefix
+    is re-filtered to rebuild the L1/L2 state but not yielded again.
+    """
+    budget = _chunk_budget(config, max_chunk_accesses)
+    key = _stream_key(workload, config, budget)
+    summary_key = _summary_key(workload, config)
+    memo = active_disk_memo()
+    served = 0
+    if memo is not None:
+        manifest = memo.get("llcstream", key)
+        if manifest is not None:
+            _STREAM_SUMMARIES.setdefault(key, manifest)
+            _STREAM_SUMMARIES.setdefault(summary_key, manifest)
+            while served < manifest["chunks"]:
+                llc_chunk = memo.get("llcchunk", key + (served,))
+                if llc_chunk is None:
+                    break
+                yield llc_chunk
+                served += 1
+            if served == manifest["chunks"]:
+                return
+    filter_stream = FilterStream(
+        config.hierarchy, backend=backend if backend is not None else config.backend
+    )
+    classifier = _hint_classifier(workload.layout, config.hierarchy.llc)
+    offset_bits = config.hierarchy.llc.block_offset_bits
+    count = 0
+    for chunk in iter_execution_chunks(workload, budget):
+        l1_before, l2_before = filter_stream.upstream_hit_counts()
+        keep = filter_stream.feed(chunk.trace)
+        l1_after, l2_after = filter_stream.upstream_hit_counts()
+        byte_addresses = chunk.trace.addresses[keep]
+        llc_chunk = LLCTrace(
+            byte_addresses=byte_addresses,
+            block_addresses=byte_addresses >> offset_bits,
+            pcs=chunk.trace.pcs[keep],
+            regions=chunk.trace.regions[keep],
+            hints=classifier.classify_array(byte_addresses),
+            upstream_l1_hits=l1_after - l1_before,
+            upstream_l2_hits=l2_after - l2_before,
+            total_references=len(chunk.trace),
+        )
+        if memo is not None and count >= served:
+            # Chunks before `served` were just read back from disk intact;
+            # only the broken/missing tail needs (re)persisting.
+            memo.put("llcchunk", key + (count,), llc_chunk)
+        count += 1
+        if count > served:
+            yield llc_chunk
+    l1_hits, l2_hits = filter_stream.upstream_hit_counts()
+    if filter_stream.mode == VERIFY:
+        filter_stream.level_stats()  # cross-check the backends' counters
+    summary = {
+        "chunks": count,
+        "l1_hits": l1_hits,
+        "l2_hits": l2_hits,
+        "total_references": filter_stream.total_references,
+    }
+    # The budget-keyed entry is the manifest the chunk store is served by;
+    # the budget-less entry lets execution_stream_summary reuse the counters
+    # (identical for every budget) from runs with other chunk budgets.
+    _STREAM_SUMMARIES[key] = summary
+    _STREAM_SUMMARIES[summary_key] = summary
+    if memo is not None:
+        memo.put("llcstream", key, summary)
+        memo.put("llcstream", summary_key, summary)
+
+
+def execution_stream_summary(
+    workload: Workload,
+    config: ExperimentConfig,
+    max_chunk_accesses: Optional[int] = None,
+) -> dict:
+    """Aggregate L1/L2 filter counters of the full-execution stream.
+
+    Served from the in-memory/on-disk manifests when available — the
+    counters are budget-invariant, so a manifest written by a run with any
+    chunk budget qualifies; otherwise drains :func:`iter_llc_chunks` once
+    (which writes them).
+    """
+    budget = _chunk_budget(config, max_chunk_accesses)
+    memo = active_disk_memo()
+    for key in (_stream_key(workload, config, budget), _summary_key(workload, config)):
+        summary = _STREAM_SUMMARIES.get(key)
+        if summary is not None:
+            return summary
+        if memo is not None:
+            summary = memo.get("llcstream", key)
+            if summary is not None:
+                _STREAM_SUMMARIES[key] = summary
+                return summary
+    for _ in iter_llc_chunks(workload, config, budget):
+        pass
+    return _STREAM_SUMMARIES[_summary_key(workload, config)]
+
+
+class _ScalarLLCStream:
+    """Streaming scalar LLC reference: one live cache fed chunk by chunk."""
+
+    def __init__(self, policy: ReplacementPolicy, llc_config: CacheConfig) -> None:
+        self._cache = SetAssociativeCache(llc_config, policy)
+
+    def feed(self, chunk: LLCTrace, use_hints: bool) -> None:
+        access = self._cache.access_block
+        blocks = chunk.block_addresses.tolist()
+        pcs = chunk.pcs.tolist()
+        regions = chunk.regions.tolist()
+        hints = chunk.hints.tolist() if use_hints else [0] * len(blocks)
+        for block, pc, hint, region in zip(blocks, pcs, hints, regions):
+            access(block, pc, hint, region)
+
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+
+def simulate_llc_policy_streaming(
+    workload: Workload,
+    policy: ReplacementPolicy,
+    config: Optional[ExperimentConfig] = None,
+    use_hints: bool = True,
+    backend: Optional[str] = None,
+    max_chunk_accesses: Optional[int] = None,
+) -> CacheStats:
+    """Replay the workload's *full execution* under one policy, streaming.
+
+    The multi-iteration counterpart of :func:`simulate_llc_policy`: trace
+    generation, L1/L2 filtering and the LLC replay all run chunk by chunk
+    with resumable state, so peak memory is bounded by the chunk budget
+    regardless of how many iterations the application executed.  Backend
+    semantics match the one-shot path — ``vector`` feeds a
+    :class:`~repro.fastsim.PolicyReplayStream` (scalar fallback for policies
+    without a fast engine), ``scalar`` keeps the reference cache alive
+    across chunks, and ``verify`` runs both and raises
+    :class:`~repro.fastsim.FastSimMismatchError` unless their statistics are
+    identical.  Results are bit-identical to replaying the materialized
+    execution trace one-shot, for every chunk budget.
+    """
+    config = config or ExperimentConfig.default()
+    if type(policy) is BeladyOptimal:
+        return simulate_opt_streaming(
+            workload, config, backend=backend, max_chunk_accesses=max_chunk_accesses
+        )
+    mode = resolve_backend(backend if backend is not None else config.backend)
+    llc_config = config.hierarchy.llc
+    vector_stream = None
+    scalar_stream = None
+    if mode != SCALAR and supports_vector_replay(policy):
+        vector_stream = PolicyReplayStream(policy, llc_config)
+    if vector_stream is None or mode == VERIFY:
+        scalar_stream = _ScalarLLCStream(policy, llc_config)
+    for chunk in iter_llc_chunks(
+        workload, config, max_chunk_accesses, backend=backend
+    ):
+        if vector_stream is not None:
+            vector_stream.feed(
+                chunk.block_addresses,
+                hints=chunk.hints if use_hints else None,
+                regions=chunk.regions,
+                pcs=chunk.pcs,
+            )
+        if scalar_stream is not None:
+            scalar_stream.feed(chunk, use_hints)
+    if vector_stream is not None and scalar_stream is not None:
+        assert_stats_equal(
+            scalar_stream.stats(),
+            vector_stream.stats(),
+            f"streaming LLC {policy.name} replay",
+        )
+    if vector_stream is not None:
+        return vector_stream.stats()
+    return scalar_stream.stats()
+
+
+def simulate_opt_streaming(
+    workload: Workload,
+    config: Optional[ExperimentConfig] = None,
+    backend: Optional[str] = None,
+    max_chunk_accesses: Optional[int] = None,
+) -> CacheStats:
+    """Belady's OPT over the full execution's LLC stream, out of core.
+
+    OPT needs the future, so the stream is processed in two passes with a
+    disk spill (:class:`~repro.experiments.memo.ChunkSpill`) instead of one
+    resumable pass: the filtered chunks are spilled while a reverse sweep
+    resolves globally consistent per-chunk next-use indices
+    (:func:`~repro.fastsim.resolve_chunk_next_use`), then a forward sweep
+    feeds an :class:`~repro.fastsim.OptStream`.  Peak memory stays bounded
+    by the chunk budget plus one entry per distinct block.
+
+    The scalar reference (:func:`simulate_opt_misses`) is inherently
+    one-shot, so ``scalar`` and the ``verify`` cross-check materialize the
+    filtered stream — use them at test scales only.
+    """
+    config = config or ExperimentConfig.default()
+    mode = resolve_backend(backend if backend is not None else config.backend)
+    llc_config = config.hierarchy.llc
+    with ChunkSpill() as spill:
+        starts: List[int] = []
+        offset = 0
+        count = 0
+        for chunk in iter_llc_chunks(
+            workload, config, max_chunk_accesses, backend=backend
+        ):
+            spill.put("blocks", count, chunk.block_addresses)
+            starts.append(offset)
+            offset += len(chunk)
+            count += 1
+
+        def materialized() -> np.ndarray:
+            if not count:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(
+                [spill.get("blocks", index) for index in range(count)]
+            )
+
+        if mode == SCALAR:
+            return simulate_opt_misses(materialized(), llc_config)
+        next_seen: dict = {}
+        for index in reversed(range(count)):
+            spill.put(
+                "next",
+                index,
+                resolve_chunk_next_use(
+                    spill.get("blocks", index), starts[index], next_seen
+                ),
+            )
+        stream = OptStream(llc_config.num_sets, llc_config.ways)
+        for index in range(count):
+            stream.feed(spill.get("blocks", index), spill.get("next", index))
+        stats = CacheStats.from_counts(
+            name=f"{llc_config.name}-OPT",
+            hits=stream.hit_count,
+            misses=stream.miss_count,
+            evictions=stream.evictions,
+        )
+        if mode == VERIFY:
+            scalar_stats = simulate_opt_misses(materialized(), llc_config)
+            assert_stats_equal(scalar_stats, stats, "streaming LLC OPT replay")
+        return stats
+
+
+def simulate_scheme_streaming(
+    workload: Workload, scheme: str, config: ExperimentConfig
+) -> CacheStats:
+    """Memoised full-execution streaming simulation of one scheme.
+
+    The streaming analogue of the internal per-scheme runner: results are
+    chunk-budget-invariant, so the memo key carries only the workload,
+    scheme and hierarchy (kind ``policystream``).
+    """
+    key = (
+        workload.key,
+        scheme,
+        config.scale,
+        config.seed,
+        config.hierarchy,
+        workload.layout.profile.merged,
+        "execution",
+    )
+
+    def compute() -> CacheStats:
+        if scheme == "OPT":
+            return simulate_opt_streaming(workload, config, backend=config.backend)
+        return simulate_llc_policy_streaming(
+            workload, scheme_policy(scheme), config, backend=config.backend
+        )
+
+    return _memoised(_POLICY_STREAM_RUNS, "policystream", key, compute)
+
+
+def execution_cycles(
+    workload: Workload, stats: CacheStats, config: ExperimentConfig
+) -> float:
+    """Execution cycles of the *full* application run under an LLC outcome."""
+    summary = execution_stream_summary(workload, config)
+    counts = LevelCounts(
+        l1_hits=summary["l1_hits"],
+        l2_hits=summary["l2_hits"],
+        llc_hits=stats.hits,
+        memory_accesses=stats.misses,
+    )
+    return config.timing.cycles(counts)
+
+
+def compare_policies_streaming(
+    app_names: Sequence[str],
+    dataset_names: Sequence[str],
+    schemes: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    reorder: Optional[str] = None,
+    baseline: str = "RRIP",
+) -> List[DataPoint]:
+    """Full-execution counterpart of :func:`compare_policies`.
+
+    Simulates every scheme over the complete application run (all
+    iterations, streamed with bounded memory) instead of the single ROI
+    iteration, reporting miss reductions and speed-ups against the baseline
+    exactly like the one-shot comparison.
+    """
+    config = config or ExperimentConfig.default()
+    reorder = reorder or config.reorder
+    timing: TimingModel = config.timing
+    points: List[DataPoint] = []
+    for dataset_name in dataset_names:
+        for app_name in app_names:
+            workload = build_workload(app_name, dataset_name, reorder=reorder, config=config)
+            baseline_stats = simulate_scheme_streaming(workload, baseline, config)
+            baseline_cycles = execution_cycles(workload, baseline_stats, config)
+            for scheme in schemes:
+                stats = (
+                    baseline_stats
+                    if scheme == baseline
+                    else simulate_scheme_streaming(workload, scheme, config)
+                )
+                cycles = execution_cycles(workload, stats, config)
+                points.append(
+                    DataPoint(
+                        app_name=app_name,
+                        dataset_name=dataset_name,
+                        scheme=scheme,
+                        stats=stats,
+                        cycles=cycles,
+                        miss_reduction_pct=timing.miss_reduction_percent(
+                            baseline_stats.misses, stats.misses
+                        ),
+                        speedup_pct=timing.speedup_percent(baseline_cycles, cycles),
+                    )
+                )
+    return points
 
 
 def _run_scheme(workload: Workload, scheme: str, config: ExperimentConfig) -> CacheStats:

@@ -67,6 +67,7 @@ from repro.fastsim.dispatch import (
 from repro.fastsim.filter import (
     FastSimMismatchError,
     FilterResult,
+    FilterStream,
     run_filter,
     scalar_filter,
     vector_filter,
@@ -74,6 +75,7 @@ from repro.fastsim.filter import (
 from repro.fastsim.hawkeye import (
     HawkeyeReplay,
     HawkeyeSpec,
+    HawkeyeStream,
     hawkeye_replay,
     hawkeye_spec,
     numpy_hawkeye_replay,
@@ -81,24 +83,29 @@ from repro.fastsim.hawkeye import (
 from repro.fastsim.leeway import (
     LeewayReplay,
     LeewaySpec,
+    LeewayStream,
     leeway_replay,
     leeway_spec,
     numpy_leeway_replay,
 )
 from repro.fastsim.opt import (
     OptReplay,
+    OptStream,
     next_use_indices,
     numpy_opt_replay,
     opt_replay,
+    resolve_chunk_next_use,
 )
 from repro.fastsim.pin import (
     PinReplay,
     PinSpec,
+    PinStream,
     numpy_pin_replay,
     pin_replay,
     pin_spec,
 )
 from repro.fastsim.replay import (
+    PolicyReplayStream,
     supports_vector_replay,
     vector_lru_replay,
     vector_opt_replay,
@@ -107,6 +114,7 @@ from repro.fastsim.replay import (
 from repro.fastsim.rrip import (
     RRIPReplay,
     RRIPSpec,
+    RRIPStream,
     numpy_rrip_replay,
     rrip_replay,
     rrip_spec,
@@ -114,12 +122,15 @@ from repro.fastsim.rrip import (
 from repro.fastsim.ship import (
     ShipReplay,
     ShipSpec,
+    ShipStream,
     numpy_ship_replay,
     ship_replay,
     ship_spec,
 )
 from repro.fastsim.stackdist import (
+    DenseIdMap,
     LRUReplay,
+    LRUStream,
     lru_replay,
     numpy_lru_replay,
     occurrence_order,
@@ -134,20 +145,30 @@ __all__ = [
     "SCALAR",
     "VECTOR",
     "VERIFY",
+    "DenseIdMap",
     "FastSimMismatchError",
     "FilterResult",
+    "FilterStream",
     "HawkeyeReplay",
     "HawkeyeSpec",
+    "HawkeyeStream",
     "LRUReplay",
+    "LRUStream",
     "LeewayReplay",
     "LeewaySpec",
+    "LeewayStream",
     "OptReplay",
+    "OptStream",
     "PinReplay",
     "PinSpec",
+    "PinStream",
+    "PolicyReplayStream",
     "RRIPReplay",
     "RRIPSpec",
+    "RRIPStream",
     "ShipReplay",
     "ShipSpec",
+    "ShipStream",
     "default_backend",
     "hawkeye_replay",
     "hawkeye_spec",
@@ -168,6 +189,7 @@ __all__ = [
     "pin_spec",
     "previous_occurrence_indices",
     "prior_leq_counts",
+    "resolve_chunk_next_use",
     "resolve_backend",
     "rrip_replay",
     "rrip_spec",

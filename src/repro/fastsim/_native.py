@@ -39,14 +39,16 @@ _SOURCE = r"""
 #include <stdint.h>
 
 /* Exact set-associative LRU replay: timestamp per way, linear way scan.
- * tags/stamps are caller-provided scratch of num_sets*ways entries; tags
- * must be initialised to -1.  Returns nothing; hits[i] in {0,1} and
- * misses_per_set accumulate the outcome. */
+ * tags/stamps are caller-provided state of num_sets*ways entries; tags must
+ * be initialised to -1 on the first call.  state[0] is the recency clock
+ * in/out, so a stream can be replayed in chunks against persistent
+ * tags/stamps with bit-identical outcomes.  Returns nothing; hits[i] in
+ * {0,1} and misses_per_set accumulate the outcome. */
 void lru_replay(const int64_t *blocks, int64_t n, int32_t num_sets,
                 int32_t ways, int64_t *tags, int64_t *stamps,
-                uint8_t *hits, int64_t *misses_per_set)
+                uint8_t *hits, int64_t *misses_per_set, int64_t *state)
 {
-    int64_t clock = 0;
+    int64_t clock = state[0];
     const int64_t mask = (int64_t)num_sets - 1;
     for (int64_t i = 0; i < n; i++) {
         const int64_t block = blocks[i];
@@ -73,6 +75,7 @@ void lru_replay(const int64_t *blocks, int64_t n, int32_t num_sets,
         tag[victim] = block;
         stamp[victim] = ++clock;
     }
+    state[0] = clock;
 }
 
 /* Exact RRIP-family replay (SRRIP / BRRIP / DRRIP / GRASP).
@@ -607,7 +610,7 @@ def _compile() -> Optional[ctypes.CDLL]:
     i64 = ctypes.c_int64
     i32 = ctypes.c_int32
     signatures = {
-        "lru_replay": [p_i64, i64, i32, i32, p_i64, p_i64, p_u8, p_i64],
+        "lru_replay": [p_i64, i64, i32, i32, p_i64, p_i64, p_u8, p_i64, p_i64],
         "rrip_replay": [
             p_i64, p_u8, i64, i32, i32, i32, p_i32, p_i32, i64, i64, i32,
             p_i64, p_i32, p_u8, p_i64, p_i64,
@@ -652,6 +655,41 @@ def available() -> bool:
     return _lib is not None
 
 
+def lru_feed(
+    blocks: np.ndarray,
+    num_sets: int,
+    ways: int,
+    tags: np.ndarray,
+    stamps: np.ndarray,
+    misses_per_set: np.ndarray,
+    state: np.ndarray,
+):
+    """Run the LRU kernel over caller-owned state; ``None`` when unavailable.
+
+    ``tags``/``stamps`` (``num_sets * ways`` int64, tags initialised to -1),
+    ``misses_per_set`` (accumulating) and ``state`` (``[clock]``) persist
+    across calls, so feeding a stream in chunks is bit-identical to one call
+    over the concatenation.  Returns the chunk's hit mask.
+    """
+    if not available():
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
+    _lib.lru_replay(
+        _as_i64(blocks),
+        ctypes.c_int64(n),
+        ctypes.c_int32(num_sets),
+        ctypes.c_int32(ways),
+        _as_i64(tags),
+        _as_i64(stamps),
+        _as_u8(hits),
+        _as_i64(misses_per_set),
+        _as_i64(state),
+    )
+    return hits.view(bool)
+
+
 def lru_replay(blocks: np.ndarray, num_sets: int, ways: int):
     """Replay through the compiled kernel; ``None`` when unavailable.
 
@@ -659,24 +697,63 @@ def lru_replay(blocks: np.ndarray, num_sets: int, ways: int):
     """
     if not available():
         return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
     misses_per_set = np.zeros(num_sets, dtype=np.int64)
     tags = np.full(num_sets * ways, -1, dtype=np.int64)
     stamps = np.zeros(num_sets * ways, dtype=np.int64)
-    as_i64 = lambda array: array.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))  # noqa: E731
-    _lib.lru_replay(
-        as_i64(blocks),
+    state = np.zeros(1, dtype=np.int64)
+    hits = lru_feed(blocks, num_sets, ways, tags, stamps, misses_per_set, state)
+    return hits, misses_per_set
+
+
+def rrip_feed(
+    blocks: np.ndarray,
+    hints: np.ndarray,
+    num_sets: int,
+    ways: int,
+    max_rrpv: int,
+    ins_table: np.ndarray,
+    promo_table: np.ndarray,
+    epsilon: int,
+    psel_max: int,
+    leader_period: int,
+    tags: np.ndarray,
+    rrpv: np.ndarray,
+    misses_per_set: np.ndarray,
+    state: np.ndarray,
+):
+    """Run the RRIP kernel over caller-owned state; ``None`` when unavailable.
+
+    ``tags`` (int64, -1 initial) / ``rrpv`` (int32, ``max_rrpv`` initial) /
+    ``misses_per_set`` / ``state`` (``[psel, insert_count]``) persist across
+    calls.  Returns the chunk's hit mask.
+    """
+    if not available():
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    hints = np.ascontiguousarray(hints, dtype=np.uint8)
+    ins_table = np.ascontiguousarray(ins_table, dtype=np.int32)
+    promo_table = np.ascontiguousarray(promo_table, dtype=np.int32)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
+    _lib.rrip_replay(
+        _as_i64(blocks),
+        _as_u8(hints),
         ctypes.c_int64(n),
         ctypes.c_int32(num_sets),
         ctypes.c_int32(ways),
-        as_i64(tags),
-        as_i64(stamps),
-        hits.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
-        as_i64(misses_per_set),
+        ctypes.c_int32(max_rrpv),
+        _as_i32(ins_table),
+        _as_i32(promo_table),
+        ctypes.c_int64(epsilon),
+        ctypes.c_int64(psel_max),
+        ctypes.c_int32(leader_period),
+        _as_i64(tags),
+        _as_i32(rrpv),
+        _as_u8(hits),
+        _as_i64(misses_per_set),
+        _as_i64(state),
     )
-    return hits.view(bool), misses_per_set
+    return hits.view(bool)
 
 
 def rrip_replay(
@@ -699,38 +776,15 @@ def rrip_replay(
     """
     if not available():
         return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    hints = np.ascontiguousarray(hints, dtype=np.uint8)
-    ins_table = np.ascontiguousarray(ins_table, dtype=np.int32)
-    promo_table = np.ascontiguousarray(promo_table, dtype=np.int32)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
     misses_per_set = np.zeros(num_sets, dtype=np.int64)
     tags = np.full(num_sets * ways, -1, dtype=np.int64)
     rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
     state = np.array([psel_init, 0], dtype=np.int64)
-    as_i64 = lambda array: array.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))  # noqa: E731
-    as_i32 = lambda array: array.ctypes.data_as(ctypes.POINTER(ctypes.c_int32))  # noqa: E731
-    as_u8 = lambda array: array.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8))  # noqa: E731
-    _lib.rrip_replay(
-        as_i64(blocks),
-        as_u8(hints),
-        ctypes.c_int64(n),
-        ctypes.c_int32(num_sets),
-        ctypes.c_int32(ways),
-        ctypes.c_int32(max_rrpv),
-        as_i32(ins_table),
-        as_i32(promo_table),
-        ctypes.c_int64(epsilon),
-        ctypes.c_int64(psel_max),
-        ctypes.c_int32(leader_period),
-        as_i64(tags),
-        as_i32(rrpv),
-        as_u8(hits),
-        as_i64(misses_per_set),
-        as_i64(state),
+    hits = rrip_feed(
+        blocks, hints, num_sets, ways, max_rrpv, ins_table, promo_table,
+        epsilon, psel_max, leader_period, tags, rrpv, misses_per_set, state,
     )
-    return hits.view(bool), misses_per_set, int(state[0]), int(state[1])
+    return hits, misses_per_set, int(state[0]), int(state[1])
 
 
 def _as_i64(array: np.ndarray):
@@ -765,10 +819,6 @@ def pin_replay(
     """
     if not available():
         return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    hints = np.ascontiguousarray(hints, dtype=np.uint8)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
     misses_per_set = np.zeros(num_sets, dtype=np.int64)
     bypasses_per_set = np.zeros(num_sets, dtype=np.int64)
     tags = np.full(num_sets * ways, -1, dtype=np.int64)
@@ -776,6 +826,44 @@ def pin_replay(
     pinned = np.zeros(num_sets * ways, dtype=np.uint8)
     pinned_count = np.zeros(num_sets, dtype=np.int32)
     state = np.array([psel_init, 0], dtype=np.int64)
+    hits = pin_feed(
+        blocks, hints, num_sets, ways, max_rrpv, epsilon, psel_max,
+        leader_period, reserved_ways, hint_high, tags, rrpv, pinned,
+        pinned_count, misses_per_set, bypasses_per_set, state,
+    )
+    return hits, misses_per_set, bypasses_per_set, int(state[0]), int(state[1])
+
+
+def pin_feed(
+    blocks: np.ndarray,
+    hints: np.ndarray,
+    num_sets: int,
+    ways: int,
+    max_rrpv: int,
+    epsilon: int,
+    psel_max: int,
+    leader_period: int,
+    reserved_ways: int,
+    hint_high: int,
+    tags: np.ndarray,
+    rrpv: np.ndarray,
+    pinned: np.ndarray,
+    pinned_count: np.ndarray,
+    misses_per_set: np.ndarray,
+    bypasses_per_set: np.ndarray,
+    state: np.ndarray,
+):
+    """Run the PIN-X kernel over caller-owned state; ``None`` when unavailable.
+
+    All array arguments after ``hint_high`` persist across calls (``state``
+    is ``[psel, insert_count]``).  Returns the chunk's hit mask.
+    """
+    if not available():
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    hints = np.ascontiguousarray(hints, dtype=np.uint8)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
     _lib.pin_replay(
         _as_i64(blocks),
         _as_u8(hints),
@@ -797,7 +885,7 @@ def pin_replay(
         _as_i64(bypasses_per_set),
         _as_i64(state),
     )
-    return hits.view(bool), misses_per_set, bypasses_per_set, int(state[0]), int(state[1])
+    return hits.view(bool)
 
 
 def opt_replay(blocks: np.ndarray, next_use: np.ndarray, num_sets: int, ways: int):
@@ -808,13 +896,34 @@ def opt_replay(blocks: np.ndarray, next_use: np.ndarray, num_sets: int, ways: in
     """
     if not available():
         return None
+    misses_per_set = np.zeros(num_sets, dtype=np.int64)
+    tags = np.full(num_sets * ways, -1, dtype=np.int64)
+    next_vals = np.zeros(num_sets * ways, dtype=np.int64)
+    hits = opt_feed(blocks, next_use, num_sets, ways, tags, next_vals, misses_per_set)
+    return hits, misses_per_set
+
+
+def opt_feed(
+    blocks: np.ndarray,
+    next_use: np.ndarray,
+    num_sets: int,
+    ways: int,
+    tags: np.ndarray,
+    next_vals: np.ndarray,
+    misses_per_set: np.ndarray,
+):
+    """Run the OPT kernel over caller-owned state; ``None`` when unavailable.
+
+    ``next_use`` must hold globally consistent next-use indices (the caller's
+    two-pass precompute); ``tags``/``next_vals``/``misses_per_set`` persist
+    across calls.  Returns the chunk's hit mask.
+    """
+    if not available():
+        return None
     blocks = np.ascontiguousarray(blocks, dtype=np.int64)
     next_use = np.ascontiguousarray(next_use, dtype=np.int64)
     n = int(blocks.shape[0])
     hits = np.empty(n, dtype=np.uint8)
-    misses_per_set = np.zeros(num_sets, dtype=np.int64)
-    tags = np.full(num_sets * ways, -1, dtype=np.int64)
-    next_vals = np.zeros(num_sets * ways, dtype=np.int64)
     _lib.opt_replay(
         _as_i64(blocks),
         _as_i64(next_use),
@@ -826,7 +935,7 @@ def opt_replay(blocks: np.ndarray, next_use: np.ndarray, num_sets: int, ways: in
         _as_u8(hits),
         _as_i64(misses_per_set),
     )
-    return hits.view(bool), misses_per_set
+    return hits.view(bool)
 
 
 def ship_replay(
@@ -847,16 +956,45 @@ def ship_replay(
     """
     if not available():
         return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    sig_ids = np.ascontiguousarray(sig_ids, dtype=np.int64)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
     misses_per_set = np.zeros(num_sets, dtype=np.int64)
     tags = np.full(num_sets * ways, -1, dtype=np.int64)
     rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
     line_sig = np.zeros(num_sets * ways, dtype=np.int64)
     reused = np.zeros(num_sets * ways, dtype=np.uint8)
     shct = np.full(max(1, num_signatures), unseen_value, dtype=np.int64)
+    hits = ship_feed(
+        blocks, sig_ids, num_sets, ways, max_rrpv, counter_max,
+        tags, rrpv, line_sig, reused, shct, misses_per_set,
+    )
+    return hits, misses_per_set, shct[:num_signatures]
+
+
+def ship_feed(
+    blocks: np.ndarray,
+    sig_ids: np.ndarray,
+    num_sets: int,
+    ways: int,
+    max_rrpv: int,
+    counter_max: int,
+    tags: np.ndarray,
+    rrpv: np.ndarray,
+    line_sig: np.ndarray,
+    reused: np.ndarray,
+    shct: np.ndarray,
+    misses_per_set: np.ndarray,
+):
+    """Run the SHiP kernel over caller-owned state; ``None`` when unavailable.
+
+    ``sig_ids`` must use signature ids that are stable across calls, and
+    ``shct`` must cover every id in the chunk; all array arguments after
+    ``counter_max`` persist across calls.  Returns the chunk's hit mask.
+    """
+    if not available():
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    sig_ids = np.ascontiguousarray(sig_ids, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
     _lib.ship_replay(
         _as_i64(blocks),
         _as_i64(sig_ids),
@@ -873,7 +1011,7 @@ def ship_replay(
         _as_u8(hits),
         _as_i64(misses_per_set),
     )
-    return hits.view(bool), misses_per_set, shct[:num_signatures]
+    return hits.view(bool)
 
 
 def leeway_replay(
@@ -892,10 +1030,6 @@ def leeway_replay(
     """
     if not available():
         return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    pc_ids = np.ascontiguousarray(pc_ids, dtype=np.int64)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
     misses_per_set = np.zeros(num_sets, dtype=np.int64)
     tags = np.full(num_sets * ways, -1, dtype=np.int64)
     pos = np.tile(np.arange(ways, dtype=np.int32), num_sets)
@@ -903,6 +1037,40 @@ def leeway_replay(
     observed = np.zeros(num_sets * ways, dtype=np.int32)
     predicted = np.zeros(max(1, num_signatures), dtype=np.int64)
     votes = np.zeros(max(1, num_signatures), dtype=np.int64)
+    hits = leeway_feed(
+        blocks, pc_ids, num_sets, ways, decay_period,
+        tags, pos, line_sig, observed, predicted, votes, misses_per_set,
+    )
+    return hits, misses_per_set, predicted[:num_signatures]
+
+
+def leeway_feed(
+    blocks: np.ndarray,
+    pc_ids: np.ndarray,
+    num_sets: int,
+    ways: int,
+    decay_period: int,
+    tags: np.ndarray,
+    pos: np.ndarray,
+    line_sig: np.ndarray,
+    observed: np.ndarray,
+    predicted: np.ndarray,
+    votes: np.ndarray,
+    misses_per_set: np.ndarray,
+):
+    """Run the Leeway kernel over caller-owned state; ``None`` when unavailable.
+
+    ``pc_ids`` must use PC ids that are stable across calls, and
+    ``predicted``/``votes`` must cover every id in the chunk; all array
+    arguments after ``decay_period`` persist across calls.  Returns the
+    chunk's hit mask.
+    """
+    if not available():
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    pc_ids = np.ascontiguousarray(pc_ids, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
     _lib.leeway_replay(
         _as_i64(blocks),
         _as_i64(pc_ids),
@@ -919,7 +1087,7 @@ def leeway_replay(
         _as_u8(hits),
         _as_i64(misses_per_set),
     )
-    return hits.view(bool), misses_per_set, predicted[:num_signatures]
+    return hits.view(bool)
 
 
 def hawkeye_replay(
@@ -943,13 +1111,8 @@ def hawkeye_replay(
     """
     if not available() or history <= 0:
         return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    block_ids = np.ascontiguousarray(block_ids, dtype=np.int64)
-    pc_ids = np.ascontiguousarray(pc_ids, dtype=np.int64)
-    n = int(blocks.shape[0])
     num_samplers = (num_sets + sample_period - 1) // sample_period
     midpoint = (predictor_max + 1) // 2
-    hits = np.empty(n, dtype=np.uint8)
     misses_per_set = np.zeros(num_sets, dtype=np.int64)
     tags = np.full(num_sets * ways, -1, dtype=np.int64)
     rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
@@ -962,6 +1125,52 @@ def hawkeye_replay(
     occ_head = np.zeros(max(1, num_samplers), dtype=np.int64)
     occ_len = np.zeros(max(1, num_samplers), dtype=np.int64)
     timestamps = np.zeros(max(1, num_samplers), dtype=np.int64)
+    hits = hawkeye_feed(
+        blocks, block_ids, pc_ids, num_sets, ways, max_rrpv, sample_period,
+        predictor_max, history, tags, rrpv, friendly, line_pc, predictor,
+        last_access, last_pc, occupancy, occ_head, occ_len, timestamps,
+        misses_per_set,
+    )
+    return hits, misses_per_set, predictor[:num_pcs]
+
+
+def hawkeye_feed(
+    blocks: np.ndarray,
+    block_ids: np.ndarray,
+    pc_ids: np.ndarray,
+    num_sets: int,
+    ways: int,
+    max_rrpv: int,
+    sample_period: int,
+    predictor_max: int,
+    history: int,
+    tags: np.ndarray,
+    rrpv: np.ndarray,
+    friendly: np.ndarray,
+    line_pc: np.ndarray,
+    predictor: np.ndarray,
+    last_access: np.ndarray,
+    last_pc: np.ndarray,
+    occupancy: np.ndarray,
+    occ_head: np.ndarray,
+    occ_len: np.ndarray,
+    timestamps: np.ndarray,
+    misses_per_set: np.ndarray,
+):
+    """Run the Hawkeye kernel over caller-owned state; ``None`` when unavailable.
+
+    ``block_ids``/``pc_ids`` must use dense ids that are stable across calls
+    and covered by ``last_access``/``last_pc``/``predictor``; all array
+    arguments after ``history`` persist across calls.  Returns the chunk's
+    hit mask.
+    """
+    if not available() or history <= 0:
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    block_ids = np.ascontiguousarray(block_ids, dtype=np.int64)
+    pc_ids = np.ascontiguousarray(pc_ids, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
     _lib.hawkeye_replay(
         _as_i64(blocks),
         _as_i64(block_ids),
@@ -987,4 +1196,4 @@ def hawkeye_replay(
         _as_u8(hits),
         _as_i64(misses_per_set),
     )
-    return hits.view(bool), misses_per_set, predictor[:num_pcs]
+    return hits.view(bool)

@@ -14,6 +14,7 @@ Both backends return a :class:`FilterResult` — the keep mask plus the L1/L2
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from repro.fastsim import _native
 from repro.fastsim.dispatch import SCALAR, VECTOR, resolve_backend
 from repro.fastsim.stackdist import (
     LRUReplay,
+    LRUStream,
     lru_replay,
     occurrence_order,
     previous_occurrence_indices,
@@ -146,6 +148,91 @@ def assert_stats_equal(scalar: CacheStats, vector: CacheStats, context: str) -> 
         raise FastSimMismatchError(f"{context}: region access breakdowns differ")
     if scalar.region_misses != vector.region_misses:
         raise FastSimMismatchError(f"{context}: region miss breakdowns differ")
+
+
+class FilterStream:
+    """Resumable L1-D/L2 filter: feed a trace in chunks, collect LLC accesses.
+
+    The streaming counterpart of :func:`run_filter` with the same backend
+    semantics — ``vector`` carries two :class:`~repro.fastsim.stackdist.LRUStream`
+    states (L1, then L2 over the L1-missing substream), ``scalar`` keeps the
+    two reference :class:`~repro.cache.SetAssociativeCache` objects alive
+    across chunks, and ``verify`` runs both and raises
+    :class:`FastSimMismatchError` on any keep-mask difference per chunk (and
+    any stats difference at :meth:`finish`).  Chunked filtering is
+    bit-identical to one-shot filtering of the concatenated trace; peak
+    memory is O(chunk + cache state).
+    """
+
+    def __init__(self, hierarchy: HierarchyConfig, backend: str = None) -> None:
+        self.hierarchy = hierarchy
+        self.mode = resolve_backend(backend)
+        self.total_references = 0
+        if self.mode != SCALAR:
+            self._l1 = LRUStream(hierarchy.l1.num_sets, hierarchy.l1.ways)
+            self._l2 = LRUStream(hierarchy.l2.num_sets, hierarchy.l2.ways)
+        if self.mode != VECTOR:
+            self._scalar_l1 = SetAssociativeCache(hierarchy.l1, LRUPolicy())
+            self._scalar_l2 = SetAssociativeCache(hierarchy.l2, LRUPolicy())
+
+    def feed(self, trace: Trace) -> np.ndarray:
+        """Filter one chunk; returns the keep mask of LLC-bound accesses."""
+        self.total_references += len(trace)
+        keep = None
+        if self.mode != SCALAR:
+            blocks = trace.block_addresses(self.hierarchy.l1.block_offset_bits)
+            l1_hits = self._l1.feed(blocks)
+            miss_indices = np.flatnonzero(~l1_hits)
+            l2_hits = self._l2.feed(blocks[miss_indices])
+            keep = np.zeros(len(trace), dtype=bool)
+            keep[miss_indices[~l2_hits]] = True
+        if self.mode != VECTOR:
+            scalar_keep = np.zeros(len(trace), dtype=bool)
+            l1_access, l2_access = self._scalar_l1.access, self._scalar_l2.access
+            for index, address in enumerate(trace.addresses.tolist()):
+                if l1_access(address):
+                    continue
+                if l2_access(address):
+                    continue
+                scalar_keep[index] = True
+            if keep is None:
+                keep = scalar_keep
+            elif not np.array_equal(scalar_keep, keep):
+                raise FastSimMismatchError(
+                    "streaming L1/L2 filter: keep masks differ between backends"
+                )
+        return keep
+
+    def upstream_hit_counts(self) -> Tuple[int, int]:
+        """Cumulative (L1 hits, L2 hits) so far, without cross-checking."""
+        if self.mode != SCALAR:
+            return self._l1.hit_count, self._l2.hit_count
+        return self._scalar_l1.stats.hits, self._scalar_l2.stats.hits
+
+    def level_stats(self) -> Tuple[CacheStats, CacheStats]:
+        """L1/L2 statistics accumulated so far (verify mode cross-checks)."""
+        if self.mode != SCALAR:
+            l1 = CacheStats.from_counts(
+                name=self.hierarchy.l1.name,
+                hits=self._l1.hit_count,
+                misses=self._l1.miss_count,
+                evictions=self._l1.evictions,
+            )
+            l2 = CacheStats.from_counts(
+                name=self.hierarchy.l2.name,
+                hits=self._l2.hit_count,
+                misses=self._l2.miss_count,
+                evictions=self._l2.evictions,
+            )
+            if self.mode != VECTOR:
+                assert_stats_equal(self._scalar_l1.stats, l1, "streaming L1/L2 filter")
+                assert_stats_equal(self._scalar_l2.stats, l2, "streaming L1/L2 filter")
+            return l1, l2
+        return self._scalar_l1.stats, self._scalar_l2.stats
+
+    def finish(self) -> Tuple[CacheStats, CacheStats]:
+        """Alias of :meth:`level_stats`, closing the begin/feed/finish cycle."""
+        return self.level_stats()
 
 
 def run_filter(trace: Trace, hierarchy: HierarchyConfig, backend: str = None) -> FilterResult:

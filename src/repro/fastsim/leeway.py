@@ -33,7 +33,11 @@ from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.policies.leeway import LeewayPolicy
 from repro.fastsim import _native
 from repro.fastsim.rrip import _chunk_end
-from repro.fastsim.stackdist import previous_occurrence_indices
+from repro.fastsim.stackdist import (
+    DenseIdMap,
+    grow_to,
+    previous_occurrence_indices,
+)
 
 
 @dataclass(frozen=True)
@@ -91,6 +95,185 @@ def _pc_array(pcs: Optional[np.ndarray], n: int) -> np.ndarray:
     return values
 
 
+class LeewayStream:
+    """Resumable exact Leeway replay: feed a block/PC stream in chunks.
+
+    Carries tags, recency positions, observed live distances, per-line
+    signatures and the global per-PC predictor across :meth:`feed` calls;
+    chunked replay is bit-identical to one replay over the concatenation.
+    PCs are densified incrementally (grow-only first-appearance ids), and
+    the predictor/vote arrays grow with the id space.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        spec: LeewaySpec,
+        use_native: Optional[bool] = None,
+    ) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.spec = spec
+        self._use_native = (
+            _native.available() if use_native is None else bool(use_native)
+        )
+        self.tags = np.full((num_sets, ways), -1, dtype=np.int64)
+        # positions[s, w] is way w's depth in set s's recency stack (0 = MRU);
+        # each row is a permutation of 0..ways-1, mirroring the scalar
+        # policy's bind-time stack [0, 1, ..., ways-1].  int32 to match the
+        # compiled kernel; the NumPy path shares the array.
+        self.positions = np.tile(np.arange(ways, dtype=np.int32), (num_sets, 1))
+        self.observed = np.zeros((num_sets, ways), dtype=np.int32)
+        # Line signatures as dense PC ids; the initial value is never
+        # consulted (victim search only runs on full sets, whose lines were
+        # all inserted).
+        self.line_sig = np.zeros((num_sets, ways), dtype=np.int64)
+        self.misses_per_set = np.zeros(num_sets, dtype=np.int64)
+        self._pc_ids = DenseIdMap()
+        self._predicted = np.empty(0, dtype=np.int64)
+        self._votes = np.empty(0, dtype=np.int64)
+        self.hit_count = 0
+
+    @property
+    def miss_count(self) -> int:
+        """Total number of misses fed so far."""
+        return int(self.misses_per_set.sum())
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions so far (Leeway never bypasses)."""
+        return int(np.maximum(0, self.misses_per_set - self.ways).sum())
+
+    @property
+    def predicted_live_distances(self) -> Dict[int, int]:
+        """Current predictor as ``{pc: live distance}`` over trained PCs."""
+        return {
+            int(pc): int(value)
+            for pc, value in zip(
+                self._pc_ids.keys_in_id_order(), self._predicted.tolist()
+            )
+            if value
+        }
+
+    def feed(
+        self, block_addresses: np.ndarray, pcs: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Replay one chunk; returns its hit mask and advances the state."""
+        blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+        n = int(blocks.shape[0])
+        pc_values = _pc_array(pcs, n)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        pc_ids = self._pc_ids.map(pc_values)
+        self._predicted = grow_to(self._predicted, len(self._pc_ids), 0)
+        self._votes = grow_to(self._votes, len(self._pc_ids), 0)
+        hits = None
+        if self._use_native:
+            hits = _native.leeway_feed(
+                blocks,
+                pc_ids,
+                self.num_sets,
+                self.ways,
+                self.spec.decay_period,
+                self.tags,
+                self.positions,
+                self.line_sig,
+                self.observed,
+                self._predicted,
+                self._votes,
+                self.misses_per_set,
+            )
+        if hits is None:
+            hits = self._numpy_feed(blocks, pc_ids)
+        self.hit_count += int(hits.sum())
+        return hits
+
+    def _numpy_feed(self, blocks: np.ndarray, pc_ids: np.ndarray) -> np.ndarray:
+        num_sets = self.num_sets
+        decay_period = self.spec.decay_period
+        tags, positions = self.tags, self.positions
+        observed, line_sig = self.observed, self.line_sig
+        predicted, votes = self._predicted, self._votes
+        n = int(blocks.shape[0])
+        hits = np.zeros(n, dtype=bool)
+        set_ids = blocks & (num_sets - 1)
+        prev = previous_occurrence_indices(set_ids)
+
+        position = 0
+        while position < n:
+            end = _chunk_end(prev, position, n)
+            sets = set_ids[position:end]
+            chunk_blocks = blocks[position:end]
+            chunk_pcs = pc_ids[position:end]
+
+            match = tags[sets] == chunk_blocks[:, None]
+            is_hit = match.any(axis=1)
+            hits[position:end] = is_hit
+
+            if is_hit.any():
+                # Batched hit phase (hits never touch the global predictor):
+                # record live-distance maxima, then rotate each hit line to
+                # MRU.
+                hit_sets = sets[is_hit]
+                hit_ways = match[is_hit].argmax(axis=1)
+                rows = positions[hit_sets]
+                depth = rows[np.arange(rows.shape[0]), hit_ways]
+                observed[hit_sets, hit_ways] = np.maximum(
+                    observed[hit_sets, hit_ways], depth
+                )
+                rows += rows < depth[:, None]
+                rows[np.arange(rows.shape[0]), hit_ways] = 0
+                positions[hit_sets] = rows
+
+            if not is_hit.all():
+                # Trace-order miss walk: victim selection reads the predictor
+                # that earlier evictions (possibly in other sets) just
+                # updated.
+                miss = ~is_hit
+                for pos_in_chunk in np.flatnonzero(miss).tolist():
+                    set_index = int(sets[pos_in_chunk])
+                    tag_row = tags[set_index]
+                    empty = np.flatnonzero(tag_row == -1)
+                    if empty.size:
+                        way = int(empty[0])
+                    else:
+                        pos_row = positions[set_index]
+                        sig_row = line_sig[set_index]
+                        dead = pos_row > predicted[sig_row]
+                        if dead.any():
+                            # Deepest predicted-dead line == first dead line
+                            # on the scalar LRU-to-MRU walk (positions are
+                            # unique).
+                            way = int(np.where(dead, pos_row, -1).argmax())
+                        else:
+                            way = int(pos_row.argmax())
+                        # Eviction: reuse-oriented predictor update (grow
+                        # fast, shrink only after decay_period consecutive
+                        # votes).
+                        signature = int(sig_row[way])
+                        observation = int(observed[set_index, way])
+                        prediction = int(predicted[signature])
+                        if observation > prediction:
+                            predicted[signature] = observation
+                            votes[signature] = 0
+                        elif observation < prediction:
+                            votes[signature] += 1
+                            if votes[signature] >= decay_period:
+                                predicted[signature] = prediction - 1
+                                votes[signature] = 0
+                    tag_row[way] = chunk_blocks[pos_in_chunk]
+                    line_sig[set_index, way] = chunk_pcs[pos_in_chunk]
+                    observed[set_index, way] = 0
+                    pos_row = positions[set_index]
+                    pos_row += pos_row < pos_row[way]
+                    pos_row[way] = 0
+            position = end
+
+        self.misses_per_set += np.bincount(set_ids[~hits], minlength=num_sets)
+        return hits
+
+
 def numpy_leeway_replay(
     block_addresses: np.ndarray,
     pcs: Optional[np.ndarray],
@@ -101,113 +284,17 @@ def numpy_leeway_replay(
     """Pure-NumPy batched replay (the portable engine behind :func:`leeway_replay`).
 
     Exact with respect to the scalar policy: identical per-access hit masks,
-    per-set miss counts, victim choices and final predictor state.
+    per-set miss counts, victim choices and final predictor state.  One
+    :class:`LeewayStream` feed over the whole stream — chunked feeds of the
+    same stream are bit-identical by construction.
     """
-    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
-    n = int(blocks.shape[0])
-    pc_values = _pc_array(pcs, n)
-    hits = np.zeros(n, dtype=bool)
-    if n == 0:
-        return LeewayReplay(
-            hits=hits,
-            misses_per_set=np.zeros(num_sets, dtype=np.int64),
-            ways=ways,
-            predicted_live_distances={},
-        )
-    unique_pcs, pc_ids = np.unique(pc_values, return_inverse=True)
-    predicted = np.zeros(unique_pcs.shape[0], dtype=np.int64)
-    votes = np.zeros(unique_pcs.shape[0], dtype=np.int64)
-    decay_period = spec.decay_period
-
-    set_ids = blocks & (num_sets - 1)
-    tags = np.full((num_sets, ways), -1, dtype=np.int64)
-    # positions[s, w] is way w's depth in set s's recency stack (0 = MRU);
-    # each row is a permutation of 0..ways-1, mirroring the scalar policy's
-    # bind-time stack [0, 1, ..., ways-1].
-    positions = np.tile(np.arange(ways, dtype=np.int64), (num_sets, 1))
-    observed = np.zeros((num_sets, ways), dtype=np.int64)
-    # Line signatures as dense PC ids; the initial value is never consulted
-    # (victim search only runs on full sets, whose lines were all inserted).
-    line_sig = np.zeros((num_sets, ways), dtype=np.int64)
-    prev = previous_occurrence_indices(set_ids)
-
-    position = 0
-    while position < n:
-        end = _chunk_end(prev, position, n)
-        sets = set_ids[position:end]
-        chunk_blocks = blocks[position:end]
-        chunk_pcs = pc_ids[position:end]
-
-        match = tags[sets] == chunk_blocks[:, None]
-        is_hit = match.any(axis=1)
-        hits[position:end] = is_hit
-
-        if is_hit.any():
-            # Batched hit phase (hits never touch the global predictor):
-            # record live-distance maxima, then rotate each hit line to MRU.
-            hit_sets = sets[is_hit]
-            hit_ways = match[is_hit].argmax(axis=1)
-            rows = positions[hit_sets]
-            depth = rows[np.arange(rows.shape[0]), hit_ways]
-            observed[hit_sets, hit_ways] = np.maximum(
-                observed[hit_sets, hit_ways], depth
-            )
-            rows += rows < depth[:, None]
-            rows[np.arange(rows.shape[0]), hit_ways] = 0
-            positions[hit_sets] = rows
-
-        if not is_hit.all():
-            # Trace-order miss walk: victim selection reads the predictor
-            # that earlier evictions (possibly in other sets) just updated.
-            miss = ~is_hit
-            for pos_in_chunk in np.flatnonzero(miss).tolist():
-                set_index = int(sets[pos_in_chunk])
-                tag_row = tags[set_index]
-                empty = np.flatnonzero(tag_row == -1)
-                if empty.size:
-                    way = int(empty[0])
-                else:
-                    pos_row = positions[set_index]
-                    sig_row = line_sig[set_index]
-                    dead = pos_row > predicted[sig_row]
-                    if dead.any():
-                        # Deepest predicted-dead line == first dead line on
-                        # the scalar LRU-to-MRU walk (positions are unique).
-                        way = int(np.where(dead, pos_row, -1).argmax())
-                    else:
-                        way = int(pos_row.argmax())
-                    # Eviction: reuse-oriented predictor update (grow fast,
-                    # shrink only after decay_period consecutive votes).
-                    signature = int(sig_row[way])
-                    observation = int(observed[set_index, way])
-                    prediction = int(predicted[signature])
-                    if observation > prediction:
-                        predicted[signature] = observation
-                        votes[signature] = 0
-                    elif observation < prediction:
-                        votes[signature] += 1
-                        if votes[signature] >= decay_period:
-                            predicted[signature] = prediction - 1
-                            votes[signature] = 0
-                tag_row[way] = chunk_blocks[pos_in_chunk]
-                line_sig[set_index, way] = chunk_pcs[pos_in_chunk]
-                observed[set_index, way] = 0
-                pos_row = positions[set_index]
-                pos_row += pos_row < pos_row[way]
-                pos_row[way] = 0
-        position = end
-
-    misses_per_set = np.bincount(set_ids[~hits], minlength=num_sets)
-    final = {
-        int(unique_pcs[index]): int(value)
-        for index, value in enumerate(predicted.tolist())
-        if value
-    }
+    stream = LeewayStream(num_sets, ways, spec, use_native=False)
+    hits = stream.feed(block_addresses, pcs)
     return LeewayReplay(
         hits=hits,
-        misses_per_set=misses_per_set,
+        misses_per_set=stream.misses_per_set,
         ways=ways,
-        predicted_live_distances=final,
+        predicted_live_distances=stream.predicted_live_distances,
     )
 
 

@@ -123,6 +123,196 @@ class PinReplay:
         return int(np.maximum(0, filled - self.ways).sum())
 
 
+class PinStream:
+    """Resumable exact PIN-X replay: feed a block/hint stream in chunks.
+
+    Carries tags, RRPVs, the pinned masks and populations, and the global
+    PSEL / bimodal counters across :meth:`feed` calls; chunked replay is
+    bit-identical to one replay over the concatenation.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        spec: PinSpec,
+        use_native: Optional[bool] = None,
+    ) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.spec = spec
+        self._use_native = (
+            _native.available() if use_native is None else bool(use_native)
+        )
+        self.tags = np.full((num_sets, ways), -1, dtype=np.int64)
+        self.rrpv = np.full((num_sets, ways), spec.max_rrpv, dtype=np.int32)
+        self.pinned = np.zeros((num_sets, ways), dtype=np.uint8)
+        self.pinned_count = np.zeros(num_sets, dtype=np.int32)
+        self.misses_per_set = np.zeros(num_sets, dtype=np.int64)
+        self.bypasses_per_set = np.zeros(num_sets, dtype=np.int64)
+        self._state = np.array([spec.psel_max // 2, 0], dtype=np.int64)
+        self.hit_count = 0
+
+    @property
+    def psel(self) -> int:
+        """Current PSEL value."""
+        return int(self._state[0])
+
+    @property
+    def insert_count(self) -> int:
+        """Current bimodal insertion count."""
+        return int(self._state[1])
+
+    @property
+    def miss_count(self) -> int:
+        """Total misses fed so far (bypassed accesses included)."""
+        return int(self.misses_per_set.sum())
+
+    @property
+    def bypass_count(self) -> int:
+        """Total bypassed insertions so far."""
+        return int(self.bypasses_per_set.sum())
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions so far: non-bypassed misses beyond capacity."""
+        filled = self.misses_per_set - self.bypasses_per_set
+        return int(np.maximum(0, filled - self.ways).sum())
+
+    def feed(
+        self, block_addresses: np.ndarray, hints: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Replay one chunk; returns its hit mask and advances the state."""
+        blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+        n = int(blocks.shape[0])
+        hint_values = _hint_array(hints, n)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        hits = None
+        if self._use_native:
+            hits = _native.pin_feed(
+                blocks,
+                hint_values.astype(np.uint8),
+                self.num_sets,
+                self.ways,
+                self.spec.max_rrpv,
+                self.spec.epsilon,
+                self.spec.psel_max,
+                self.spec.leader_period,
+                self.spec.reserved_ways(self.ways),
+                HINT_HIGH,
+                self.tags,
+                self.rrpv,
+                self.pinned,
+                self.pinned_count,
+                self.misses_per_set,
+                self.bypasses_per_set,
+                self._state,
+            )
+        if hits is None:
+            hits = self._numpy_feed(blocks, hint_values)
+        self.hit_count += int(hits.sum())
+        return hits
+
+    def _numpy_feed(self, blocks: np.ndarray, hint_values: np.ndarray) -> np.ndarray:
+        spec = self.spec
+        num_sets, ways = self.num_sets, self.ways
+        max_rrpv = spec.max_rrpv
+        duel = spec.duel_spec()
+        reserved = spec.reserved_ways(ways)
+        tags, rrpv = self.tags, self.rrpv
+        pinned = self.pinned.view(bool)
+        pinned_count = self.pinned_count
+        psel = int(self._state[0])
+        insert_count = int(self._state[1])
+        n = int(blocks.shape[0])
+        hits = np.zeros(n, dtype=bool)
+        set_ids = blocks & (num_sets - 1)
+        prev = previous_occurrence_indices(set_ids)
+
+        position = 0
+        while position < n:
+            end = _chunk_end(prev, position, n)
+            sets = set_ids[position:end]
+            chunk_blocks = blocks[position:end]
+            chunk_hints = hint_values[position:end]
+
+            match = tags[sets] == chunk_blocks[:, None]
+            is_hit = match.any(axis=1)
+            hits[position:end] = is_hit
+
+            if is_hit.any():
+                hit_sets = sets[is_hit]
+                hit_ways = match[is_hit].argmax(axis=1)
+                already = pinned[hit_sets, hit_ways]
+                # Both the pin-on-hit path and DRRIP's hit promotion assign
+                # hit priority; only already-pinned lines are left untouched.
+                rrpv[hit_sets[~already], hit_ways[~already]] = 0
+                pin_now = (
+                    ~already
+                    & (chunk_hints[is_hit] == HINT_HIGH)
+                    & (pinned_count[hit_sets] < reserved)
+                )
+                if pin_now.any():
+                    pinned[hit_sets[pin_now], hit_ways[pin_now]] = True
+                    pinned_count[hit_sets[pin_now]] += 1
+
+            if not is_hit.all():
+                miss = ~is_hit
+                miss_sets = sets[miss]
+                miss_hints = chunk_hints[miss]
+                empty = tags[miss_sets] == -1
+                has_empty = empty.any(axis=1)
+                # A full set whose every way is pinned declines the insertion.
+                bypass = ~has_empty & (pinned_count[miss_sets] >= ways)
+                if bypass.any():
+                    self.bypasses_per_set += np.bincount(
+                        miss_sets[bypass], minlength=num_sets
+                    )
+                insert = ~bypass
+                victim_way = np.empty(miss_sets.shape[0], dtype=np.int64)
+                victim_way[has_empty] = empty[has_empty].argmax(axis=1)
+                full = ~has_empty & insert
+                full_sets = miss_sets[full]
+                if full_sets.size:
+                    full_rrpvs = rrpv[full_sets]
+                    full_pinned = pinned[full_sets]
+                    # Age only the unpinned ways until one saturates, then
+                    # take the leftmost saturated unpinned way — the scalar
+                    # loop in PinningPolicy.choose_victim collapsed into two
+                    # reductions.
+                    unpinned_max = np.where(full_pinned, -1, full_rrpvs).max(axis=1)
+                    full_rrpvs = full_rrpvs + np.where(
+                        full_pinned, 0, (max_rrpv - unpinned_max)[:, None]
+                    ).astype(np.int32)
+                    victim_way[full] = (
+                        (full_rrpvs == max_rrpv) & ~full_pinned
+                    ).argmax(axis=1)
+                    rrpv[full_sets] = full_rrpvs
+                if insert.any():
+                    ins_sets = miss_sets[insert]
+                    ins_hints = miss_hints[insert]
+                    ins_ways = victim_way[insert]
+                    # Every non-bypassed insertion feeds the DRRIP duel (the
+                    # scalar bug fix), pinned or not.
+                    values, psel, insert_count = _dynamic_insertions(
+                        ins_sets, duel, psel, insert_count
+                    )
+                    pin_ins = (ins_hints == HINT_HIGH) & (pinned_count[ins_sets] < reserved)
+                    values[pin_ins] = 0
+                    tags[ins_sets, ins_ways] = chunk_blocks[miss][insert]
+                    rrpv[ins_sets, ins_ways] = values
+                    pinned[ins_sets, ins_ways] = pin_ins
+                    if pin_ins.any():
+                        pinned_count[ins_sets[pin_ins]] += 1
+            position = end
+
+        self.misses_per_set += np.bincount(set_ids[~hits], minlength=num_sets)
+        self._state[0] = psel
+        self._state[1] = insert_count
+        return hits
+
+
 def numpy_pin_replay(
     block_addresses: np.ndarray,
     hints: Optional[np.ndarray],
@@ -134,119 +324,18 @@ def numpy_pin_replay(
 
     Exact with respect to the (bug-fixed) scalar policy: identical per-access
     hit masks, per-set miss/bypass counts, pinned populations and final
-    PSEL/bimodal state.
+    PSEL/bimodal state.  One :class:`PinStream` feed over the whole stream —
+    chunked feeds of the same stream are bit-identical by construction.
     """
-    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
-    n = int(blocks.shape[0])
-    hint_values = _hint_array(hints, n)
-    duel = spec.duel_spec()
-    reserved = spec.reserved_ways(ways)
-    psel = spec.psel_max // 2
-    insert_count = 0
-    hits = np.zeros(n, dtype=bool)
-    bypasses_per_set = np.zeros(num_sets, dtype=np.int64)
-    set_ids = blocks & (num_sets - 1)
-    if n == 0:
-        return PinReplay(
-            hits=hits,
-            misses_per_set=np.zeros(num_sets, dtype=np.int64),
-            bypasses_per_set=bypasses_per_set,
-            ways=ways,
-            psel=psel,
-            insert_count=insert_count,
-        )
-
-    max_rrpv = spec.max_rrpv
-    tags = np.full((num_sets, ways), -1, dtype=np.int64)
-    rrpv = np.full((num_sets, ways), max_rrpv, dtype=np.int32)
-    pinned = np.zeros((num_sets, ways), dtype=bool)
-    pinned_count = np.zeros(num_sets, dtype=np.int64)
-    prev = previous_occurrence_indices(set_ids)
-
-    position = 0
-    while position < n:
-        end = _chunk_end(prev, position, n)
-        sets = set_ids[position:end]
-        chunk_blocks = blocks[position:end]
-        chunk_hints = hint_values[position:end]
-
-        match = tags[sets] == chunk_blocks[:, None]
-        is_hit = match.any(axis=1)
-        hits[position:end] = is_hit
-
-        if is_hit.any():
-            hit_sets = sets[is_hit]
-            hit_ways = match[is_hit].argmax(axis=1)
-            already = pinned[hit_sets, hit_ways]
-            # Both the pin-on-hit path and DRRIP's hit promotion assign hit
-            # priority; only already-pinned lines are left untouched.
-            rrpv[hit_sets[~already], hit_ways[~already]] = 0
-            pin_now = (
-                ~already
-                & (chunk_hints[is_hit] == HINT_HIGH)
-                & (pinned_count[hit_sets] < reserved)
-            )
-            if pin_now.any():
-                pinned[hit_sets[pin_now], hit_ways[pin_now]] = True
-                pinned_count[hit_sets[pin_now]] += 1
-
-        if not is_hit.all():
-            miss = ~is_hit
-            miss_sets = sets[miss]
-            miss_hints = chunk_hints[miss]
-            empty = tags[miss_sets] == -1
-            has_empty = empty.any(axis=1)
-            # A full set whose every way is pinned declines the insertion.
-            bypass = ~has_empty & (pinned_count[miss_sets] >= ways)
-            if bypass.any():
-                bypasses_per_set += np.bincount(
-                    miss_sets[bypass], minlength=num_sets
-                )
-            insert = ~bypass
-            victim_way = np.empty(miss_sets.shape[0], dtype=np.int64)
-            victim_way[has_empty] = empty[has_empty].argmax(axis=1)
-            full = ~has_empty & insert
-            full_sets = miss_sets[full]
-            if full_sets.size:
-                full_rrpvs = rrpv[full_sets]
-                full_pinned = pinned[full_sets]
-                # Age only the unpinned ways until one saturates, then take
-                # the leftmost saturated unpinned way — the scalar loop in
-                # PinningPolicy.choose_victim collapsed into two reductions.
-                unpinned_max = np.where(full_pinned, -1, full_rrpvs).max(axis=1)
-                full_rrpvs = full_rrpvs + np.where(
-                    full_pinned, 0, (max_rrpv - unpinned_max)[:, None]
-                ).astype(np.int32)
-                victim_way[full] = (
-                    (full_rrpvs == max_rrpv) & ~full_pinned
-                ).argmax(axis=1)
-                rrpv[full_sets] = full_rrpvs
-            if insert.any():
-                ins_sets = miss_sets[insert]
-                ins_hints = miss_hints[insert]
-                ins_ways = victim_way[insert]
-                # Every non-bypassed insertion feeds the DRRIP duel (the
-                # scalar bug fix), pinned or not.
-                values, psel, insert_count = _dynamic_insertions(
-                    ins_sets, duel, psel, insert_count
-                )
-                pin_ins = (ins_hints == HINT_HIGH) & (pinned_count[ins_sets] < reserved)
-                values[pin_ins] = 0
-                tags[ins_sets, ins_ways] = chunk_blocks[miss][insert]
-                rrpv[ins_sets, ins_ways] = values
-                pinned[ins_sets, ins_ways] = pin_ins
-                if pin_ins.any():
-                    pinned_count[ins_sets[pin_ins]] += 1
-        position = end
-
-    misses_per_set = np.bincount(set_ids[~hits], minlength=num_sets)
+    stream = PinStream(num_sets, ways, spec, use_native=False)
+    hits = stream.feed(block_addresses, hints)
     return PinReplay(
         hits=hits,
-        misses_per_set=misses_per_set,
-        bypasses_per_set=bypasses_per_set,
+        misses_per_set=stream.misses_per_set,
+        bypasses_per_set=stream.bypasses_per_set,
         ways=ways,
-        psel=psel,
-        insert_count=insert_count,
+        psel=stream.psel,
+        insert_count=stream.insert_count,
     )
 
 

@@ -23,13 +23,13 @@ from repro.cache.config import CacheConfig
 from repro.cache.policies import LRUPolicy
 from repro.cache.policies.opt import BeladyOptimal
 from repro.cache.stats import CacheStats
-from repro.fastsim.hawkeye import hawkeye_replay, hawkeye_spec
-from repro.fastsim.leeway import leeway_replay, leeway_spec
+from repro.fastsim.hawkeye import HawkeyeStream, hawkeye_replay, hawkeye_spec
+from repro.fastsim.leeway import LeewayStream, leeway_replay, leeway_spec
 from repro.fastsim.opt import opt_replay
-from repro.fastsim.pin import pin_replay, pin_spec
-from repro.fastsim.rrip import rrip_replay, rrip_spec
-from repro.fastsim.ship import ship_replay, ship_spec
-from repro.fastsim.stackdist import lru_replay
+from repro.fastsim.pin import PinStream, pin_replay, pin_spec
+from repro.fastsim.rrip import RRIPStream, rrip_replay, rrip_spec
+from repro.fastsim.ship import ShipStream, ship_replay, ship_spec
+from repro.fastsim.stackdist import LRUStream, lru_replay
 
 
 def supports_vector_replay(policy) -> bool:
@@ -111,6 +111,108 @@ def vector_opt_replay(
         misses=replay.miss_count,
         evictions=replay.evictions,
     )
+
+
+class PolicyReplayStream:
+    """Resumable LLC replay under any policy :func:`supports_vector_replay`
+    accepts, except the offline :class:`BeladyOptimal` (streaming OPT is a
+    two-pass pipeline — see
+    :func:`repro.experiments.runner.simulate_opt_streaming`).
+
+    The streaming counterpart of :func:`vector_policy_replay`: feed aligned
+    (blocks, hints, regions, pcs) chunks, then read :meth:`stats`.  Chunked
+    replay is bit-identical to the one-shot call on the concatenation,
+    including the final policy state, which is exposed via the underlying
+    ``engine`` attribute (an ``*Stream`` object carrying PSEL, SHCT,
+    predictor tables, pinned populations, ...).
+    """
+
+    def __init__(self, policy, llc_config: CacheConfig, use_native=None) -> None:
+        if type(policy) is BeladyOptimal:
+            raise ValueError(
+                "BeladyOptimal has no online stream; use simulate_opt_streaming"
+            )
+        self.llc_config = llc_config
+        num_sets, ways = llc_config.num_sets, llc_config.ways
+        self._kind = None
+        if type(policy) is LRUPolicy:
+            self._kind = "lru"
+            self.engine = LRUStream(num_sets, ways, use_native=use_native)
+        else:
+            spec = rrip_spec(policy)
+            if spec is not None:
+                self._kind = "rrip"
+                self.engine = RRIPStream(num_sets, ways, spec, use_native=use_native)
+            elif pin_spec(policy) is not None:
+                self._kind = "pin"
+                self.engine = PinStream(
+                    num_sets, ways, pin_spec(policy), use_native=use_native
+                )
+            elif ship_spec(policy) is not None:
+                self._kind = "ship"
+                self.engine = ShipStream(
+                    num_sets, ways, ship_spec(policy), use_native=use_native
+                )
+            elif hawkeye_spec(policy) is not None:
+                self._kind = "hawkeye"
+                self.engine = HawkeyeStream(
+                    num_sets, ways, hawkeye_spec(policy), use_native=use_native
+                )
+            elif leeway_spec(policy) is not None:
+                self._kind = "leeway"
+                self.engine = LeewayStream(
+                    num_sets, ways, leeway_spec(policy), use_native=use_native
+                )
+            else:
+                raise ValueError(
+                    f"policy {policy!r} has no vectorized replay engine; "
+                    "use supports_vector_replay() before dispatching"
+                )
+        self._region_accesses: dict = {}
+        self._region_misses: dict = {}
+
+    def feed(
+        self,
+        block_addresses: np.ndarray,
+        hints: Optional[np.ndarray] = None,
+        regions: Optional[np.ndarray] = None,
+        pcs: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Replay one chunk; returns its hit mask and advances the state."""
+        if self._kind == "lru":
+            hits = self.engine.feed(block_addresses)
+        elif self._kind in ("rrip", "pin"):
+            hits = self.engine.feed(block_addresses, hints)
+        elif self._kind == "ship":
+            hits = self.engine.feed(block_addresses)
+        else:
+            hits = self.engine.feed(block_addresses, pcs)
+        region_accesses, region_misses = _region_breakdown(hits, regions)
+        if region_accesses is not None:
+            for region, count in region_accesses.items():
+                self._region_accesses[region] = (
+                    self._region_accesses.get(region, 0) + count
+                )
+            for region, count in region_misses.items():
+                self._region_misses[region] = self._region_misses.get(region, 0) + count
+        return hits
+
+    def stats(self) -> CacheStats:
+        """Aggregate :class:`CacheStats` over everything fed so far."""
+        bypasses = self.engine.bypass_count if self._kind == "pin" else 0
+        return CacheStats.from_counts(
+            name=self.llc_config.name,
+            hits=self.engine.hit_count,
+            misses=self.engine.miss_count,
+            evictions=self.engine.evictions,
+            bypasses=bypasses,
+            region_accesses=self._region_accesses or None,
+            region_misses=self._region_misses or None,
+        )
+
+    def finish(self) -> CacheStats:
+        """Alias of :meth:`stats`, closing the begin/feed/finish cycle."""
+        return self.stats()
 
 
 def vector_policy_replay(

@@ -215,6 +215,153 @@ def _dynamic_insertions(
     return values, psel, insert_count
 
 
+class RRIPStream:
+    """Resumable exact RRIP-family replay: feed a block stream in chunks.
+
+    Carries the whole simulator state — tag and RRPV matrices plus the
+    global PSEL / bimodal counters — across :meth:`feed` calls, so chunked
+    replay is bit-identical to one replay over the concatenation.  The
+    compiled kernel (when available) advances the state arrays in place; the
+    NumPy path runs the batched set-parallel sweeps against the same arrays.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        spec: RRIPSpec,
+        use_native: Optional[bool] = None,
+    ) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.spec = spec
+        self._use_native = (
+            _native.available() if use_native is None else bool(use_native)
+        )
+        self.tags = np.full((num_sets, ways), -1, dtype=np.int64)
+        self.rrpv = np.full((num_sets, ways), spec.max_rrpv, dtype=np.int32)
+        self.misses_per_set = np.zeros(num_sets, dtype=np.int64)
+        self._state = np.array([spec.psel_max // 2, 0], dtype=np.int64)
+        self.hit_count = 0
+
+    @property
+    def psel(self) -> Optional[int]:
+        """Current PSEL value (``None`` for non-dueling policies)."""
+        return int(self._state[0]) if self.spec.dueling else None
+
+    @property
+    def insert_count(self) -> int:
+        """Current bimodal insertion count."""
+        return int(self._state[1])
+
+    @property
+    def miss_count(self) -> int:
+        """Total number of misses fed so far."""
+        return int(self.misses_per_set.sum())
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions so far (RRIP never bypasses)."""
+        return int(np.maximum(0, self.misses_per_set - self.ways).sum())
+
+    def feed(
+        self, block_addresses: np.ndarray, hints: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Replay one chunk; returns its hit mask and advances the state."""
+        blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+        n = int(blocks.shape[0])
+        hint_values = _hint_array(hints, n)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        hits = None
+        if self._use_native:
+            hits = _native.rrip_feed(
+                blocks,
+                hint_values.astype(np.uint8),
+                self.num_sets,
+                self.ways,
+                self.spec.max_rrpv,
+                np.asarray(self.spec.insertion_table, dtype=np.int32),
+                np.asarray(self.spec.promotion_table, dtype=np.int32),
+                self.spec.epsilon,
+                self.spec.psel_max,
+                self.spec.leader_period,
+                self.tags,
+                self.rrpv,
+                self.misses_per_set,
+                self._state,
+            )
+        if hits is None:
+            hits = self._numpy_feed(blocks, hint_values)
+        self.hit_count += int(hits.sum())
+        return hits
+
+    def _numpy_feed(self, blocks: np.ndarray, hint_values: np.ndarray) -> np.ndarray:
+        spec = self.spec
+        num_sets = self.num_sets
+        tags, rrpv = self.tags, self.rrpv
+        psel = int(self._state[0])
+        insert_count = int(self._state[1])
+        n = int(blocks.shape[0])
+        hits = np.zeros(n, dtype=bool)
+        set_ids = blocks & (num_sets - 1)
+        insertion_table = np.asarray(spec.insertion_table, dtype=np.int32)
+        promotion_table = np.asarray(spec.promotion_table, dtype=np.int32)
+        prev = previous_occurrence_indices(set_ids)
+
+        position = 0
+        while position < n:
+            end = _chunk_end(prev, position, n)
+            sets = set_ids[position:end]
+            chunk_blocks = blocks[position:end]
+            chunk_hints = hint_values[position:end]
+
+            match = tags[sets] == chunk_blocks[:, None]
+            is_hit = match.any(axis=1)
+            hits[position:end] = is_hit
+
+            if is_hit.any():
+                hit_sets = sets[is_hit]
+                hit_ways = match[is_hit].argmax(axis=1)
+                promotion = promotion_table[chunk_hints[is_hit]]
+                current = rrpv[hit_sets, hit_ways]
+                rrpv[hit_sets, hit_ways] = np.where(
+                    promotion >= 0, promotion, np.maximum(current - 1, 0)
+                )
+
+            if not is_hit.all():
+                miss = ~is_hit
+                miss_sets = sets[miss]
+                # Fills take the leftmost empty way without ageing; victim
+                # search (age every way until one saturates, take the
+                # leftmost) only runs on full sets, like the scalar cache.
+                empty = tags[miss_sets] == -1
+                has_empty = empty.any(axis=1)
+                victim_way = np.empty(miss_sets.shape[0], dtype=np.int64)
+                victim_way[has_empty] = empty[has_empty].argmax(axis=1)
+                full_sets = miss_sets[~has_empty]
+                if full_sets.size:
+                    full_rrpvs = rrpv[full_sets]
+                    full_rrpvs += (spec.max_rrpv - full_rrpvs.max(axis=1))[:, None]
+                    victim_way[~has_empty] = (full_rrpvs == spec.max_rrpv).argmax(axis=1)
+                    rrpv[full_sets] = full_rrpvs
+                insertion = insertion_table[chunk_hints[miss]]
+                dynamic = insertion < 0
+                if dynamic.any():
+                    dynamic_values, psel, insert_count = _dynamic_insertions(
+                        miss_sets[dynamic], spec, psel, insert_count
+                    )
+                    insertion[dynamic] = dynamic_values
+                tags[miss_sets, victim_way] = chunk_blocks[miss]
+                rrpv[miss_sets, victim_way] = insertion
+            position = end
+
+        self.misses_per_set += np.bincount(set_ids[~hits], minlength=num_sets)
+        self._state[0] = psel
+        self._state[1] = insert_count
+        return hits
+
+
 def numpy_rrip_replay(
     block_addresses: np.ndarray,
     hints: Optional[np.ndarray],
@@ -225,84 +372,18 @@ def numpy_rrip_replay(
     """Pure-NumPy batched replay (the portable engine behind :func:`rrip_replay`).
 
     Exact with respect to the scalar policies: identical per-access hit masks,
-    per-set miss counts, way contents and final PSEL/bimodal state.
+    per-set miss counts, way contents and final PSEL/bimodal state.  One
+    :class:`RRIPStream` feed over the whole stream — chunked feeds of the
+    same stream are bit-identical by construction.
     """
-    blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
-    n = int(blocks.shape[0])
-    hint_values = _hint_array(hints, n)
-    psel = spec.psel_max // 2
-    insert_count = 0
-    hits = np.zeros(n, dtype=bool)
-    set_ids = blocks & (num_sets - 1)
-    if n == 0:
-        return RRIPReplay(
-            hits=hits,
-            misses_per_set=np.zeros(num_sets, dtype=np.int64),
-            ways=ways,
-            psel=psel if spec.dueling else None,
-            insert_count=insert_count,
-        )
-
-    insertion_table = np.asarray(spec.insertion_table, dtype=np.int32)
-    promotion_table = np.asarray(spec.promotion_table, dtype=np.int32)
-    tags = np.full((num_sets, ways), -1, dtype=np.int64)
-    rrpv = np.full((num_sets, ways), spec.max_rrpv, dtype=np.int32)
-    prev = previous_occurrence_indices(set_ids)
-
-    position = 0
-    while position < n:
-        end = _chunk_end(prev, position, n)
-        sets = set_ids[position:end]
-        chunk_blocks = blocks[position:end]
-        chunk_hints = hint_values[position:end]
-
-        match = tags[sets] == chunk_blocks[:, None]
-        is_hit = match.any(axis=1)
-        hits[position:end] = is_hit
-
-        if is_hit.any():
-            hit_sets = sets[is_hit]
-            hit_ways = match[is_hit].argmax(axis=1)
-            promotion = promotion_table[chunk_hints[is_hit]]
-            current = rrpv[hit_sets, hit_ways]
-            rrpv[hit_sets, hit_ways] = np.where(
-                promotion >= 0, promotion, np.maximum(current - 1, 0)
-            )
-
-        if not is_hit.all():
-            miss = ~is_hit
-            miss_sets = sets[miss]
-            # Fills take the leftmost empty way without ageing; victim search
-            # (age every way until one saturates, take the leftmost) only runs
-            # on full sets, exactly like the scalar cache.
-            empty = tags[miss_sets] == -1
-            has_empty = empty.any(axis=1)
-            victim_way = np.empty(miss_sets.shape[0], dtype=np.int64)
-            victim_way[has_empty] = empty[has_empty].argmax(axis=1)
-            full_sets = miss_sets[~has_empty]
-            if full_sets.size:
-                full_rrpvs = rrpv[full_sets]
-                full_rrpvs += (spec.max_rrpv - full_rrpvs.max(axis=1))[:, None]
-                victim_way[~has_empty] = (full_rrpvs == spec.max_rrpv).argmax(axis=1)
-                rrpv[full_sets] = full_rrpvs
-            insertion = insertion_table[chunk_hints[miss]]
-            dynamic = insertion < 0
-            if dynamic.any():
-                dynamic_values, psel, insert_count = _dynamic_insertions(
-                    miss_sets[dynamic], spec, psel, insert_count
-                )
-                insertion[dynamic] = dynamic_values
-            tags[miss_sets, victim_way] = chunk_blocks[miss]
-            rrpv[miss_sets, victim_way] = insertion
-        position = end
-
-    misses_per_set = np.bincount(set_ids[~hits], minlength=num_sets)
+    stream = RRIPStream(num_sets, ways, spec, use_native=False)
+    hits = stream.feed(block_addresses, hints)
     return RRIPReplay(
         hits=hits,
-        misses_per_set=misses_per_set,
+        misses_per_set=stream.misses_per_set,
         ways=ways,
-        psel=psel if spec.dueling else None,
-        insert_count=insert_count,
+        psel=stream.psel,
+        insert_count=stream.insert_count,
     )
 
 

@@ -208,6 +208,48 @@ def substream_previous_indices(
     )
 
 
+class DenseIdMap:
+    """Grow-only mapping from raw keys to dense ids, stable across chunks.
+
+    The one-shot engines densify unbounded key spaces (SHiP signatures,
+    Leeway/Hawkeye PCs, Hawkeye block ids) with one ``np.unique`` over the
+    whole trace; a resumable stream cannot see the whole trace, so ids are
+    assigned in order of first appearance instead and never change.  All the
+    learning structures are label-invariant, so the two assignments produce
+    identical simulations.
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def map(self, values: np.ndarray) -> np.ndarray:
+        """Dense ids for ``values``, assigning new ids to unseen keys."""
+        unique, inverse = np.unique(values, return_inverse=True)
+        ids = self._ids
+        table = np.fromiter(
+            (ids.setdefault(key, len(ids)) for key in unique.tolist()),
+            dtype=np.int64,
+            count=unique.shape[0],
+        )
+        return table[inverse]
+
+    def keys_in_id_order(self) -> list:
+        """Raw keys ordered by their dense id (dicts preserve insertion)."""
+        return list(self._ids.keys())
+
+
+def grow_to(array: np.ndarray, size: int, fill) -> np.ndarray:
+    """Return ``array`` grown to at least ``size`` entries, padded with ``fill``."""
+    if array.shape[0] >= size:
+        return array
+    grown = np.full(size, fill, dtype=array.dtype)
+    grown[: array.shape[0]] = array
+    return grown
+
+
 @dataclass(frozen=True)
 class LRUReplay:
     """Outcome of replaying a block-address stream through one LRU cache."""
@@ -265,6 +307,123 @@ def _stack_hits(
         depth = prior_leq_counts(p) - p - 1
         hits[lo:hi] = (p >= 0) & (depth < ways)
     return hits
+
+
+class LRUStream:
+    """Resumable exact LRU replay: feed a block stream in bounded chunks.
+
+    Carries the full cache state — per-way tags plus recency stamps — across
+    :meth:`feed` calls, so replaying a stream chunk by chunk produces hit
+    masks and counters bit-identical to one replay over the concatenation,
+    with peak memory O(chunk + num_sets * ways).
+
+    The compiled kernel (when available) advances the persistent state
+    in-line.  The NumPy stack-distance engine is a batch algorithm with no
+    carried state, so the NumPy path *reconstructs* the state instead: each
+    chunk is replayed behind a synthetic prefix that re-inserts every
+    resident block in LRU→MRU order (at most ``num_sets * ways`` accesses,
+    rebuilding the exact LRU stacks by the stack property), and the resident
+    set is re-derived from the replayed stream afterwards.
+    """
+
+    def __init__(self, num_sets: int, ways: int, use_native: Optional[bool] = None) -> None:
+        from repro.fastsim import _native
+
+        self.num_sets = num_sets
+        self.ways = ways
+        self._use_native = _native.available() if use_native is None else bool(use_native)
+        self.tags = np.full(num_sets * ways, -1, dtype=np.int64)
+        self.stamps = np.zeros(num_sets * ways, dtype=np.int64)
+        self.misses_per_set = np.zeros(num_sets, dtype=np.int64)
+        self._state = np.zeros(1, dtype=np.int64)
+        self.hit_count = 0
+
+    @property
+    def miss_count(self) -> int:
+        """Total number of misses fed so far."""
+        return int(self.misses_per_set.sum())
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions so far (LRU never bypasses; sets only fill up)."""
+        return int(np.maximum(0, self.misses_per_set - self.ways).sum())
+
+    def resident_blocks_per_set(self) -> list[list[int]]:
+        """Resident blocks per set in LRU→MRU order (state introspection)."""
+        result = []
+        for set_index in range(self.num_sets):
+            row = slice(set_index * self.ways, (set_index + 1) * self.ways)
+            tags, stamps = self.tags[row], self.stamps[row]
+            occupied = np.flatnonzero(tags != -1)
+            result.append(tags[occupied[np.argsort(stamps[occupied])]].tolist())
+        return result
+
+    def feed(self, block_addresses: np.ndarray) -> np.ndarray:
+        """Replay one chunk; returns its hit mask and advances the state."""
+        from repro.fastsim import _native
+
+        blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
+        if blocks.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        hits = None
+        if self._use_native:
+            hits = _native.lru_feed(
+                blocks, self.num_sets, self.ways,
+                self.tags, self.stamps, self.misses_per_set, self._state,
+            )
+        if hits is None:
+            hits = self._numpy_feed(blocks)
+        self.hit_count += int(hits.sum())
+        return hits
+
+    def _numpy_feed(self, blocks: np.ndarray) -> np.ndarray:
+        num_sets, ways = self.num_sets, self.ways
+        occupied = np.flatnonzero(self.tags != -1)
+        prefix_order = np.lexsort((self.stamps[occupied], occupied // ways))
+        prefix = self.tags[occupied][prefix_order]
+        stream = np.concatenate([prefix, blocks]) if prefix.size else blocks
+        replay = numpy_lru_replay(stream, num_sets, ways)
+        hits = replay.hits[prefix.shape[0] :]
+        chunk_sets = blocks & (num_sets - 1)
+        self.misses_per_set += np.bincount(chunk_sets[~hits], minlength=num_sets)
+        self._rebuild_residency(stream)
+        return hits
+
+    def _rebuild_residency(self, stream: np.ndarray) -> None:
+        """Recompute tags/stamps: each set holds its W most recent distinct
+        blocks, stamped in recency order."""
+        num_sets, ways = self.num_sets, self.ways
+        n = int(stream.shape[0])
+        unique, reversed_first = np.unique(stream[::-1], return_index=True)
+        last_pos = n - 1 - reversed_first
+        sets = unique & (num_sets - 1)
+        order = np.lexsort((last_pos, sets))
+        counts = np.bincount(sets, minlength=num_sets)
+        kept = np.minimum(counts, ways)
+        ends = np.cumsum(counts)
+        total = int(kept.sum())
+        slot = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(kept) - kept, kept
+        )
+        chosen = order[np.repeat(ends - kept, kept) + slot]
+        flat = np.repeat(np.arange(num_sets, dtype=np.int64) * ways, kept) + slot
+        self.tags.fill(-1)
+        self.stamps.fill(0)
+        self.tags[flat] = unique[chosen]
+        # Recency rank within the set is all that matters; keep the global
+        # clock ahead of every stamp so a later chunk's ordering stays valid.
+        self.stamps[flat] = slot + 1
+        self._state[0] = ways + 1
+
+    def replay_result(self) -> LRUReplay:
+        """Aggregate outcome so far, shaped like a one-shot :class:`LRUReplay`
+        (the per-access hit mask is not retained; chunk masks come from
+        :meth:`feed`)."""
+        return LRUReplay(
+            hits=np.zeros(0, dtype=bool),
+            misses_per_set=self.misses_per_set.copy(),
+            ways=self.ways,
+        )
 
 
 def lru_replay(

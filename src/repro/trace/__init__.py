@@ -14,7 +14,15 @@ This subpackage reproduces that pipeline in two steps:
   Fig. 2 access-breakdown analysis consume.
 """
 
-from repro.trace.generator import Trace, generate_iteration_trace
+from repro.trace.generator import (
+    Trace,
+    TraceChunk,
+    generate_execution_trace,
+    generate_iteration_trace,
+    iter_execution_trace,
+    iter_iteration_trace_chunks,
+    iteration_trace_length,
+)
 from repro.trace.layout import (
     PC_EDGE_LOAD,
     PC_PROPERTY_GATHER,
@@ -38,5 +46,10 @@ __all__ = [
     "REGION_PROPERTY",
     "REGION_VERTEX",
     "Trace",
+    "TraceChunk",
+    "generate_execution_trace",
     "generate_iteration_trace",
+    "iter_execution_trace",
+    "iter_iteration_trace_chunks",
+    "iteration_trace_length",
 ]

@@ -1,4 +1,4 @@
-"""Generation of the memory-reference stream for one traversal iteration.
+"""Generation of the memory-reference stream of graph-traversal executions.
 
 The generated stream follows the access structure of Sec. II-C of the paper:
 for every processed vertex the kernel reads its Vertex-Array entry, walks the
@@ -7,16 +7,29 @@ neighbour's entry in each Property Array; after the edges it updates the
 vertex's own per-vertex properties.  Pull iterations walk the in-edges of all
 vertices (Ligra's dense mode); push iterations walk the out-edges of the
 active frontier only.
+
+Two granularities are exposed:
+
+* :func:`generate_iteration_trace` materializes one iteration's stream as a
+  single :class:`Trace` (the original ROI pipeline).
+* :func:`iter_execution_trace` streams a *full* application execution —
+  every iteration's direction and frontier from an
+  :class:`~repro.analytics.base.AppResult` — as a sequence of
+  :class:`TraceChunk` pieces whose sizes are bounded by an access budget.
+  Because the stream is a per-vertex concatenation of independent records,
+  cutting it at vertex boundaries is exact: concatenating the chunks
+  reproduces the one-shot trace bit for bit, while peak memory stays
+  O(chunk) instead of O(execution).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.analytics.base import PULL, PUSH
+from repro.analytics.base import PULL, PUSH, IterationRecord
 from repro.graph.csr import CSRGraph, VERTEX_DTYPE
 from repro.trace.layout import (
     PC_EDGE_LOAD,
@@ -86,11 +99,28 @@ def _edge_slice_for(graph: CSRGraph, vertices: np.ndarray, direction: str):
     return edge_indices, neighbours, counts
 
 
+def _iteration_vertices(
+    graph: CSRGraph, direction: str, frontier: Optional[np.ndarray]
+) -> np.ndarray:
+    """Vertices an iteration processes, in traversal order."""
+    if direction not in (PULL, PUSH):
+        raise ValueError(f"unknown direction {direction!r}")
+    if direction == PULL or frontier is None:
+        return np.arange(graph.num_vertices, dtype=VERTEX_DTYPE)
+    return np.asarray(frontier, dtype=VERTEX_DTYPE)
+
+
+def _empty_trace() -> Trace:
+    empty = np.empty(0, dtype=np.int64)
+    return Trace(empty, empty.astype(np.int16), empty.astype(np.int8))
+
+
 def generate_iteration_trace(
     graph: CSRGraph,
     layout: MemoryLayout,
     direction: str,
     frontier: Optional[np.ndarray] = None,
+    vertices: Optional[np.ndarray] = None,
 ) -> Trace:
     """Generate the reference stream of one traversal iteration.
 
@@ -107,60 +137,223 @@ def generate_iteration_trace(
     frontier:
         Active vertices for push iterations; ignored for pull iterations
         (Ligra's dense mode scans all destinations).
+    vertices:
+        Explicit vertex list overriding the ``direction``/``frontier``
+        selection — the streaming chunker uses this to generate an exact
+        contiguous slice of the iteration's stream.
     """
-    if direction not in (PULL, PUSH):
-        raise ValueError(f"unknown direction {direction!r}")
-    n = graph.num_vertices
-    if direction == PULL or frontier is None:
-        vertices = np.arange(n, dtype=VERTEX_DTYPE)
+    if vertices is None:
+        vertices = _iteration_vertices(graph, direction, frontier)
     else:
-        vertices = np.asarray(frontier, dtype=VERTEX_DTYPE)
-    if vertices.size == 0 or n == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return Trace(empty, empty.astype(np.int16), empty.astype(np.int8))
+        if direction not in (PULL, PUSH):
+            raise ValueError(f"unknown direction {direction!r}")
+        vertices = np.asarray(vertices, dtype=VERTEX_DTYPE)
+    if vertices.size == 0 or graph.num_vertices == 0:
+        return _empty_trace()
 
     edge_indices, neighbours, counts = _edge_slice_for(graph, vertices, direction)
     num_edges = int(edge_indices.shape[0])
+    num_vertices = int(vertices.shape[0])
     edge_property_count = len(layout.edge_property_arrays)
     vertex_property_count = len(layout.vertex_property_arrays)
     stride = 1 + edge_property_count
+    per_vertex = 1 + vertex_property_count
 
-    # Inner per-edge stream: Edge-Array read followed by one read per
-    # edge-indexed Property Array, all indexed by the neighbour vertex.
-    inner_addresses = np.empty(num_edges * stride, dtype=np.int64)
-    inner_pcs = np.empty(num_edges * stride, dtype=np.int16)
-    inner_regions = np.empty(num_edges * stride, dtype=np.int8)
-    inner_addresses[0::stride] = layout.edge_addresses(edge_indices)
-    inner_pcs[0::stride] = PC_EDGE_LOAD
-    inner_regions[0::stride] = REGION_EDGE
-    for array_index in range(edge_property_count):
-        inner_addresses[array_index + 1 :: stride] = layout.edge_property_addresses(
-            array_index, neighbours
-        )
-        inner_pcs[array_index + 1 :: stride] = PC_PROPERTY_GATHER
-        inner_regions[array_index + 1 :: stride] = REGION_PROPERTY
-
-    # Per-vertex accesses: the Vertex-Array read before the edge slice and the
-    # per-vertex property updates after it.
-    per_vertex_after = vertex_property_count
+    # Output layout per vertex v (Sec. II-C): [Vertex-Array load][per edge:
+    # Edge-Array read + one read per edge-indexed Property Array][per-vertex
+    # property updates].  All destination indices are computed once and used
+    # to scatter into the three parallel output arrays, replacing the former
+    # triple np.insert (each a full O(n) copy with its own position argsort)
+    # whose stable tie-break also emitted every equal-offset Vertex-Array
+    # load *before* the preceding vertex's updates.
     edge_offsets = np.concatenate(([0], np.cumsum(counts))) * stride
+    out_starts = edge_offsets[:-1] + per_vertex * np.arange(num_vertices, dtype=np.int64)
+    total = num_vertices * per_vertex + num_edges * stride
 
-    insert_positions = np.concatenate(
-        [edge_offsets[:-1]] + [edge_offsets[1:]] * per_vertex_after if per_vertex_after else [edge_offsets[:-1]]
-    )
-    vertex_addresses = [layout.vertex_index_addresses(vertices)]
-    vertex_pcs = [np.full(vertices.shape, PC_VERTEX_LOAD, dtype=np.int16)]
-    vertex_regions = [np.full(vertices.shape, REGION_VERTEX, dtype=np.int8)]
+    addresses = np.empty(total, dtype=np.int64)
+    pcs = np.empty(total, dtype=np.int16)
+    regions = np.empty(total, dtype=np.int8)
+
+    # Vertex-Array load, first access of each vertex record.
+    addresses[out_starts] = layout.vertex_index_addresses(vertices)
+    pcs[out_starts] = PC_VERTEX_LOAD
+    regions[out_starts] = REGION_VERTEX
+
+    # Edge slice: destination = within-iteration edge position shifted by the
+    # enclosing vertex's record start (one permutation, shared by the edge
+    # reads and every edge-property gather via the stride pattern).
+    if num_edges:
+        scaled_counts = (counts * stride).astype(np.int64)
+        shift = out_starts + 1 - edge_offsets[:-1]
+        edge_dest = np.repeat(shift, scaled_counts) + np.arange(
+            num_edges * stride, dtype=np.int64
+        )
+        edge_read_dest = edge_dest[0::stride]
+        addresses[edge_read_dest] = layout.edge_addresses(edge_indices)
+        pcs[edge_read_dest] = PC_EDGE_LOAD
+        regions[edge_read_dest] = REGION_EDGE
+        for array_index in range(edge_property_count):
+            gather_dest = edge_dest[array_index + 1 :: stride]
+            addresses[gather_dest] = layout.edge_property_addresses(
+                array_index, neighbours
+            )
+            pcs[gather_dest] = PC_PROPERTY_GATHER
+            regions[gather_dest] = REGION_PROPERTY
+
+    # Per-vertex property updates, after the vertex's own edge slice — and
+    # therefore *before* the next vertex's Vertex-Array load, also when the
+    # vertex has zero edges.
+    update_base = out_starts + 1 + (counts * stride)
     for array_index in range(vertex_property_count):
-        vertex_addresses.append(layout.vertex_property_addresses(array_index, vertices))
-        vertex_pcs.append(np.full(vertices.shape, PC_PROPERTY_UPDATE, dtype=np.int16))
-        vertex_regions.append(np.full(vertices.shape, REGION_PROPERTY, dtype=np.int8))
+        update_dest = update_base + array_index
+        addresses[update_dest] = layout.vertex_property_addresses(array_index, vertices)
+        pcs[update_dest] = PC_PROPERTY_UPDATE
+        regions[update_dest] = REGION_PROPERTY
 
-    insert_values = np.concatenate(vertex_addresses)
-    insert_pcs = np.concatenate(vertex_pcs)
-    insert_regions = np.concatenate(vertex_regions)
-
-    addresses = np.insert(inner_addresses, insert_positions, insert_values)
-    pcs = np.insert(inner_pcs, insert_positions, insert_pcs)
-    regions = np.insert(inner_regions, insert_positions, insert_regions)
     return Trace(addresses=addresses, pcs=pcs, regions=regions)
+
+
+# ---------------------------------------------------------------------------
+# streaming (chunked) generation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """One bounded piece of an execution's reference stream.
+
+    ``iteration`` and ``direction`` identify the application iteration the
+    chunk belongs to; ``start`` is the chunk's offset in the concatenated
+    execution stream, so consumers can reconstruct global access indices
+    without materializing the stream.
+    """
+
+    trace: Trace
+    iteration: int
+    direction: str
+    start: int
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+
+def iteration_trace_length(
+    graph: CSRGraph,
+    layout: MemoryLayout,
+    direction: str,
+    frontier: Optional[np.ndarray] = None,
+) -> int:
+    """Length of an iteration's stream, without generating it."""
+    vertices = _iteration_vertices(graph, direction, frontier)
+    if vertices.size == 0 or graph.num_vertices == 0:
+        return 0
+    index = graph.in_index if direction == PULL else graph.out_index
+    degrees = (index[vertices + 1] - index[vertices]).astype(np.int64)
+    stride = 1 + len(layout.edge_property_arrays)
+    per_vertex = 1 + len(layout.vertex_property_arrays)
+    return int(degrees.sum() * stride + vertices.shape[0] * per_vertex)
+
+
+def iter_iteration_trace_chunks(
+    graph: CSRGraph,
+    layout: MemoryLayout,
+    direction: str,
+    frontier: Optional[np.ndarray] = None,
+    max_accesses: Optional[int] = None,
+) -> Iterator[Trace]:
+    """Yield one iteration's stream as access-bounded :class:`Trace` pieces.
+
+    Chunks are cut at vertex-record boundaries, so their concatenation is
+    bit-identical to the one-shot :func:`generate_iteration_trace` output.
+    Every chunk holds at most ``max_accesses`` references unless a single
+    vertex's record alone exceeds the budget (a chunk always advances by at
+    least one vertex).  ``max_accesses=None`` yields the whole iteration as
+    one chunk.
+    """
+    vertices = _iteration_vertices(graph, direction, frontier)
+    if vertices.size == 0 or graph.num_vertices == 0:
+        return
+    if max_accesses is None:
+        yield generate_iteration_trace(graph, layout, direction, vertices=vertices)
+        return
+    if max_accesses <= 0:
+        raise ValueError("max_accesses must be positive")
+    index = graph.in_index if direction == PULL else graph.out_index
+    degrees = (index[vertices + 1] - index[vertices]).astype(np.int64)
+    stride = 1 + len(layout.edge_property_arrays)
+    per_vertex = 1 + len(layout.vertex_property_arrays)
+    cumulative = np.cumsum(degrees * stride + per_vertex)
+    start = 0
+    consumed = 0
+    num_vertices = int(vertices.shape[0])
+    while start < num_vertices:
+        end = int(np.searchsorted(cumulative, consumed + max_accesses, side="right"))
+        if end <= start:
+            end = start + 1
+        yield generate_iteration_trace(
+            graph, layout, direction, vertices=vertices[start:end]
+        )
+        consumed = int(cumulative[end - 1])
+        start = end
+
+
+def iter_execution_trace(
+    graph: CSRGraph,
+    layout: MemoryLayout,
+    iterations: Sequence[IterationRecord],
+    max_chunk_accesses: Optional[int] = None,
+) -> Iterator[TraceChunk]:
+    """Stream a full application execution as bounded :class:`TraceChunk` pieces.
+
+    Every iteration of ``iterations`` (usually
+    :attr:`~repro.analytics.base.AppResult.iterations`) contributes its own
+    direction and frontier, so multi-iteration effects — warmup, push/pull
+    direction switches, frontier evolution — appear in the stream exactly as
+    the application executed them.  Concatenating the chunks' traces equals
+    :func:`generate_execution_trace` bit for bit; peak memory is bounded by
+    ``max_chunk_accesses`` (plus one vertex record), independent of the
+    execution's total length.
+    """
+    start = 0
+    for record in iterations:
+        for trace in iter_iteration_trace_chunks(
+            graph,
+            layout,
+            record.direction,
+            frontier=record.frontier,
+            max_accesses=max_chunk_accesses,
+        ):
+            if len(trace) == 0:
+                continue
+            yield TraceChunk(
+                trace=trace,
+                iteration=record.index,
+                direction=record.direction,
+                start=start,
+            )
+            start += len(trace)
+
+
+def generate_execution_trace(
+    graph: CSRGraph,
+    layout: MemoryLayout,
+    iterations: Sequence[IterationRecord],
+) -> Trace:
+    """One-shot reference stream of a full execution (all iterations).
+
+    The materialized counterpart of :func:`iter_execution_trace`, used by the
+    equivalence tests and small workloads; large executions should stream.
+    """
+    chunks = [
+        generate_iteration_trace(
+            graph, layout, record.direction, frontier=record.frontier
+        )
+        for record in iterations
+    ]
+    chunks = [chunk for chunk in chunks if len(chunk)]
+    if not chunks:
+        return _empty_trace()
+    return Trace(
+        addresses=np.concatenate([chunk.addresses for chunk in chunks]),
+        pcs=np.concatenate([chunk.pcs for chunk in chunks]),
+        regions=np.concatenate([chunk.regions for chunk in chunks]),
+    )

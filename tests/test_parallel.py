@@ -143,6 +143,35 @@ class TestParallelRunner:
         serial = compare_policies(self.APPS, self.DATASETS, self.SCHEMES, config=config)
         _points_equal(serial, again)
 
+    def test_streaming_matches_serial_streaming(self, tmp_path):
+        from repro.experiments import compare_policies_streaming
+
+        config = ExperimentConfig.smoke().with_overrides(chunk_accesses=1 << 12)
+        serial = compare_policies_streaming(
+            self.APPS, self.DATASETS, self.SCHEMES, config=config
+        )
+        clear_caches()
+        set_disk_memo(None)
+        cache_dir = tmp_path / "memo"
+        parallel = compare_policies_parallel(
+            self.APPS,
+            self.DATASETS,
+            self.SCHEMES,
+            config=config,
+            max_workers=2,
+            cache_dir=cache_dir,
+            streaming=True,
+        )
+        _points_equal(serial, parallel)
+        # The workers persisted the chunked LLC streams and per-scheme
+        # full-execution results for reuse across schemes and invocations.
+        memo = DiskMemo(cache_dir)
+        # Two llcstream entries per stream: the budget-keyed chunk manifest
+        # and the budget-less counter summary.
+        assert memo.entry_count("llcstream") == 2 * len(self.DATASETS)
+        assert memo.entry_count("llcchunk") > len(self.DATASETS)
+        assert memo.entry_count("policystream") == len(self.DATASETS) * len(self.SCHEMES)
+
     def test_single_pair_runs_serially(self):
         config = ExperimentConfig.smoke()
         points = compare_policies_parallel(

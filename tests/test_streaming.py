@@ -1,0 +1,459 @@
+"""Streaming-vs-one-shot equivalence suite (ISSUE 5).
+
+Every resumable fast engine must replay a chunked stream bit-identically to
+one replay over the concatenation — per-access hit masks, per-set miss
+counts, hit/miss/eviction/bypass statistics and the *final policy state*
+(PSEL and bimodal counters, SHCT contents, PC predictors, predicted live
+distances).  Covered at three levels:
+
+* engine level: randomized block/hint/PC streams through every ``*Stream``
+  against the one-shot dispatchers, for both the compiled kernel and the
+  NumPy fallback, across several chunk budgets;
+* filter level: :class:`repro.fastsim.FilterStream` against
+  :func:`repro.fastsim.run_filter` under all three backends;
+* pipeline level: the runner's full-execution streaming simulation against
+  one-shot replay of the materialized execution trace, for every scheme of
+  the paper's matrix including OPT, plus chunk-budget invariance and the
+  per-chunk disk memoisation round trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.hints import HINT_HIGH
+from repro.cache.policies.hawkeye import HawkeyePolicy
+from repro.cache.policies.leeway import LeewayPolicy
+from repro.cache.policies.pin import PinningPolicy
+from repro.cache.policies.rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from repro.cache.policies.ship import ShipMemPolicy
+from repro.core.grasp import GraspPolicy
+from repro.experiments import ExperimentConfig, clear_caches, set_disk_memo
+from repro.experiments.memo import DiskMemo
+from repro.experiments.runner import (
+    _chunk_budget,
+    _stream_key,
+    build_workload,
+    execution_stream_summary,
+    execution_trace,
+    filter_trace,
+    iter_llc_chunks,
+    simulate_llc_policy,
+    simulate_llc_policy_streaming,
+    simulate_opt,
+    simulate_opt_streaming,
+    simulate_scheme_streaming,
+)
+from repro.experiments.schemes import scheme_policy
+from repro.fastsim import (
+    FilterStream,
+    HawkeyeStream,
+    LeewayStream,
+    LRUStream,
+    OptStream,
+    PinStream,
+    PolicyReplayStream,
+    RRIPStream,
+    ShipStream,
+    _native,
+    hawkeye_replay,
+    hawkeye_spec,
+    leeway_replay,
+    leeway_spec,
+    lru_replay,
+    opt_replay,
+    pin_replay,
+    pin_spec,
+    resolve_chunk_next_use,
+    rrip_replay,
+    rrip_spec,
+    run_filter,
+    ship_replay,
+    ship_spec,
+    vector_policy_replay,
+)
+from repro.fastsim.filter import assert_stats_equal
+from repro.trace import Trace, generate_execution_trace, iter_execution_trace
+
+GEOMETRY = (8, 4)
+CHUNK_SIZES = (1, 97, 1024, 10**9)
+
+BACKENDS = [True, False] if _native.available() else [False]
+
+
+@pytest.fixture(scope="module")
+def streams():
+    rng = np.random.default_rng(2026)
+    n = 4000
+    return {
+        "blocks": rng.integers(0, 350, size=n).astype(np.int64),
+        "hints": rng.integers(0, 4, size=n).astype(np.int64),
+        "pcs": rng.integers(0, 10, size=n).astype(np.int64),
+    }
+
+
+def chunked(array, size):
+    return [array[start : start + size] for start in range(0, len(array), size)]
+
+
+@pytest.mark.parametrize("use_native", BACKENDS)
+@pytest.mark.parametrize("chunk", CHUNK_SIZES)
+class TestEngineStreams:
+    def test_lru(self, streams, use_native, chunk):
+        num_sets, ways = GEOMETRY
+        one = lru_replay(streams["blocks"], num_sets, ways)
+        stream = LRUStream(num_sets, ways, use_native=use_native)
+        hits = np.concatenate(
+            [stream.feed(part) for part in chunked(streams["blocks"], chunk)]
+        )
+        np.testing.assert_array_equal(hits, one.hits)
+        np.testing.assert_array_equal(stream.misses_per_set, one.misses_per_set)
+        assert stream.evictions == one.evictions
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [SRRIPPolicy, BRRIPPolicy, DRRIPPolicy, GraspPolicy],
+        ids=["srrip", "brrip", "drrip", "grasp"],
+    )
+    def test_rrip_family(self, streams, use_native, chunk, policy_factory):
+        num_sets, ways = GEOMETRY
+        spec = rrip_spec(policy_factory())
+        one = rrip_replay(streams["blocks"], streams["hints"], num_sets, ways, spec)
+        stream = RRIPStream(num_sets, ways, spec, use_native=use_native)
+        hits = np.concatenate(
+            [
+                stream.feed(blocks, hints)
+                for blocks, hints in zip(
+                    chunked(streams["blocks"], chunk), chunked(streams["hints"], chunk)
+                )
+            ]
+        )
+        np.testing.assert_array_equal(hits, one.hits)
+        np.testing.assert_array_equal(stream.misses_per_set, one.misses_per_set)
+        assert stream.psel == one.psel
+        assert stream.insert_count == one.insert_count
+
+    @pytest.mark.parametrize("fraction", [0.25, 1.0], ids=["pin25", "pin100"])
+    def test_pin(self, streams, use_native, chunk, fraction):
+        num_sets, ways = GEOMETRY
+        spec = pin_spec(PinningPolicy(reserved_fraction=fraction))
+        one = pin_replay(streams["blocks"], streams["hints"], num_sets, ways, spec)
+        stream = PinStream(num_sets, ways, spec, use_native=use_native)
+        hits = np.concatenate(
+            [
+                stream.feed(blocks, hints)
+                for blocks, hints in zip(
+                    chunked(streams["blocks"], chunk), chunked(streams["hints"], chunk)
+                )
+            ]
+        )
+        np.testing.assert_array_equal(hits, one.hits)
+        np.testing.assert_array_equal(stream.misses_per_set, one.misses_per_set)
+        np.testing.assert_array_equal(stream.bypasses_per_set, one.bypasses_per_set)
+        assert stream.psel == one.psel
+        assert stream.insert_count == one.insert_count
+        assert stream.evictions == one.evictions
+
+    def test_ship(self, streams, use_native, chunk):
+        num_sets, ways = GEOMETRY
+        spec = ship_spec(ShipMemPolicy(region_bytes=256, block_bytes=64))
+        one = ship_replay(streams["blocks"], num_sets, ways, spec)
+        stream = ShipStream(num_sets, ways, spec, use_native=use_native)
+        hits = np.concatenate(
+            [stream.feed(part) for part in chunked(streams["blocks"], chunk)]
+        )
+        np.testing.assert_array_equal(hits, one.hits)
+        np.testing.assert_array_equal(stream.misses_per_set, one.misses_per_set)
+        assert stream.shct == one.shct
+
+    def test_hawkeye(self, streams, use_native, chunk):
+        num_sets, ways = GEOMETRY
+        spec = hawkeye_spec(HawkeyePolicy())
+        one = hawkeye_replay(streams["blocks"], streams["pcs"], num_sets, ways, spec)
+        stream = HawkeyeStream(num_sets, ways, spec, use_native=use_native)
+        hits = np.concatenate(
+            [
+                stream.feed(blocks, pcs)
+                for blocks, pcs in zip(
+                    chunked(streams["blocks"], chunk), chunked(streams["pcs"], chunk)
+                )
+            ]
+        )
+        np.testing.assert_array_equal(hits, one.hits)
+        np.testing.assert_array_equal(stream.misses_per_set, one.misses_per_set)
+        assert stream.predictor == one.predictor
+
+    def test_leeway(self, streams, use_native, chunk):
+        num_sets, ways = GEOMETRY
+        spec = leeway_spec(LeewayPolicy())
+        one = leeway_replay(streams["blocks"], streams["pcs"], num_sets, ways, spec)
+        stream = LeewayStream(num_sets, ways, spec, use_native=use_native)
+        hits = np.concatenate(
+            [
+                stream.feed(blocks, pcs)
+                for blocks, pcs in zip(
+                    chunked(streams["blocks"], chunk), chunked(streams["pcs"], chunk)
+                )
+            ]
+        )
+        np.testing.assert_array_equal(hits, one.hits)
+        np.testing.assert_array_equal(stream.misses_per_set, one.misses_per_set)
+        assert stream.predicted_live_distances == one.predicted_live_distances
+
+    def test_opt_two_pass(self, streams, use_native, chunk):
+        num_sets, ways = GEOMETRY
+        one = opt_replay(streams["blocks"], num_sets, ways)
+        parts = chunked(streams["blocks"], chunk)
+        starts = list(range(0, len(streams["blocks"]), chunk))
+        next_seen = {}
+        next_uses = [None] * len(parts)
+        for index in reversed(range(len(parts))):
+            next_uses[index] = resolve_chunk_next_use(
+                parts[index], starts[index], next_seen
+            )
+        stream = OptStream(num_sets, ways, use_native=use_native)
+        hits = np.concatenate(
+            [stream.feed(blocks, nxt) for blocks, nxt in zip(parts, next_uses)]
+        )
+        np.testing.assert_array_equal(hits, one.hits)
+        np.testing.assert_array_equal(stream.misses_per_set, one.misses_per_set)
+
+
+class TestPolicyReplayStream:
+    def test_stats_match_one_shot_vector_replay(self, streams):
+        num_sets, ways = GEOMETRY
+        from repro.cache.config import CacheConfig
+
+        llc = CacheConfig(size_bytes=num_sets * ways * 64, ways=ways, name="LLC")
+        regions = (streams["blocks"] % 3).astype(np.int8)
+        for factory in (
+            GraspPolicy,
+            lambda: PinningPolicy(reserved_fraction=0.5),
+            lambda: ShipMemPolicy(region_bytes=256, block_bytes=64),
+            HawkeyePolicy,
+            LeewayPolicy,
+        ):
+            one = vector_policy_replay(
+                factory(),
+                streams["blocks"],
+                llc,
+                hints=streams["hints"],
+                regions=regions,
+                pcs=streams["pcs"],
+            )
+            stream = PolicyReplayStream(factory(), llc)
+            for lo in range(0, len(streams["blocks"]), 313):
+                hi = lo + 313
+                stream.feed(
+                    streams["blocks"][lo:hi],
+                    hints=streams["hints"][lo:hi],
+                    regions=regions[lo:hi],
+                    pcs=streams["pcs"][lo:hi],
+                )
+            assert_stats_equal(one, stream.stats(), "PolicyReplayStream")
+
+    def test_opt_policy_rejected(self):
+        from repro.cache.config import CacheConfig
+        from repro.cache.policies.opt import BeladyOptimal
+
+        llc = CacheConfig(size_bytes=2048, ways=4, name="LLC")
+        with pytest.raises(ValueError):
+            PolicyReplayStream(BeladyOptimal(llc), llc)
+
+
+@pytest.mark.parametrize("backend", ["vector", "scalar", "verify"])
+def test_filter_stream_matches_one_shot(backend):
+    config = ExperimentConfig.smoke()
+    workload = build_workload("PR", "pl", config=config)
+    trace = execution_trace(workload)
+    one = run_filter(trace, config.hierarchy, backend=backend)
+    stream = FilterStream(config.hierarchy, backend=backend)
+    keeps = []
+    for lo in range(0, len(trace), 4096):
+        hi = lo + 4096
+        keeps.append(
+            stream.feed(
+                Trace(trace.addresses[lo:hi], trace.pcs[lo:hi], trace.regions[lo:hi])
+            )
+        )
+    np.testing.assert_array_equal(np.concatenate(keeps), one.keep)
+    l1_stats, l2_stats = stream.finish()
+    assert_stats_equal(one.l1_stats, l1_stats, "FilterStream L1")
+    assert_stats_equal(one.l2_stats, l2_stats, "FilterStream L2")
+
+
+class TestRunnerStreaming:
+    """Full-pipeline equivalence on a real multi-iteration workload."""
+
+    SCHEMES = (
+        "LRU",
+        "RRIP",
+        "GRASP",
+        "SHiP-MEM",
+        "Hawkeye",
+        "Leeway",
+        "PIN-75",
+        "PIN-100",
+        "RRIP+Hints",  # scalar-only policy: exercises the scalar stream path
+    )
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        clear_caches()
+        config = ExperimentConfig.smoke()
+        workload = build_workload("PR", "lj", config=config)
+        one_shot_llc = filter_trace(
+            execution_trace(workload), config.hierarchy, workload.layout
+        )
+        return config, workload, one_shot_llc
+
+    def test_llc_chunks_concatenate_to_one_shot_filter(self, setup):
+        config, workload, one = setup
+        chunks = list(iter_llc_chunks(workload, config, max_chunk_accesses=5000))
+        np.testing.assert_array_equal(
+            np.concatenate([chunk.block_addresses for chunk in chunks]),
+            one.block_addresses,
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([chunk.hints for chunk in chunks]), one.hints
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([chunk.pcs for chunk in chunks]), one.pcs
+        )
+        summary = execution_stream_summary(workload, config, max_chunk_accesses=5000)
+        assert summary["l1_hits"] == one.upstream_l1_hits
+        assert summary["l2_hits"] == one.upstream_l2_hits
+        assert summary["total_references"] == one.total_references
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_policy_streaming_matches_one_shot(self, setup, scheme):
+        config, workload, one = setup
+        streamed = simulate_llc_policy_streaming(
+            workload, scheme_policy(scheme), config, max_chunk_accesses=5000
+        )
+        reference = simulate_llc_policy(one, scheme_policy(scheme), config.hierarchy.llc)
+        assert_stats_equal(reference, streamed, f"streaming {scheme}")
+
+    def test_opt_streaming_matches_one_shot(self, setup):
+        config, workload, one = setup
+        streamed = simulate_opt_streaming(workload, config, max_chunk_accesses=5000)
+        reference = simulate_opt(one, config.hierarchy.llc)
+        assert_stats_equal(reference, streamed, "streaming OPT")
+
+    def test_chunk_budget_invariance(self, setup):
+        config, workload, _ = setup
+        policy = scheme_policy("GRASP")
+        baseline = simulate_llc_policy_streaming(
+            workload, policy, config, max_chunk_accesses=1500
+        )
+        for budget in (700, 50_000, 10**9):
+            other = simulate_llc_policy_streaming(
+                workload, scheme_policy("GRASP"), config, max_chunk_accesses=budget
+            )
+            assert_stats_equal(baseline, other, f"budget {budget}")
+
+    def test_verify_backend_passes(self, setup):
+        config, workload, _ = setup
+        simulate_llc_policy_streaming(
+            workload,
+            scheme_policy("GRASP"),
+            config,
+            backend="verify",
+            max_chunk_accesses=5000,
+        )
+        simulate_opt_streaming(
+            workload, config, backend="verify", max_chunk_accesses=5000
+        )
+
+    def test_hint_stream_steers_pinning(self, setup):
+        """The hint plumbing must survive chunking: PIN-100 with hints must
+        differ from hint-blind replay on a skewed workload."""
+        config, workload, one = setup
+        assert (one.hints == HINT_HIGH).any()
+        with_hints = simulate_llc_policy_streaming(
+            workload, scheme_policy("PIN-100"), config, max_chunk_accesses=5000
+        )
+        without = simulate_llc_policy_streaming(
+            workload,
+            scheme_policy("PIN-100"),
+            config,
+            use_hints=False,
+            max_chunk_accesses=5000,
+        )
+        assert with_hints.misses != without.misses
+
+    def test_disk_memo_round_trip(self, setup, tmp_path):
+        config, workload, _ = setup
+        set_disk_memo(DiskMemo(tmp_path))
+        try:
+            first = list(iter_llc_chunks(workload, config, max_chunk_accesses=5000))
+            stats_first = simulate_scheme_streaming(workload, "GRASP", config)
+            memo = DiskMemo(tmp_path)
+            assert memo.entry_count("llcchunk") >= len(first)
+            assert memo.entry_count("llcstream") >= 1
+            assert memo.entry_count("policystream") == 1
+            clear_caches()
+            second = list(iter_llc_chunks(workload, config, max_chunk_accesses=5000))
+            assert len(first) == len(second)
+            for a, b in zip(first, second):
+                np.testing.assert_array_equal(a.block_addresses, b.block_addresses)
+                np.testing.assert_array_equal(a.hints, b.hints)
+            assert simulate_scheme_streaming(workload, "GRASP", config) == stats_first
+        finally:
+            set_disk_memo(None)
+            clear_caches()
+
+    def test_corrupt_memo_chunk_falls_back_mid_stream(self, setup, tmp_path):
+        """A lost/corrupt persisted chunk regenerates the tail, bit-identically."""
+        config, workload, _ = setup
+        memo = DiskMemo(tmp_path)
+        set_disk_memo(memo)
+        try:
+            first = list(iter_llc_chunks(workload, config, max_chunk_accesses=5000))
+            assert len(first) > 2
+            # Corrupt a middle chunk: the memo-hit path serves the prefix from
+            # disk, then falls back to regeneration for the rest of the stream.
+            key = _stream_key(
+                workload, config, _chunk_budget(config, 5000)
+            )
+            memo.path_for("llcchunk", key + (1,)).write_bytes(b"not a pickle")
+            clear_caches()
+            second = list(iter_llc_chunks(workload, config, max_chunk_accesses=5000))
+            assert len(first) == len(second)
+            for a, b in zip(first, second):
+                np.testing.assert_array_equal(a.block_addresses, b.block_addresses)
+                np.testing.assert_array_equal(a.hints, b.hints)
+            # The fallback also repaired the corrupted entry.
+            assert memo.get("llcchunk", key + (1,)) is not None
+        finally:
+            set_disk_memo(None)
+            clear_caches()
+
+    def test_execution_covers_multiple_iterations(self, setup):
+        config, workload, one = setup
+        assert workload.app_result.num_iterations > 1
+        roi_only = filter_trace(
+            generate_execution_trace(
+                workload.graph, workload.layout, [workload.roi]
+            ),
+            config.hierarchy,
+            workload.layout,
+        )
+        assert one.total_references > roi_only.total_references
+
+
+def test_execution_chunks_respect_budget():
+    config = ExperimentConfig.smoke()
+    workload = build_workload("PR", "pl", config=config)
+    degrees = (workload.graph.in_index[1:] - workload.graph.in_index[:-1]).astype(
+        np.int64
+    )
+    stride = 1 + len(workload.layout.edge_property_arrays)
+    record = int(degrees.max()) * stride + 1 + len(workload.layout.vertex_property_arrays)
+    budget = max(2048, record)
+    for chunk in iter_execution_trace(
+        workload.graph,
+        workload.layout,
+        workload.app_result.iterations,
+        max_chunk_accesses=budget,
+    ):
+        assert len(chunk) <= budget

@@ -1,0 +1,248 @@
+"""Trace-structure invariant suite (ISSUE 5).
+
+Validates the generated reference stream access by access against an
+independent pure-Python reference that walks the Sec. II-C structure
+literally — per processed vertex: Vertex-Array load, then the edge slice
+(Edge-Array read + one Property-Array gather per edge-indexed array), then
+the per-vertex property updates.  Covers push vs. pull, zero-degree
+vertices, empty frontiers, merged vs. split property arrays, and the
+streaming chunkers' exactness.
+
+Includes the regression test for the former ``np.insert`` tie-ordering bug:
+at equal insert offsets the stable tie-break emitted every Vertex-Array load
+before the *preceding* vertex's property updates (and collapsed the ordering
+entirely for zero-edge vertices).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.base import PULL, PUSH, AccessProfile, PropertySpec
+from repro.graph import chung_lu_graph, from_edge_list
+# Only the seed-era API is imported at module level so the Sec. II-C
+# ordering regression tests still *collect* (and fail, rather than error)
+# against the pre-fix generator; the chunked-generation tests import the
+# streaming API locally.
+from repro.trace import (
+    MemoryLayout,
+    REGION_EDGE,
+    REGION_PROPERTY,
+    REGION_VERTEX,
+    generate_iteration_trace,
+)
+from repro.trace.layout import (
+    PC_EDGE_LOAD,
+    PC_PROPERTY_GATHER,
+    PC_PROPERTY_UPDATE,
+    PC_VERTEX_LOAD,
+)
+
+
+def profile(num_edge_arrays=1, num_vertex_arrays=1):
+    return AccessProfile(
+        edge_properties=tuple(
+            PropertySpec(f"edge{i}", 8) for i in range(num_edge_arrays)
+        ),
+        vertex_properties=tuple(
+            PropertySpec(f"vertex{i}", 8) for i in range(num_vertex_arrays)
+        ),
+    )
+
+
+def reference_iteration_trace(graph, layout, direction, frontier=None):
+    """Literal Sec. II-C walk: load -> edges -> updates, one vertex at a time."""
+    if direction == PULL or frontier is None:
+        vertices = range(graph.num_vertices)
+    else:
+        vertices = [int(v) for v in frontier]
+    if direction == PULL:
+        index, adjacency = graph.in_index, graph.in_sources
+    else:
+        index, adjacency = graph.out_index, graph.out_targets
+    addresses, pcs, regions = [], [], []
+
+    def emit(address, pc, region):
+        addresses.append(int(address))
+        pcs.append(pc)
+        regions.append(region)
+
+    for vertex in vertices:
+        emit(layout.vertex_index_addresses(np.array([vertex]))[0], PC_VERTEX_LOAD, REGION_VERTEX)
+        for edge in range(int(index[vertex]), int(index[vertex + 1])):
+            emit(layout.edge_addresses(np.array([edge]))[0], PC_EDGE_LOAD, REGION_EDGE)
+            neighbour = int(adjacency[edge])
+            for array_index in range(len(layout.edge_property_arrays)):
+                emit(
+                    layout.edge_property_addresses(array_index, np.array([neighbour]))[0],
+                    PC_PROPERTY_GATHER,
+                    REGION_PROPERTY,
+                )
+        for array_index in range(len(layout.vertex_property_arrays)):
+            emit(
+                layout.vertex_property_addresses(array_index, np.array([vertex]))[0],
+                PC_PROPERTY_UPDATE,
+                REGION_PROPERTY,
+            )
+    return (
+        np.array(addresses, dtype=np.int64),
+        np.array(pcs, dtype=np.int16),
+        np.array(regions, dtype=np.int8),
+    )
+
+
+def assert_matches_reference(graph, layout, direction, frontier=None):
+    trace = generate_iteration_trace(graph, layout, direction, frontier=frontier)
+    addresses, pcs, regions = reference_iteration_trace(
+        graph, layout, direction, frontier=frontier
+    )
+    np.testing.assert_array_equal(trace.addresses, addresses)
+    np.testing.assert_array_equal(trace.pcs, pcs)
+    np.testing.assert_array_equal(trace.regions, regions)
+
+
+@pytest.fixture
+def zero_degree_graph():
+    """Vertices 1 and 3 have no in-edges; vertex 4 has no edges at all."""
+    return from_edge_list(
+        [(1, 0), (3, 0), (0, 2), (1, 2)], num_vertices=5, name="holes"
+    )
+
+
+class TestSecIICOrdering:
+    def test_pull_matches_reference(self, zero_degree_graph):
+        layout = MemoryLayout(zero_degree_graph, profile(2, 1))
+        assert_matches_reference(zero_degree_graph, layout, PULL)
+
+    def test_push_matches_reference(self, zero_degree_graph):
+        layout = MemoryLayout(zero_degree_graph, profile(1, 2))
+        frontier = np.array([4, 1, 0, 3])
+        assert_matches_reference(zero_degree_graph, layout, PUSH, frontier=frontier)
+
+    def test_random_graph_matches_reference_both_directions(self):
+        graph = chung_lu_graph(120, 5.0, seed=7)
+        layout = MemoryLayout(graph, profile(2, 2))
+        assert_matches_reference(graph, layout, PULL)
+        rng = np.random.default_rng(7)
+        frontier = rng.choice(graph.num_vertices, size=40, replace=False)
+        assert_matches_reference(graph, layout, PUSH, frontier=frontier)
+
+    def test_merged_and_split_profiles_match_reference(self):
+        graph = chung_lu_graph(80, 4.0, seed=9)
+        split = AccessProfile(
+            edge_properties=(PropertySpec("a", 8), PropertySpec("b", 4)),
+            vertex_properties=(PropertySpec("c", 8),),
+        )
+        for prof in (split, split.merge()):
+            assert_matches_reference(graph, MemoryLayout(graph, prof), PULL)
+
+    def test_updates_precede_next_vertex_load(self, zero_degree_graph):
+        """Regression (ISSUE 5): at equal ``np.insert`` offsets the old
+        generator emitted the next vertex's Vertex-Array load *before* the
+        current vertex's property updates."""
+        layout = MemoryLayout(zero_degree_graph, profile(1, 1))
+        trace = generate_iteration_trace(zero_degree_graph, layout, PULL)
+        load_positions = np.flatnonzero(trace.pcs == PC_VERTEX_LOAD)
+        # Every vertex record ends with its property update, so the access
+        # immediately before each subsequent load must be an update — also
+        # across zero-in-degree vertices, where load and update are adjacent.
+        assert (trace.pcs[load_positions[1:] - 1] == PC_PROPERTY_UPDATE).all()
+        # And the stream must end with the last vertex's update.
+        assert trace.pcs[-1] == PC_PROPERTY_UPDATE
+
+    def test_zero_edge_vertex_record_is_load_then_updates(self, zero_degree_graph):
+        layout = MemoryLayout(zero_degree_graph, profile(1, 2))
+        trace = generate_iteration_trace(
+            zero_degree_graph, layout, PUSH, frontier=np.array([4])
+        )
+        assert trace.pcs.tolist() == [
+            PC_VERTEX_LOAD,
+            PC_PROPERTY_UPDATE,
+            PC_PROPERTY_UPDATE,
+        ]
+
+    def test_empty_frontier(self, zero_degree_graph):
+        layout = MemoryLayout(zero_degree_graph, profile())
+        trace = generate_iteration_trace(
+            zero_degree_graph, layout, PUSH, frontier=np.empty(0, dtype=np.int64)
+        )
+        assert len(trace) == 0
+
+
+class TestChunkedGeneration:
+    def test_iteration_chunks_concatenate_to_one_shot(self):
+        from repro.trace import iter_iteration_trace_chunks
+
+        graph = chung_lu_graph(150, 6.0, seed=11)
+        layout = MemoryLayout(graph, profile(2, 1))
+        full = generate_iteration_trace(graph, layout, PULL)
+        for budget in (1, 37, 256, 10**9):
+            chunks = list(
+                iter_iteration_trace_chunks(graph, layout, PULL, max_accesses=budget)
+            )
+            np.testing.assert_array_equal(
+                np.concatenate([chunk.addresses for chunk in chunks]), full.addresses
+            )
+            np.testing.assert_array_equal(
+                np.concatenate([chunk.pcs for chunk in chunks]), full.pcs
+            )
+            np.testing.assert_array_equal(
+                np.concatenate([chunk.regions for chunk in chunks]), full.regions
+            )
+
+    def test_chunk_budget_respected_beyond_single_records(self):
+        from repro.trace import iter_iteration_trace_chunks
+
+        graph = chung_lu_graph(150, 6.0, seed=11)
+        layout = MemoryLayout(graph, profile(1, 1))
+        degrees = (graph.in_index[1:] - graph.in_index[:-1]).astype(np.int64)
+        record = int(degrees.max()) * 2 + 2  # largest single vertex record
+        budget = max(64, record)
+        chunks = list(
+            iter_iteration_trace_chunks(graph, layout, PULL, max_accesses=budget)
+        )
+        assert all(len(chunk) <= budget for chunk in chunks)
+
+    def test_iteration_trace_length(self):
+        from repro.trace import iteration_trace_length
+
+        graph = chung_lu_graph(90, 5.0, seed=13)
+        layout = MemoryLayout(graph, profile(2, 2))
+        assert iteration_trace_length(graph, layout, PULL) == len(
+            generate_iteration_trace(graph, layout, PULL)
+        )
+        frontier = np.array([0, 5, 17])
+        assert iteration_trace_length(graph, layout, PUSH, frontier=frontier) == len(
+            generate_iteration_trace(graph, layout, PUSH, frontier=frontier)
+        )
+
+    def test_execution_trace_streams_every_iteration(self):
+        from repro.analytics import get_application
+        from repro.trace import generate_execution_trace, iter_execution_trace
+
+        graph = chung_lu_graph(200, 5.0, seed=17)
+        app = get_application("PR")
+        layout = MemoryLayout(graph, app.access_profile())
+        result = app.run(graph, root=0)
+        full = generate_execution_trace(graph, layout, result.iterations)
+        chunks = list(
+            iter_execution_trace(graph, layout, result.iterations, max_chunk_accesses=500)
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([chunk.trace.addresses for chunk in chunks]), full.addresses
+        )
+        # Chunk metadata: contiguous global offsets and real iteration labels.
+        offset = 0
+        for chunk in chunks:
+            assert chunk.start == offset
+            offset += len(chunk)
+        assert {chunk.iteration for chunk in chunks} == {
+            record.index for record in result.iterations if record.active_vertices
+        }
+
+    def test_invalid_budget_rejected(self):
+        from repro.trace import iter_iteration_trace_chunks
+
+        graph = chung_lu_graph(40, 3.0, seed=1)
+        layout = MemoryLayout(graph, profile())
+        with pytest.raises(ValueError):
+            list(iter_iteration_trace_chunks(graph, layout, PULL, max_accesses=0))
