@@ -25,7 +25,8 @@ Table VII (LLC size sweep)      :func:`repro.experiments.tables.table7_llc_sweep
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.memo import DiskMemo
-from repro.experiments.parallel import compare_policies_parallel
+from repro.experiments.parallel import WorkerPoolBrokenWarning, compare_policies_parallel
+from repro.experiments.queue import FailureEvent, RetryPolicy
 from repro.experiments.runner import (
     DataPoint,
     Workload,
@@ -42,14 +43,29 @@ from repro.experiments.runner import (
     simulate_llc_policy_streaming,
     simulate_opt,
     simulate_opt_streaming,
+    simulate_scheme,
+    simulate_scheme_streaming,
 )
 from repro.experiments.schemes import POLICY_SPECS, scheme_policy
+from repro.experiments.service import (
+    SweepError,
+    SweepResult,
+    SweepSpec,
+    resume_sweep,
+    run_sweep,
+)
 
 __all__ = [
     "DataPoint",
     "DiskMemo",
     "ExperimentConfig",
+    "FailureEvent",
     "POLICY_SPECS",
+    "RetryPolicy",
+    "SweepError",
+    "SweepResult",
+    "SweepSpec",
+    "WorkerPoolBrokenWarning",
     "Workload",
     "build_workload",
     "clear_caches",
@@ -60,10 +76,14 @@ __all__ = [
     "filter_trace",
     "iter_execution_chunks",
     "iter_llc_chunks",
+    "resume_sweep",
+    "run_sweep",
     "scheme_policy",
     "set_disk_memo",
     "simulate_llc_policy",
     "simulate_llc_policy_streaming",
     "simulate_opt",
     "simulate_opt_streaming",
+    "simulate_scheme",
+    "simulate_scheme_streaming",
 ]

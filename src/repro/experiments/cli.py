@@ -1,0 +1,327 @@
+"""``repro`` command line — resumable figure/table sweeps.
+
+::
+
+    repro sweep --apps PR --datasets lj,pl --schemes RRIP,GRASP --preset smoke
+    repro sweep --figure fig5                       # a whole paper figure
+    repro sweep --resume 20260807-101501-ab12cd34   # finish an interrupted run
+    repro runs                                      # list known runs
+
+``sweep`` decomposes the comparison into the content-addressed task DAG of
+:mod:`repro.experiments.service`, runs it on a worker pool with retry,
+work stealing and heartbeat supervision, prints per-task progress and a
+terminal summary, and leaves a JSON run manifest under
+``<cache-dir>/runs/<run-id>/manifest.json``.  Because results live in the
+shared on-disk memo store, re-running (or ``--resume``-ing) only executes
+tasks whose entries are missing, and concurrent clients deduplicate work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.memo import default_cache_dir
+from repro.experiments.queue import RetryPolicy
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import DataPoint
+from repro.experiments.schemes import (
+    ABLATION_SCHEMES,
+    HISTORY_SCHEMES,
+    PINNING_SCHEMES,
+    POLICY_SPECS,
+    ROBUSTNESS_SCHEMES,
+)
+from repro.experiments.service import (
+    SweepError,
+    SweepResult,
+    SweepSpec,
+    TaskRecord,
+    load_manifest,
+    resume_sweep,
+    run_sweep,
+    runs_root,
+)
+
+#: Fallback cache root when neither --cache-dir nor REPRO_CACHE_DIR is set.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Figure presets: (schemes, dataset group).  Apps always come from the config.
+FIGURE_PRESETS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "fig5": (HISTORY_SCHEMES, "high_skew"),
+    "fig6": (HISTORY_SCHEMES, "high_skew"),
+    "fig7": (ABLATION_SCHEMES, "high_skew"),
+    "fig8": (PINNING_SCHEMES, "high_skew"),
+    "fig9": (ROBUSTNESS_SCHEMES, "adversarial"),
+}
+
+CONFIG_PRESETS = {
+    "default": ExperimentConfig.default,
+    "benchmark": ExperimentConfig.benchmark,
+    "smoke": ExperimentConfig.smoke,
+}
+
+
+def _csv(value: str) -> Tuple[str, ...]:
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GRASP-reproduction experiment sweeps",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run (or resume) a policy-comparison sweep on the task service",
+        description="Run a compare_policies sweep as a fault-tolerant task DAG.",
+    )
+    sweep.add_argument("--apps", type=_csv, default=None, help="comma-separated app names")
+    sweep.add_argument("--datasets", type=_csv, default=None, help="comma-separated dataset names")
+    sweep.add_argument(
+        "--schemes", type=_csv, default=None,
+        help=f"comma-separated schemes (known: {', '.join(POLICY_SPECS)})",
+    )
+    sweep.add_argument(
+        "--figure", choices=sorted(FIGURE_PRESETS), default=None,
+        help="sweep a whole paper figure (schemes + dataset group)",
+    )
+    sweep.add_argument(
+        "--preset", choices=sorted(CONFIG_PRESETS), default="default",
+        help="experiment scale preset (default: full scale)",
+    )
+    sweep.add_argument("--scale", type=float, default=None, help="override dataset scale")
+    sweep.add_argument("--seed", type=int, default=None, help="override generation seed")
+    sweep.add_argument("--reorder", default=None, help="software reordering (default: config)")
+    sweep.add_argument("--baseline", default="RRIP", help="baseline scheme (default: RRIP)")
+    sweep.add_argument(
+        "--streaming", action="store_true",
+        help="sweep full executions through the streaming pipeline",
+    )
+    sweep.add_argument(
+        "--chunk-accesses", type=int, default=None,
+        help="chunk budget of the streaming pipeline",
+    )
+    sweep.add_argument(
+        "--sim-backend", choices=("vector", "scalar", "verify"), default=None,
+        help="simulation backend (results are identical; default: vector)",
+    )
+    sweep.add_argument("--workers", type=int, default=None, help="worker count (default: REPRO_WORKERS or CPUs)")
+    sweep.add_argument(
+        "--worker-backend", choices=("process", "inline"), default="process",
+        help="task transport (default: process pool)",
+    )
+    sweep.add_argument("--cache-dir", default=None, help="content-addressed store root")
+    sweep.add_argument("--run-id", default=None, help="explicit run id")
+    sweep.add_argument("--resume", metavar="RUN_ID", default=None, help="resume a recorded run")
+    sweep.add_argument("--max-attempts", type=int, default=4, help="executions per task before failing")
+    sweep.add_argument(
+        "--heartbeat-timeout", type=float, default=300.0,
+        help="seconds without a worker heartbeat before a task is re-dispatched",
+    )
+    sweep.add_argument("--quiet", action="store_true", help="suppress per-task progress lines")
+    sweep.set_defaults(func=cmd_sweep)
+
+    runs = sub.add_parser("runs", help="list recorded sweep runs")
+    runs.add_argument("--cache-dir", default=None)
+    runs.set_defaults(func=cmd_runs)
+    return parser
+
+
+def _resolve_cache_dir(value: Optional[str]) -> Path:
+    if value:
+        return Path(value)
+    env = default_cache_dir()
+    return env if env is not None else Path(DEFAULT_CACHE_DIR)
+
+
+def _spec_from_args(args: argparse.Namespace, config: ExperimentConfig) -> SweepSpec:
+    apps = args.apps
+    datasets = args.datasets
+    schemes = args.schemes
+    if args.figure is not None:
+        figure_schemes, group = FIGURE_PRESETS[args.figure]
+        schemes = schemes or figure_schemes
+        datasets = datasets or tuple(
+            config.adversarial_datasets if group == "adversarial" else config.high_skew_datasets
+        )
+        apps = apps or tuple(config.apps)
+    if not (apps and datasets and schemes):
+        raise SystemExit(
+            "repro sweep: need --apps/--datasets/--schemes (or --figure to fill them in)"
+        )
+    return SweepSpec(
+        apps=tuple(apps),
+        datasets=tuple(datasets),
+        schemes=tuple(schemes),
+        reorder=args.reorder,
+        baseline=args.baseline,
+        streaming=args.streaming,
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = CONFIG_PRESETS[args.preset]()
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.sim_backend is not None:
+        overrides["backend"] = args.sim_backend
+    if args.chunk_accesses is not None:
+        overrides["chunk_accesses"] = args.chunk_accesses
+    return config.with_overrides(**overrides) if overrides else config
+
+
+class _Progress:
+    """Per-task progress lines and a live completion counter."""
+
+    def __init__(self, quiet: bool, out) -> None:
+        self.quiet = quiet
+        self.out = out
+        self.total = 0
+        self.finished = 0
+
+    def __call__(self, phase: str, record: TaskRecord) -> None:
+        if phase in ("done", "cached", "failed"):
+            self.finished += 1
+        if self.quiet:
+            return
+        width = len(str(self.total))
+        prefix = f"[{min(self.finished, self.total):>{width}}/{self.total}]"
+        label = record.task.label or record.task.task_id[:12]
+        if phase == "dispatch":
+            if record.attempts > 1:
+                print(f"{prefix} retry    {label} (attempt {record.attempts})", file=self.out)
+        elif phase == "done":
+            print(f"{prefix} done     {label} (worker {record.worker})", file=self.out)
+        elif phase == "cached":
+            print(f"{prefix} cached   {label}", file=self.out)
+        elif phase == "retry":
+            print(f"{prefix} fault    {label}: {record.error}", file=self.out)
+        elif phase == "failed":
+            print(f"{prefix} FAILED   {label}: {record.error}", file=self.out)
+
+
+def _points_rows(points: Sequence[DataPoint]) -> List[Dict[str, object]]:
+    return [
+        {
+            "app": point.app_name,
+            "dataset": point.dataset_name,
+            "scheme": point.scheme,
+            "misses": point.stats.misses,
+            "miss_red_%": point.miss_reduction_pct,
+            "speedup_%": point.speedup_pct,
+        }
+        for point in points
+    ]
+
+
+def _print_summary(result: SweepResult, out) -> None:
+    report = result.report
+    print(
+        f"\nrun {result.run_id}: {report.executed} executed, {report.cached} cached, "
+        f"{report.retries} retries ({report.worker_deaths} worker deaths, "
+        f"{report.task_errors} task errors, {report.heartbeat_timeouts} heartbeat timeouts), "
+        f"{report.steals} steals",
+        file=out,
+    )
+    print(f"manifest: {result.manifest}", file=out)
+    print(file=out)
+    print(format_table(_points_rows(result.points), title="DataPoints"), file=out)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    progress = _Progress(args.quiet, sys.stdout)
+    retry = RetryPolicy(max_attempts=args.max_attempts)
+    try:
+        if args.resume:
+            try:
+                stored = load_manifest(cache_dir, args.resume)
+            except FileNotFoundError:
+                print(f"error: no run {args.resume!r} under {runs_root(cache_dir)}",
+                      file=sys.stderr)
+                return 1
+            progress.total = len(stored.get("tasks", []))
+            print(f"resume {args.resume}: {progress.total} tasks ({args.worker_backend} backend)")
+            result = resume_sweep(
+                args.resume,
+                cache_dir=cache_dir,
+                workers=args.workers,
+                worker_backend=args.worker_backend,
+                retry=retry,
+                heartbeat_timeout=args.heartbeat_timeout,
+                on_event=progress,
+            )
+        else:
+            config = _config_from_args(args)
+            spec = _spec_from_args(args, config)
+            pairs = len(spec.apps) * len(spec.datasets)
+            progress.total = pairs * (2 + len(spec.all_schemes()))
+            print(
+                f"sweep: {len(spec.apps)} app(s) x {len(spec.datasets)} dataset(s) x "
+                f"{len(spec.schemes)} scheme(s) -> {progress.total} tasks "
+                f"({args.worker_backend} backend)",
+            )
+            result = run_sweep(
+                spec,
+                config=config,
+                cache_dir=cache_dir,
+                workers=args.workers,
+                worker_backend=args.worker_backend,
+                run_id=args.run_id,
+                retry=retry,
+                heartbeat_timeout=args.heartbeat_timeout,
+                on_event=progress,
+            )
+    except SweepError as error:
+        print(f"\nerror: {error}", file=sys.stderr)
+        for task_id in error.failed:
+            print(f"  failed task: {task_id}", file=sys.stderr)
+        return 1
+    _print_summary(result, sys.stdout)
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    root = runs_root(cache_dir)
+    rows = []
+    if root.is_dir():
+        for run_dir in sorted(root.iterdir()):
+            try:
+                manifest = load_manifest(cache_dir, run_dir.name)
+            except (OSError, json.JSONDecodeError, FileNotFoundError):
+                continue
+            spec = manifest.get("spec", {})
+            rows.append(
+                {
+                    "run_id": manifest.get("run_id", run_dir.name),
+                    "status": manifest.get("status", "?"),
+                    "updated": manifest.get("updated_at", "?"),
+                    "tasks": len(manifest.get("tasks", [])),
+                    "sweep": f"{len(spec.get('apps', []))}x{len(spec.get('datasets', []))}"
+                             f"x{len(spec.get('schemes', []))}",
+                }
+            )
+    print(format_table(rows, title=f"runs under {root}"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

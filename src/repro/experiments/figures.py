@@ -9,7 +9,7 @@ import numpy as np
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     DataPoint,
-    _run_scheme,
+    simulate_scheme,
     build_workload,
     compare_policies,
     workload_cycles,
@@ -44,7 +44,7 @@ def fig2_llc_breakdown(
     for dataset_name in datasets:
         for app_name in apps:
             workload = build_workload(app_name, dataset_name, reorder="identity", config=config)
-            stats = _run_scheme(workload, "RRIP", config)
+            stats = simulate_scheme(workload, "RRIP", config)
             accesses = stats.accesses or 1
             property_accesses = stats.region_accesses.get(REGION_PROPERTY, 0)
             property_misses = stats.region_misses.get(REGION_PROPERTY, 0)
@@ -154,7 +154,7 @@ def _whole_run_cycles(workload, config: ExperimentConfig) -> float:
     over the whole run to edges traversed in the ROI — the same
     "simulate one iteration, reason about the run" methodology as the paper.
     """
-    stats = _run_scheme(workload, "RRIP", config)
+    stats = simulate_scheme(workload, "RRIP", config)
     roi_cycles = workload_cycles(workload, stats, config)
     roi_edges = max(1, workload.roi.edges_traversed)
     scale_factor = max(1.0, workload.total_edges_traversed / roi_edges)
@@ -195,10 +195,10 @@ def fig11_vs_opt(config: Optional[ExperimentConfig] = None) -> List[Dict[str, ob
     for dataset_name in config.high_skew_datasets:
         for app_name in config.apps:
             workload = build_workload(app_name, dataset_name, reorder=config.reorder, config=config)
-            lru = _run_scheme(workload, "LRU", config)
+            lru = simulate_scheme(workload, "LRU", config)
             row: Dict[str, object] = {"dataset": dataset_name, "app": app_name}
             for scheme in ("RRIP", "GRASP", "OPT"):
-                stats = _run_scheme(workload, scheme, config)
+                stats = simulate_scheme(workload, scheme, config)
                 row[scheme] = round(
                     config.timing.miss_reduction_percent(lru.misses, stats.misses), 2
                 )

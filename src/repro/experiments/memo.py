@@ -77,6 +77,16 @@ def default_cache_dir() -> Optional[Path]:
     return Path(value) if value else None
 
 
+def key_digest(key: Any) -> str:
+    """Content digest of a memo key — the entry's filename stem.
+
+    The sweep service (:mod:`repro.experiments.service`) reuses these digests
+    as task ids, so "is this task done" and "does this memo entry exist" are
+    literally the same question.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
 class DiskMemo:
     """A pickle-per-entry store keyed by (kind, memo key)."""
 
@@ -85,8 +95,16 @@ class DiskMemo:
 
     def path_for(self, kind: str, key: Any) -> Path:
         """File that does (or would) hold the entry for ``key``."""
-        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
-        return self.root / kind / f"{digest}.pkl"
+        return self.root / kind / f"{key_digest(key)}.pkl"
+
+    def contains(self, kind: str, key: Any) -> bool:
+        """Whether a *readable* entry exists (corrupt entries count as absent).
+
+        This deliberately loads the pickle rather than testing the path: a
+        truncated or bit-flipped file must look like a miss to schedulers and
+        resume logic exactly as it does to :meth:`get`.
+        """
+        return self.get(kind, key) is not None
 
     def get(self, kind: str, key: Any) -> Optional[Any]:
         """Load an entry, or ``None`` on a miss or an unreadable file."""

@@ -23,6 +23,7 @@ function transparently falls back to the serial path.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
@@ -30,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.memo import CACHE_DIR_ENV_VAR, DiskMemo, default_cache_dir
+from repro.experiments.queue import POOL_BROKEN, FailureEvent, WorkerPoolBrokenWarning
 from repro.experiments.runner import (
     DataPoint,
     compare_policies,
@@ -132,16 +134,35 @@ def compare_policies_parallel(
          str(root) if root is not None else None, streaming)
         for app, dataset in pairs
     ]
+    failed_pair: Optional[Tuple[str, str]] = None
     try:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
             initargs=(str(root) if root is not None else None, config.backend),
         ) as pool:
-            chunks = list(pool.map(_simulate_pair, tasks))
-    except (OSError, BrokenProcessPool):
-        # Process pools can be unavailable (sandboxes) or die mid-flight;
-        # the serial path always works and reuses whatever reached the memo.
+            # One future per pair (rather than pool.map) so that when the
+            # pool dies we know exactly which pair's result was lost.
+            futures = [pool.submit(_simulate_pair, task) for task in tasks]
+            chunks = []
+            for (app, dataset), future in zip(pairs, futures):
+                failed_pair = (app, dataset)
+                chunks.append(future.result())
+            failed_pair = None
+    except (OSError, BrokenProcessPool) as error:
+        # Process pools can be unavailable (sandboxes) or die mid-flight; the
+        # serial path always works and reuses whatever reached the memo.  The
+        # fallback is *not* silent: the same structured FailureEvent the
+        # sweep service records in its run manifest is surfaced as a warning
+        # naming the pair whose result was lost.
+        event = FailureEvent(
+            kind=POOL_BROKEN,
+            label=(
+                f"{failed_pair[0]}/{failed_pair[1]}" if failed_pair is not None else "<pool start>"
+            ),
+            detail=f"{type(error).__name__}: {error}; falling back to the serial runner",
+        )
+        warnings.warn(WorkerPoolBrokenWarning(event), stacklevel=2)
         return serial(
             app_names, dataset_names, schemes, config=config, reorder=reorder, baseline=baseline
         )
@@ -152,5 +173,6 @@ __all__ = [
     "CACHE_DIR_ENV_VAR",
     "DiskMemo",
     "WORKERS_ENV_VAR",
+    "WorkerPoolBrokenWarning",
     "compare_policies_parallel",
 ]

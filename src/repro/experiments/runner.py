@@ -218,6 +218,100 @@ def clear_caches() -> None:
 
 
 # ---------------------------------------------------------------------------
+# memo keys
+# ---------------------------------------------------------------------------
+#
+# Every persisted artifact is addressed by a deterministic tuple built from
+# nothing but the experiment parameters, so keys (and therefore the
+# content-addressed task ids of :mod:`repro.experiments.service`) can be
+# computed *before* any simulation runs.  The builders below are the single
+# source of truth for those tuples: the memoised pipeline stages and the
+# sweep service both go through them, which is what guarantees that a task
+# scheduled remotely lands on exactly the entry the serial runner would read.
+
+
+def _resolve_merged(config: ExperimentConfig, merged: Optional[bool]) -> bool:
+    return config.merged_properties if merged is None else merged
+
+
+def workload_memo_key(
+    app_name: str,
+    dataset_name: str,
+    reorder: str,
+    config: ExperimentConfig,
+    merged: Optional[bool] = None,
+) -> tuple:
+    """Memo key of a built :class:`Workload` (kind ``workload``)."""
+    return (
+        app_name, dataset_name, reorder,
+        config.scale, config.seed, _resolve_merged(config, merged),
+    )
+
+
+def llctrace_memo_key(
+    app_name: str,
+    dataset_name: str,
+    reorder: str,
+    config: ExperimentConfig,
+    merged: Optional[bool] = None,
+) -> tuple:
+    """Memo key of the one-shot filtered ROI trace (kind ``llctrace``)."""
+    return (
+        (app_name, dataset_name, reorder),
+        config.scale, config.seed, config.hierarchy, _resolve_merged(config, merged),
+    )
+
+
+def policy_memo_key(
+    app_name: str,
+    dataset_name: str,
+    reorder: str,
+    scheme: str,
+    config: ExperimentConfig,
+    merged: Optional[bool] = None,
+) -> tuple:
+    """Memo key of one scheme's ROI replay stats (kind ``policy``)."""
+    return (
+        (app_name, dataset_name, reorder),
+        scheme, config.scale, config.seed, config.hierarchy,
+        _resolve_merged(config, merged),
+    )
+
+
+def llcstream_summary_memo_key(
+    app_name: str,
+    dataset_name: str,
+    reorder: str,
+    config: ExperimentConfig,
+    merged: Optional[bool] = None,
+) -> tuple:
+    """Budget-independent key of a full-execution stream (kind ``llcstream``)."""
+    return (
+        (app_name, dataset_name, reorder),
+        config.scale, config.seed, config.hierarchy,
+        _resolve_merged(config, merged),
+        "execution",
+    )
+
+
+def policystream_memo_key(
+    app_name: str,
+    dataset_name: str,
+    reorder: str,
+    scheme: str,
+    config: ExperimentConfig,
+    merged: Optional[bool] = None,
+) -> tuple:
+    """Memo key of one scheme's full-execution stats (kind ``policystream``)."""
+    return (
+        (app_name, dataset_name, reorder),
+        scheme, config.scale, config.seed, config.hierarchy,
+        _resolve_merged(config, merged),
+        "execution",
+    )
+
+
+# ---------------------------------------------------------------------------
 # workload construction
 # ---------------------------------------------------------------------------
 
@@ -231,7 +325,7 @@ def build_workload(
     """Build (and memoise) one workload."""
     config = config or ExperimentConfig.default()
     merged = config.merged_properties if merged_properties is None else merged_properties
-    key = (app_name, dataset_name, reorder, config.scale, config.seed, merged)
+    key = workload_memo_key(app_name, dataset_name, reorder, config, merged)
 
     def compute() -> Workload:
         app = get_application(app_name, merged_properties=merged)
@@ -330,7 +424,7 @@ def _classify_hints(
 
 def llc_trace_for(workload: Workload, config: ExperimentConfig) -> LLCTrace:
     """Memoised L1/L2-filtered LLC trace for a workload."""
-    key = (workload.key, config.scale, config.seed, config.hierarchy, workload.layout.profile.merged)
+    key = llctrace_memo_key(*workload.key, config, workload.layout.profile.merged)
     return _memoised(
         _LLC_TRACES,
         "llctrace",
@@ -465,14 +559,7 @@ def _chunk_budget(config: ExperimentConfig, max_chunk_accesses: Optional[int]) -
 
 def _summary_key(workload: Workload, config: ExperimentConfig) -> tuple:
     """Budget-independent key for the aggregate L1/L2 stream counters."""
-    return (
-        workload.key,
-        config.scale,
-        config.seed,
-        config.hierarchy,
-        workload.layout.profile.merged,
-        "execution",
-    )
+    return llcstream_summary_memo_key(*workload.key, config, workload.layout.profile.merged)
 
 
 def _stream_key(workload: Workload, config: ExperimentConfig, budget: int) -> tuple:
@@ -746,19 +833,11 @@ def simulate_scheme_streaming(
 ) -> CacheStats:
     """Memoised full-execution streaming simulation of one scheme.
 
-    The streaming analogue of the internal per-scheme runner: results are
+    The streaming analogue of :func:`simulate_scheme`: results are
     chunk-budget-invariant, so the memo key carries only the workload,
     scheme and hierarchy (kind ``policystream``).
     """
-    key = (
-        workload.key,
-        scheme,
-        config.scale,
-        config.seed,
-        config.hierarchy,
-        workload.layout.profile.merged,
-        "execution",
-    )
+    key = policystream_memo_key(*workload.key, scheme, config, workload.layout.profile.merged)
 
     def compute() -> CacheStats:
         if scheme == "OPT":
@@ -831,9 +910,9 @@ def compare_policies_streaming(
     return points
 
 
-def _run_scheme(workload: Workload, scheme: str, config: ExperimentConfig) -> CacheStats:
-    """Memoised simulation of one scheme on one workload."""
-    key = (workload.key, scheme, config.scale, config.seed, config.hierarchy, workload.layout.profile.merged)
+def simulate_scheme(workload: Workload, scheme: str, config: ExperimentConfig) -> CacheStats:
+    """Memoised ROI simulation of one scheme on one workload (kind ``policy``)."""
+    key = policy_memo_key(*workload.key, scheme, config, workload.layout.profile.merged)
 
     def compute() -> CacheStats:
         llc_trace = llc_trace_for(workload, config)
@@ -880,10 +959,10 @@ def compare_policies(
     for dataset_name in dataset_names:
         for app_name in app_names:
             workload = build_workload(app_name, dataset_name, reorder=reorder, config=config)
-            baseline_stats = _run_scheme(workload, baseline, config)
+            baseline_stats = simulate_scheme(workload, baseline, config)
             baseline_cycles = workload_cycles(workload, baseline_stats, config)
             for scheme in schemes:
-                stats = baseline_stats if scheme == baseline else _run_scheme(workload, scheme, config)
+                stats = baseline_stats if scheme == baseline else simulate_scheme(workload, scheme, config)
                 cycles = workload_cycles(workload, stats, config)
                 points.append(
                     DataPoint(

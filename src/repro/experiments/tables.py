@@ -6,7 +6,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
-    _run_scheme,
+    simulate_scheme,
     build_workload,
     llc_trace_for,
     simulate_llc_policy,
@@ -112,9 +112,9 @@ def table7_llc_sweep(
         for dataset_name in datasets:
             for app_name in apps:
                 workload = build_workload(app_name, dataset_name, reorder=sweep_config.reorder, config=sweep_config)
-                lru_stats = _run_scheme(workload, "LRU", sweep_config)
+                lru_stats = simulate_scheme(workload, "LRU", sweep_config)
                 for scheme in ("RRIP", "GRASP", "OPT"):
-                    stats = _run_scheme(workload, scheme, sweep_config)
+                    stats = simulate_scheme(workload, scheme, sweep_config)
                     reductions[scheme].append(
                         sweep_config.timing.miss_reduction_percent(lru_stats.misses, stats.misses)
                     )

@@ -195,3 +195,52 @@ class TestParallelRunner:
         assert _points_equal is not None
         restored = pickle.loads(pickle.dumps(points))
         _points_equal(points, restored)
+
+
+class TestBrokenPoolWarning:
+    """The pool-death fallback is loud: a structured WorkerPoolBrokenWarning."""
+
+    SCHEMES = ("RRIP", "GRASP")
+
+    def _broken_pool(self, monkeypatch):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.experiments.parallel as parallel_module
+
+        class _BrokenPool:
+            def __init__(self, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def submit(self, fn, task):
+                future = Future()
+                future.set_exception(BrokenProcessPool("injected pool death"))
+                return future
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", _BrokenPool)
+
+    def test_fallback_warns_with_failed_pair(self, monkeypatch):
+        from repro.experiments import WorkerPoolBrokenWarning
+        from repro.experiments.queue import POOL_BROKEN
+
+        self._broken_pool(monkeypatch)
+        config = ExperimentConfig.smoke()
+        serial = compare_policies(("PR",), ("lj", "pl"), self.SCHEMES, config=config)
+        clear_caches()
+        with pytest.warns(WorkerPoolBrokenWarning) as captured:
+            points = compare_policies_parallel(
+                ("PR",), ("lj", "pl"), self.SCHEMES, config=config, max_workers=2
+            )
+        _points_equal(serial, points)
+        event = captured[0].message.event
+        assert event.kind == POOL_BROKEN
+        # The first pair awaited is the one whose result was lost.
+        assert event.label == "PR/lj"
+        assert "BrokenProcessPool" in event.detail
+        assert "serial" in event.detail
