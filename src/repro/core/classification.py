@@ -81,6 +81,14 @@ class GraspClassifier:
         """Total bytes currently labelled High-Reuse (for tests and reports)."""
         return sum(r.end - r.start for r in self._regions if r.hint == HINT_HIGH)
 
+    def regions(self) -> tuple:
+        """Current classification regions as ``(start, end, hint)`` triples.
+
+        Ordered as consulted by :meth:`classify` (first match wins); native
+        kernels replicate the lookup from this table.
+        """
+        return tuple((r.start, r.end, r.hint) for r in self._regions)
+
     def classify(self, address: int) -> int:
         """Classify a single byte address into a reuse hint."""
         if not self._regions:

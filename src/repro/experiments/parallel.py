@@ -39,6 +39,7 @@ from repro.experiments.runner import (
     set_disk_memo,
 )
 from repro.fastsim.dispatch import set_default_backend
+from repro.fastsim.kernels import THREADS_ENV_VAR
 
 #: Environment variable capping the worker count (0 or 1 forces serial).
 WORKERS_ENV_VAR = "REPRO_WORKERS"
@@ -49,7 +50,15 @@ _PairTask = Tuple[
 
 
 def _init_worker(cache_dir: Optional[str], backend: Optional[str]) -> None:
-    """Configure one worker process: disk memo plus simulation backend."""
+    """Configure one worker process: disk memo plus simulation backend.
+
+    Process-level parallelism takes precedence over the fused pipeline's
+    set-shard threading: with one worker per core, letting every worker also
+    spawn ``REPRO_THREADS`` filter threads would oversubscribe the machine,
+    so workers run the fused kernels single-threaded (results are
+    thread-count-invariant — this only affects scheduling).
+    """
+    os.environ[THREADS_ENV_VAR] = "1"
     if cache_dir:
         set_disk_memo(DiskMemo(Path(cache_dir)))
     if backend:

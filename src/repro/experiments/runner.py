@@ -69,8 +69,10 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.memo import ChunkSpill, DiskMemo, default_cache_dir
 from repro.fastsim import (
     FilterStream,
+    FusedPipeline,
     OptStream,
     PolicyReplayStream,
+    fused_native_supported,
     resolve_chunk_next_use,
     run_filter,
     supports_vector_replay,
@@ -91,6 +93,7 @@ from repro.trace import (
     generate_execution_trace,
     generate_iteration_trace,
     iter_execution_trace,
+    iter_trace_slices,
 )
 
 
@@ -167,6 +170,7 @@ _LLC_TRACES: Dict[tuple, LLCTrace] = {}
 _POLICY_RUNS: Dict[tuple, CacheStats] = {}
 _POLICY_STREAM_RUNS: Dict[tuple, CacheStats] = {}
 _STREAM_SUMMARIES: Dict[tuple, dict] = {}
+_ROI_SUMMARIES: Dict[tuple, dict] = {}
 
 # Optional persistent layer underneath the tables above.  ``None`` plus an
 # unresolved flag means "look at REPRO_CACHE_DIR on first use".
@@ -215,6 +219,7 @@ def clear_caches() -> None:
     _POLICY_RUNS.clear()
     _POLICY_STREAM_RUNS.clear()
     _STREAM_SUMMARIES.clear()
+    _ROI_SUMMARIES.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -702,6 +707,47 @@ class _ScalarLLCStream:
         return self._cache.stats
 
 
+def _simulate_fused_streaming(
+    workload: Workload,
+    policy: ReplacementPolicy,
+    config: ExperimentConfig,
+    use_hints: bool,
+    budget: int,
+) -> CacheStats:
+    """Full-execution replay through the fused single-pass pipeline.
+
+    Generates raw trace chunks and pushes each through one native call
+    (threaded L1/L2 filter + LLC engine, see
+    :mod:`repro.fastsim.kernels.fused`); no filtered LLC trace is ever
+    materialized.  The aggregate L1/L2 counters it produces are identical to
+    the staged stream's, so they are published under the budget-less
+    ``llcstream`` summary key for :func:`execution_stream_summary` — but
+    *not* under the budget-keyed manifest, which promises per-chunk entries
+    in the ``llcchunk`` store that this path never writes.
+    """
+    classifier = _hint_classifier(workload.layout, config.hierarchy.llc)
+    fused = FusedPipeline(
+        config.hierarchy, policy, classifier=classifier, use_hints=use_hints
+    )
+    count = 0
+    for chunk in iter_execution_chunks(workload, budget):
+        fused.feed(chunk.trace)
+        count += 1
+    results = fused.stats()
+    summary = {
+        "chunks": count,
+        "l1_hits": int(results.l1_stats.hits),
+        "l2_hits": int(results.l2_stats.hits),
+        "total_references": fused.total_references,
+    }
+    summary_key = _summary_key(workload, config)
+    _STREAM_SUMMARIES.setdefault(summary_key, summary)
+    memo = active_disk_memo()
+    if memo is not None and not memo.contains("llcstream", summary_key):
+        memo.put("llcstream", summary_key, summary)
+    return results.llc_stats
+
+
 def simulate_llc_policy_streaming(
     workload: Workload,
     policy: ReplacementPolicy,
@@ -709,6 +755,7 @@ def simulate_llc_policy_streaming(
     use_hints: bool = True,
     backend: Optional[str] = None,
     max_chunk_accesses: Optional[int] = None,
+    shared_stream: bool = False,
 ) -> CacheStats:
     """Replay the workload's *full execution* under one policy, streaming.
 
@@ -723,6 +770,17 @@ def simulate_llc_policy_streaming(
     :class:`~repro.fastsim.FastSimMismatchError` unless their statistics are
     identical.  Results are bit-identical to replaying the materialized
     execution trace one-shot, for every chunk budget.
+
+    Under the ``vector`` backend, policies with a fused kernel take the
+    single-pass route (:class:`~repro.fastsim.FusedPipeline`): each raw
+    trace chunk runs through the L1/L2 filter and the LLC engine in one
+    native call, with no intermediate LLC-trace materialization.  The fused
+    route is skipped when replaying the persisted chunk store is cheaper
+    than regenerating the trace — either the store already sits on disk, or
+    ``shared_stream`` declares that other schemes will replay the same
+    stream and a memo is active to hold it (the staged path then
+    materializes and persists the stream once, on the first scheme that
+    actually computes).
     """
     config = config or ExperimentConfig.default()
     if type(policy) is BeladyOptimal:
@@ -730,6 +788,15 @@ def simulate_llc_policy_streaming(
             workload, config, backend=backend, max_chunk_accesses=max_chunk_accesses
         )
     mode = resolve_backend(backend if backend is not None else config.backend)
+    if mode == VECTOR and fused_native_supported(policy, config.hierarchy):
+        budget = _chunk_budget(config, max_chunk_accesses)
+        memo = active_disk_memo()
+        have_chunk_store = memo is not None and memo.contains(
+            "llcstream", _stream_key(workload, config, budget)
+        )
+        reuse_planned = shared_stream and memo is not None
+        if not have_chunk_store and not reuse_planned:
+            return _simulate_fused_streaming(workload, policy, config, use_hints, budget)
     llc_config = config.hierarchy.llc
     vector_stream = None
     scalar_stream = None
@@ -829,13 +896,16 @@ def simulate_opt_streaming(
 
 
 def simulate_scheme_streaming(
-    workload: Workload, scheme: str, config: ExperimentConfig
+    workload: Workload, scheme: str, config: ExperimentConfig,
+    shared_stream: bool = False,
 ) -> CacheStats:
     """Memoised full-execution streaming simulation of one scheme.
 
     The streaming analogue of :func:`simulate_scheme`: results are
     chunk-budget-invariant, so the memo key carries only the workload,
-    scheme and hierarchy (kind ``policystream``).
+    scheme and hierarchy (kind ``policystream``).  ``shared_stream``
+    declares that other schemes will replay the same filtered stream (see
+    :func:`simulate_llc_policy_streaming`).
     """
     key = policystream_memo_key(*workload.key, scheme, config, workload.layout.profile.merged)
 
@@ -843,7 +913,8 @@ def simulate_scheme_streaming(
         if scheme == "OPT":
             return simulate_opt_streaming(workload, config, backend=config.backend)
         return simulate_llc_policy_streaming(
-            workload, scheme_policy(scheme), config, backend=config.backend
+            workload, scheme_policy(scheme), config, backend=config.backend,
+            shared_stream=shared_stream,
         )
 
     return _memoised(_POLICY_STREAM_RUNS, "policystream", key, compute)
@@ -881,17 +952,26 @@ def compare_policies_streaming(
     config = config or ExperimentConfig.default()
     reorder = reorder or config.reorder
     timing: TimingModel = config.timing
+    # Mirror compare_policies: when several schemes will replay the same
+    # stream and a memo can hold the filtered chunks, the staged
+    # persist-once path beats regenerating the trace per scheme (the fused
+    # gate checks for the active memo itself).
+    shared = len({baseline, *schemes}) > 1
     points: List[DataPoint] = []
     for dataset_name in dataset_names:
         for app_name in app_names:
             workload = build_workload(app_name, dataset_name, reorder=reorder, config=config)
-            baseline_stats = simulate_scheme_streaming(workload, baseline, config)
+            baseline_stats = simulate_scheme_streaming(
+                workload, baseline, config, shared_stream=shared
+            )
             baseline_cycles = execution_cycles(workload, baseline_stats, config)
             for scheme in schemes:
                 stats = (
                     baseline_stats
                     if scheme == baseline
-                    else simulate_scheme_streaming(workload, scheme, config)
+                    else simulate_scheme_streaming(
+                        workload, scheme, config, shared_stream=shared
+                    )
                 )
                 cycles = execution_cycles(workload, stats, config)
                 points.append(
@@ -910,11 +990,114 @@ def compare_policies_streaming(
     return points
 
 
-def simulate_scheme(workload: Workload, scheme: str, config: ExperimentConfig) -> CacheStats:
-    """Memoised ROI simulation of one scheme on one workload (kind ``policy``)."""
+def _roi_summary_key(workload: Workload, config: ExperimentConfig) -> tuple:
+    """Key of the ROI stream's L1/L2 counters (kind ``roisummary``)."""
+    return llctrace_memo_key(*workload.key, config, workload.layout.profile.merged)
+
+
+def _store_roi_summary(workload: Workload, config: ExperimentConfig, summary: dict) -> None:
+    key = _roi_summary_key(workload, config)
+    _ROI_SUMMARIES.setdefault(key, summary)
+    memo = active_disk_memo()
+    if memo is not None and not memo.contains("roisummary", key):
+        memo.put("roisummary", key, summary)
+
+
+def roi_stream_summary(workload: Workload, config: ExperimentConfig) -> dict:
+    """Aggregate L1/L2 filter counters of the workload's ROI stream.
+
+    Resolution order: the in-memory/on-disk ``roisummary`` entries (written
+    by the fused ROI path), then a cached ``llctrace`` (whose upstream
+    counters carry the same numbers), then filtering the ROI trace — so
+    timing never forces the materialized LLC trace back into existence when
+    a fused run already produced the counters.
+    """
+    key = _roi_summary_key(workload, config)
+    summary = _ROI_SUMMARIES.get(key)
+    if summary is not None:
+        return summary
+    memo = active_disk_memo()
+    if memo is not None:
+        summary = memo.get("roisummary", key)
+        if summary is not None:
+            _ROI_SUMMARIES[key] = summary
+            return summary
+    llc_trace = _LLC_TRACES.get(key)
+    if llc_trace is None and memo is not None:
+        llc_trace = memo.get("llctrace", key)
+    if llc_trace is None:
+        llc_trace = llc_trace_for(workload, config)
+    summary = {
+        "l1_hits": int(llc_trace.upstream_l1_hits),
+        "l2_hits": int(llc_trace.upstream_l2_hits),
+        "total_references": int(llc_trace.total_references),
+    }
+    _store_roi_summary(workload, config, summary)
+    return summary
+
+
+def _simulate_fused_roi(
+    workload: Workload, policy: ReplacementPolicy, config: ExperimentConfig
+) -> CacheStats:
+    """ROI replay through the fused single-pass pipeline.
+
+    Skips :func:`llc_trace_for` entirely — no keep-mask, no compacted
+    address/hint/PC arrays — and leaves a ``roisummary`` behind so
+    :func:`workload_cycles` can price the outcome without materializing the
+    LLC trace either.
+    """
+    classifier = _hint_classifier(workload.layout, config.hierarchy.llc)
+    fused = FusedPipeline(config.hierarchy, policy, classifier=classifier)
+    for piece in iter_trace_slices(roi_trace(workload), _chunk_budget(config, None)):
+        fused.feed(piece)
+    results = fused.stats()
+    _store_roi_summary(
+        workload,
+        config,
+        {
+            "l1_hits": int(results.l1_stats.hits),
+            "l2_hits": int(results.l2_stats.hits),
+            "total_references": fused.total_references,
+        },
+    )
+    return results.llc_stats
+
+
+def simulate_scheme(
+    workload: Workload, scheme: str, config: ExperimentConfig,
+    shared_trace: bool = False,
+) -> CacheStats:
+    """Memoised ROI simulation of one scheme on one workload (kind ``policy``).
+
+    Under the ``vector`` backend, schemes with a fused kernel replay through
+    :class:`~repro.fastsim.FusedPipeline` when the filtered ROI trace is not
+    already cached; otherwise (or for OPT and scalar/verify runs) the staged
+    filter-then-replay pipeline runs as before.  Both routes produce
+    bit-identical statistics.
+
+    ``shared_trace`` declares that other schemes will replay the same
+    workload: the fused route (which regenerates the raw trace per scheme)
+    is then skipped in favour of the staged path, which materializes the
+    filtered ROI trace once — on the first scheme that actually computes —
+    and replays every scheme from that in-memory/on-disk copy.
+    """
     key = policy_memo_key(*workload.key, scheme, config, workload.layout.profile.merged)
 
     def compute() -> CacheStats:
+        if (
+            not shared_trace
+            and scheme != "OPT"
+            and resolve_backend(config.backend) == VECTOR
+        ):
+            policy = scheme_policy(scheme)
+            if fused_native_supported(policy, config.hierarchy):
+                trace_key = _roi_summary_key(workload, config)
+                memo = active_disk_memo()
+                cached = trace_key in _LLC_TRACES or (
+                    memo is not None and memo.contains("llctrace", trace_key)
+                )
+                if not cached:
+                    return _simulate_fused_roi(workload, policy, config)
         llc_trace = llc_trace_for(workload, config)
         if scheme == "OPT":
             return simulate_opt(llc_trace, config.hierarchy.llc, backend=config.backend)
@@ -927,10 +1110,15 @@ def simulate_scheme(workload: Workload, scheme: str, config: ExperimentConfig) -
 
 def workload_cycles(workload: Workload, stats: CacheStats, config: ExperimentConfig) -> float:
     """Execution cycles of the workload's ROI under the given LLC outcome."""
-    llc_trace = llc_trace_for(workload, config)
+    summary = roi_stream_summary(workload, config)
     # Bypassed accesses are already counted as misses by the cache, so the
     # hit/miss split fully describes where every LLC access was served.
-    counts = llc_trace.level_counts(llc_hits=stats.hits, llc_misses=stats.misses)
+    counts = LevelCounts(
+        l1_hits=summary["l1_hits"],
+        l2_hits=summary["l2_hits"],
+        llc_hits=stats.hits,
+        memory_accesses=stats.misses,
+    )
     return config.timing.cycles(counts)
 
 
@@ -955,14 +1143,22 @@ def compare_policies(
     config = config or ExperimentConfig.default()
     reorder = reorder or config.reorder
     timing: TimingModel = config.timing
+    # With several distinct schemes replaying one workload, materializing the
+    # filtered ROI trace once beats the fused single-pass route, which would
+    # regenerate the raw trace for every scheme.
+    shared = len({baseline, *schemes}) > 1
     points: List[DataPoint] = []
     for dataset_name in dataset_names:
         for app_name in app_names:
             workload = build_workload(app_name, dataset_name, reorder=reorder, config=config)
-            baseline_stats = simulate_scheme(workload, baseline, config)
+            baseline_stats = simulate_scheme(workload, baseline, config, shared_trace=shared)
             baseline_cycles = workload_cycles(workload, baseline_stats, config)
             for scheme in schemes:
-                stats = baseline_stats if scheme == baseline else simulate_scheme(workload, scheme, config)
+                stats = (
+                    baseline_stats
+                    if scheme == baseline
+                    else simulate_scheme(workload, scheme, config, shared_trace=shared)
+                )
                 cycles = workload_cycles(workload, stats, config)
                 points.append(
                     DataPoint(

@@ -81,6 +81,7 @@ from repro.experiments.runner import (
     workload_memo_key,
 )
 from repro.fastsim.dispatch import set_default_backend
+from repro.fastsim.kernels import THREADS_ENV_VAR
 from repro.perf.timing import TimingModel
 
 
@@ -136,6 +137,9 @@ class SweepSpec:
 # travel through the store, not the transport.
 
 def _worker_setup(cache_dir: str, config: ExperimentConfig) -> None:
+    # Sweep workers already occupy one core each; keep the fused pipeline's
+    # filter threading out of the picture (results are thread-invariant).
+    os.environ[THREADS_ENV_VAR] = "1"
     set_disk_memo(DiskMemo(Path(cache_dir)))
     if config.backend:
         set_default_backend(config.backend)

@@ -28,12 +28,20 @@ over whole traces:
     learning state (SHiP's SHCT, Leeway's and Hawkeye's PC predictors) is
     advanced in exact trace order over each chunk's sparse events, the same
     way the RRIP engine walks PSEL updates.
-``_native``
+``kernels``
     Optional accelerator: tiny C kernels compiled on demand (plain ``cc``,
     no third-party packages) for every engine, an order of magnitude faster
-    than NumPy.  The ``*_replay`` dispatchers use them automatically; set
-    ``REPRO_NATIVE=0`` or remove the compiler and everything transparently
-    stays on NumPy.
+    than NumPy.  Kernels live in a registry package — one module per engine
+    family, a shared ``register_kernel``/capability-probe API, and a single
+    lazily-compiled translation unit (nothing compiles at import time).  The
+    ``*_replay`` dispatchers use them automatically; set ``REPRO_NATIVE=0``
+    or remove the compiler and everything transparently stays on NumPy.
+    (:mod:`repro.fastsim._native` remains as a thin facade for old imports.)
+``pipeline``
+    The fused single-pass pipeline: L1/L2 filtering and the LLC replay of
+    one policy run in a single native call per trace chunk, threaded across
+    set-group shards (``REPRO_THREADS``), bit-identical to the staged
+    engines at any thread count.
 ``filter``
     The L1-D/L2 filter of pipeline stage 5 (both levels are always LRU, see
     Sec. IV of the paper), with a scalar reference path and an equivalence
@@ -104,6 +112,13 @@ from repro.fastsim.pin import (
     pin_replay,
     pin_spec,
 )
+from repro.fastsim.pipeline import (
+    FusedPipeline,
+    FusedStats,
+    effective_threads,
+    fused_native_supported,
+    fused_supported,
+)
 from repro.fastsim.replay import (
     PolicyReplayStream,
     supports_vector_replay,
@@ -149,6 +164,8 @@ __all__ = [
     "FastSimMismatchError",
     "FilterResult",
     "FilterStream",
+    "FusedPipeline",
+    "FusedStats",
     "HawkeyeReplay",
     "HawkeyeSpec",
     "HawkeyeStream",
@@ -170,6 +187,9 @@ __all__ = [
     "ShipSpec",
     "ShipStream",
     "default_backend",
+    "effective_threads",
+    "fused_native_supported",
+    "fused_supported",
     "hawkeye_replay",
     "hawkeye_spec",
     "leeway_replay",

@@ -1,1199 +1,53 @@
-"""Optional compiled replay kernels for every vectorized LLC engine.
+"""Backward-compatible facade over :mod:`repro.fastsim.kernels`.
 
-The NumPy engines (:mod:`repro.fastsim.stackdist` for LRU,
-:mod:`repro.fastsim.rrip` for SRRIP/BRRIP/DRRIP/GRASP, and the
-:mod:`~repro.fastsim.ship` / :mod:`~repro.fastsim.hawkeye` /
-:mod:`~repro.fastsim.leeway` / :mod:`~repro.fastsim.pin` /
-:mod:`~repro.fastsim.opt` engines behind the remaining paper schemes) need no
-toolchain and are the guaranteed fallback, but direct per-set inner loops in
-C run an order of magnitude faster still.  When a C compiler is present this
-module builds a tiny shared library once per interpreter configuration
-(cached under the user's cache directory, written atomically so concurrent
-processes cannot race) and exposes it through :mod:`ctypes`.  Learning
-structures with unbounded key spaces (SHiP's SHCT, Leeway's and Hawkeye's
-PC tables, OPTgen's per-block history) are densified to flat arrays by the
-callers via ``np.unique`` so the kernels never need a hash table.
-
-No third-party packages, build systems or network access are involved; when
-``cc`` is missing, compilation fails, or ``REPRO_NATIVE=0`` is set, callers
-transparently stay on the NumPy engine.
+The compiled replay kernels historically lived here as one ~1.2k-line
+module; they now live in the kernel registry package
+(:mod:`repro.fastsim.kernels`), split into one module per engine family
+with shared C steps in :mod:`~repro.fastsim.kernels.core` and the fused
+threaded pipeline in :mod:`~repro.fastsim.kernels.fused`.  This module
+re-exports the original API — ``available()`` plus the per-family
+``*_feed`` / ``*_replay`` wrappers — so existing imports keep working;
+new code should import from :mod:`repro.fastsim.kernels` and use
+capability probes (:func:`~repro.fastsim.kernels.has_capability`) instead
+of hard-coding function names.
 """
 
 from __future__ import annotations
 
-import ctypes
-import hashlib
-import os
-import subprocess
-import sys
-import sysconfig
-import tempfile
-from typing import Optional
-
-import numpy as np
-
-#: Set to ``0`` to disable the compiled kernel (forces the NumPy engine).
-NATIVE_ENV_VAR = "REPRO_NATIVE"
-
-_SOURCE = r"""
-#include <stdint.h>
-
-/* Exact set-associative LRU replay: timestamp per way, linear way scan.
- * tags/stamps are caller-provided state of num_sets*ways entries; tags must
- * be initialised to -1 on the first call.  state[0] is the recency clock
- * in/out, so a stream can be replayed in chunks against persistent
- * tags/stamps with bit-identical outcomes.  Returns nothing; hits[i] in
- * {0,1} and misses_per_set accumulate the outcome. */
-void lru_replay(const int64_t *blocks, int64_t n, int32_t num_sets,
-                int32_t ways, int64_t *tags, int64_t *stamps,
-                uint8_t *hits, int64_t *misses_per_set, int64_t *state)
-{
-    int64_t clock = state[0];
-    const int64_t mask = (int64_t)num_sets - 1;
-    for (int64_t i = 0; i < n; i++) {
-        const int64_t block = blocks[i];
-        const int64_t set = block & mask;
-        int64_t *tag = tags + set * ways;
-        int64_t *stamp = stamps + set * ways;
-        int32_t way = -1;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == block) { way = w; break; }
-        }
-        if (way >= 0) {
-            hits[i] = 1;
-            stamp[way] = ++clock;
-            continue;
-        }
-        hits[i] = 0;
-        misses_per_set[set]++;
-        int32_t victim = 0;
-        int64_t oldest = stamp[0];
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == -1) { victim = w; break; }
-            if (stamp[w] < oldest) { oldest = stamp[w]; victim = w; }
-        }
-        tag[victim] = block;
-        stamp[victim] = ++clock;
-    }
-    state[0] = clock;
-}
-
-/* Exact RRIP-family replay (SRRIP / BRRIP / DRRIP / GRASP).
- *
- * Policy behaviour is parameterized in array form: ins_table / promo_table
- * hold, per 2-bit reuse hint, the insertion RRPV (negative = dynamic:
- * bimodal counter when psel_max == 0, DRRIP set duel otherwise) and the
- * hit-promotion RRPV (negative = decrement one step towards MRU).
- * tags/rrpv are caller-provided scratch of num_sets*ways entries (tags
- * initialised to -1, rrpv to max_rrpv); state is {psel, insert_count} in/out
- * so the final duel state can be compared against the scalar policies. */
-void rrip_replay(const int64_t *blocks, const uint8_t *hints, int64_t n,
-                 int32_t num_sets, int32_t ways, int32_t max_rrpv,
-                 const int32_t *ins_table, const int32_t *promo_table,
-                 int64_t epsilon, int64_t psel_max, int32_t leader_period,
-                 int64_t *tags, int32_t *rrpv,
-                 uint8_t *hits, int64_t *misses_per_set, int64_t *state)
-{
-    int64_t psel = state[0];
-    int64_t insert_count = state[1];
-    const int64_t mask = (int64_t)num_sets - 1;
-    const int64_t midpoint = (psel_max + 1) / 2;
-    for (int64_t i = 0; i < n; i++) {
-        const int64_t block = blocks[i];
-        const int64_t set = block & mask;
-        const int32_t hint = hints[i] & 3;
-        int64_t *tag = tags + set * ways;
-        int32_t *r = rrpv + set * ways;
-        int32_t way = -1;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == block) { way = w; break; }
-        }
-        if (way >= 0) {
-            hits[i] = 1;
-            const int32_t promotion = promo_table[hint];
-            if (promotion >= 0) r[way] = promotion;
-            else if (r[way] > 0) r[way]--;
-            continue;
-        }
-        hits[i] = 0;
-        misses_per_set[set]++;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == -1) { way = w; break; }
-        }
-        if (way < 0) {
-            /* Standard RRIP victim search: leftmost saturated way, ageing
-             * every way until one saturates. */
-            for (;;) {
-                for (int32_t w = 0; w < ways; w++) {
-                    if (r[w] >= max_rrpv) { way = w; break; }
-                }
-                if (way >= 0) break;
-                for (int32_t w = 0; w < ways; w++) r[w]++;
-            }
-        }
-        int32_t insertion = ins_table[hint];
-        if (insertion < 0) {
-            if (psel_max <= 0) {
-                /* BRRIP: every insertion consults the bimodal counter. */
-                insert_count++;
-                insertion = (epsilon > 0 && insert_count % epsilon == 0)
-                                ? max_rrpv - 1 : max_rrpv;
-            } else {
-                const int64_t slot = set % leader_period;
-                if (slot == 0) {            /* SRRIP leader */
-                    if (psel < psel_max) psel++;
-                    insertion = max_rrpv - 1;
-                } else if (slot == 1) {     /* BRRIP leader */
-                    if (psel > 0) psel--;
-                    insert_count++;
-                    insertion = (epsilon > 0 && insert_count % epsilon == 0)
-                                    ? max_rrpv - 1 : max_rrpv;
-                } else if (psel < midpoint) {
-                    insertion = max_rrpv - 1;
-                } else {
-                    insert_count++;
-                    insertion = (epsilon > 0 && insert_count % epsilon == 0)
-                                    ? max_rrpv - 1 : max_rrpv;
-                }
-            }
-        }
-        tag[way] = block;
-        r[way] = insertion;
-    }
-    state[0] = psel;
-    state[1] = insert_count;
-}
-
-/* Exact PIN-X replay: DRRIP plus per-way pinned masks and a reserved-ways
- * cap (the paper's XMem adaptation).  Matches the bug-fixed scalar policy:
- * every non-bypassed insertion feeds the set duel, pinning assigns hit
- * priority on both the hit and insert paths, victim search ages only the
- * unpinned ways, and a full set whose every way is pinned bypasses the
- * incoming block (PIN-100 only), leaving all state — including PSEL —
- * untouched. */
-void pin_replay(const int64_t *blocks, const uint8_t *hints, int64_t n,
-                int32_t num_sets, int32_t ways, int32_t max_rrpv,
-                int64_t epsilon, int64_t psel_max, int32_t leader_period,
-                int32_t reserved_ways, int32_t hint_high,
-                int64_t *tags, int32_t *rrpv, uint8_t *pinned,
-                int32_t *pinned_count, uint8_t *hits, int64_t *misses_per_set,
-                int64_t *bypasses_per_set, int64_t *state)
-{
-    int64_t psel = state[0];
-    int64_t insert_count = state[1];
-    const int64_t mask = (int64_t)num_sets - 1;
-    const int64_t midpoint = (psel_max + 1) / 2;
-    for (int64_t i = 0; i < n; i++) {
-        const int64_t block = blocks[i];
-        const int64_t set = block & mask;
-        const int32_t hint = hints[i] & 3;
-        int64_t *tag = tags + set * ways;
-        int32_t *r = rrpv + set * ways;
-        uint8_t *pin = pinned + set * ways;
-        int32_t way = -1;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == block) { way = w; break; }
-        }
-        if (way >= 0) {
-            hits[i] = 1;
-            if (pin[way]) continue;
-            if (hint == hint_high && pinned_count[set] < reserved_ways) {
-                pin[way] = 1;
-                pinned_count[set]++;
-            }
-            r[way] = 0;
-            continue;
-        }
-        hits[i] = 0;
-        misses_per_set[set]++;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == -1) { way = w; break; }
-        }
-        if (way < 0) {
-            if (pinned_count[set] >= ways) { bypasses_per_set[set]++; continue; }
-            for (;;) {
-                for (int32_t w = 0; w < ways; w++) {
-                    if (!pin[w] && r[w] >= max_rrpv) { way = w; break; }
-                }
-                if (way >= 0) break;
-                for (int32_t w = 0; w < ways; w++) {
-                    if (!pin[w]) r[w]++;
-                }
-            }
-        }
-        /* Every inserted block runs the DRRIP duel (the scalar bug fix);
-         * the pinning path below then overrides the RRPV with hit priority. */
-        int32_t insertion;
-        const int64_t slot = set % leader_period;
-        if (slot == 0) {
-            if (psel < psel_max) psel++;
-            insertion = max_rrpv - 1;
-        } else if (slot == 1) {
-            if (psel > 0) psel--;
-            insert_count++;
-            insertion = (epsilon > 0 && insert_count % epsilon == 0)
-                            ? max_rrpv - 1 : max_rrpv;
-        } else if (psel < midpoint) {
-            insertion = max_rrpv - 1;
-        } else {
-            insert_count++;
-            insertion = (epsilon > 0 && insert_count % epsilon == 0)
-                            ? max_rrpv - 1 : max_rrpv;
-        }
-        tag[way] = block;
-        if (hint == hint_high && pinned_count[set] < reserved_ways) {
-            pin[way] = 1;
-            pinned_count[set]++;
-            r[way] = 0;
-        } else {
-            pin[way] = 0;
-            r[way] = insertion;
-        }
-    }
-    state[0] = psel;
-    state[1] = insert_count;
-}
-
-/* Exact Belady's OPT replay over precomputed next-use indices: on a
- * capacity miss, evict the resident block whose next use lies farthest in
- * the future (ties only occur between never-used-again blocks and cannot
- * change any count).  next_vals is caller-provided scratch. */
-void opt_replay(const int64_t *blocks, const int64_t *next_use, int64_t n,
-                int32_t num_sets, int32_t ways, int64_t *tags,
-                int64_t *next_vals, uint8_t *hits, int64_t *misses_per_set)
-{
-    const int64_t mask = (int64_t)num_sets - 1;
-    for (int64_t i = 0; i < n; i++) {
-        const int64_t block = blocks[i];
-        const int64_t set = block & mask;
-        int64_t *tag = tags + set * ways;
-        int64_t *nv = next_vals + set * ways;
-        int32_t way = -1;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == block) { way = w; break; }
-        }
-        if (way >= 0) {
-            hits[i] = 1;
-            nv[way] = next_use[i];
-            continue;
-        }
-        hits[i] = 0;
-        misses_per_set[set]++;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == -1) { way = w; break; }
-        }
-        if (way < 0) {
-            way = 0;
-            for (int32_t w = 1; w < ways; w++) {
-                if (nv[w] > nv[way]) way = w;
-            }
-        }
-        tag[way] = block;
-        nv[way] = next_use[i];
-    }
-}
-
-/* Exact SHiP-MEM replay: SRRIP plus the Signature History Counter Table,
- * indexed by dense region-signature ids (the caller densifies with
- * np.unique; shct is initialised to the unseen value).  A first reuse
- * trains the line's signature up, a capacity eviction of a never-reused
- * line trains it down, and every insertion reads the incoming signature to
- * pick between long and distant re-reference insertion. */
-void ship_replay(const int64_t *blocks, const int64_t *sig_ids, int64_t n,
-                 int32_t num_sets, int32_t ways, int32_t max_rrpv,
-                 int32_t counter_max, int64_t *tags, int32_t *rrpv,
-                 int64_t *line_sig, uint8_t *reused, int64_t *shct,
-                 uint8_t *hits, int64_t *misses_per_set)
-{
-    const int64_t mask = (int64_t)num_sets - 1;
-    for (int64_t i = 0; i < n; i++) {
-        const int64_t block = blocks[i];
-        const int64_t set = block & mask;
-        const int64_t sig = sig_ids[i];
-        int64_t *tag = tags + set * ways;
-        int32_t *r = rrpv + set * ways;
-        int64_t *ls = line_sig + set * ways;
-        uint8_t *ru = reused + set * ways;
-        int32_t way = -1;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == block) { way = w; break; }
-        }
-        if (way >= 0) {
-            hits[i] = 1;
-            r[way] = 0;
-            if (!ru[way]) {
-                ru[way] = 1;
-                if (shct[ls[way]] < counter_max) shct[ls[way]]++;
-            }
-            continue;
-        }
-        hits[i] = 0;
-        misses_per_set[set]++;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == -1) { way = w; break; }
-        }
-        if (way < 0) {
-            for (;;) {
-                for (int32_t w = 0; w < ways; w++) {
-                    if (r[w] >= max_rrpv) { way = w; break; }
-                }
-                if (way >= 0) break;
-                for (int32_t w = 0; w < ways; w++) r[w]++;
-            }
-            if (!ru[way] && shct[ls[way]] > 0) shct[ls[way]]--;
-        }
-        tag[way] = block;
-        r[way] = (shct[sig] == 0) ? max_rrpv : max_rrpv - 1;
-        ls[way] = sig;
-        ru[way] = 0;
-    }
-}
-
-/* Exact Leeway replay: per-set recency-stack positions (0 = MRU), per-line
- * observed live distances, and the global per-signature predictor with the
- * reuse-oriented (grow fast, shrink slowly) update.  pos is caller-
- * initialised to 0..ways-1 per set; predicted/votes are dense per-PC
- * arrays (caller densifies with np.unique). */
-void leeway_replay(const int64_t *blocks, const int64_t *pc_ids, int64_t n,
-                   int32_t num_sets, int32_t ways, int32_t decay_period,
-                   int64_t *tags, int32_t *pos, int64_t *line_sig,
-                   int32_t *observed, int64_t *predicted, int64_t *votes,
-                   uint8_t *hits, int64_t *misses_per_set)
-{
-    const int64_t mask = (int64_t)num_sets - 1;
-    for (int64_t i = 0; i < n; i++) {
-        const int64_t block = blocks[i];
-        const int64_t set = block & mask;
-        int64_t *tag = tags + set * ways;
-        int32_t *p = pos + set * ways;
-        int64_t *ls = line_sig + set * ways;
-        int32_t *ob = observed + set * ways;
-        int32_t way = -1;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == block) { way = w; break; }
-        }
-        if (way >= 0) {
-            hits[i] = 1;
-            const int32_t depth = p[way];
-            if (depth > ob[way]) ob[way] = depth;
-            for (int32_t w = 0; w < ways; w++) {
-                if (p[w] < depth) p[w]++;
-            }
-            p[way] = 0;
-            continue;
-        }
-        hits[i] = 0;
-        misses_per_set[set]++;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == -1) { way = w; break; }
-        }
-        if (way < 0) {
-            /* Deepest predicted-dead line, else plain LRU (positions are a
-             * permutation, so comparisons are tie-free). */
-            int32_t lru = 0;
-            int32_t best = -1;
-            for (int32_t w = 0; w < ways; w++) {
-                if (p[w] > p[lru]) lru = w;
-                if (p[w] > predicted[ls[w]] && (best < 0 || p[w] > p[best])) best = w;
-            }
-            way = (best >= 0) ? best : lru;
-            const int64_t sig = ls[way];
-            const int64_t obs = ob[way];
-            const int64_t prd = predicted[sig];
-            if (obs > prd) {
-                predicted[sig] = obs;
-                votes[sig] = 0;
-            } else if (obs < prd) {
-                if (++votes[sig] >= decay_period) {
-                    predicted[sig] = prd - 1;
-                    votes[sig] = 0;
-                }
-            }
-        }
-        tag[way] = block;
-        ls[way] = pc_ids[i];
-        ob[way] = 0;
-        const int32_t depth = p[way];
-        for (int32_t w = 0; w < ways; w++) {
-            if (p[w] < depth) p[w]++;
-        }
-        p[way] = 0;
-    }
-}
-
-/* Hawkeye's OPTgen step for one sampled set: replicate _OptGen.access with
- * a ring-buffer occupancy window and global (dense-block-id) last-access /
- * last-PC tables — a block maps to exactly one set, so one global table
- * serves every sampler, and the scalar structure's stale-entry trimming is
- * subsumed by the start >= 0 window check. */
-static void hawkeye_observe(int64_t sampler, int64_t bid, int64_t pc,
-                            int32_t capacity, int64_t history,
-                            int32_t *occupancy, int64_t *occ_head,
-                            int64_t *occ_len, int64_t *timestamps,
-                            int64_t *last_access, int64_t *last_pc,
-                            int32_t *predictor, int32_t predictor_max)
-{
-    int32_t *occ = occupancy + sampler * history;
-    const int64_t t = timestamps[sampler];
-    const int64_t len = occ_len[sampler];
-    const int64_t head = occ_head[sampler];
-    const int64_t base = t - len;
-    const int64_t last = last_access[bid];
-    int64_t train_pc = -1;
-    int opt_hit = 0;
-    if (last >= 0) {
-        const int64_t start = last - base;
-        if (start >= 0) {
-            train_pc = last_pc[bid];
-            if (start < len) {
-                int32_t max_occ = 0;
-                for (int64_t k = start; k < len; k++) {
-                    const int32_t v = occ[(head + k) % history];
-                    if (v > max_occ) max_occ = v;
-                }
-                if (max_occ < capacity) {
-                    opt_hit = 1;
-                    for (int64_t k = start; k < len; k++) occ[(head + k) % history]++;
-                }
-            } else {
-                opt_hit = 1;  /* same-timestamp re-access: empty interval */
-            }
-        }
-    }
-    last_access[bid] = t;
-    last_pc[bid] = pc;
-    if (len == history) {
-        occ[head] = 0;
-        occ_head[sampler] = (head + 1) % history;
-    } else {
-        occ[(head + len) % history] = 0;
-        occ_len[sampler] = len + 1;
-    }
-    timestamps[sampler] = t + 1;
-    if (train_pc >= 0) {
-        const int32_t v = predictor[train_pc];
-        if (opt_hit) {
-            if (v < predictor_max) predictor[train_pc] = v + 1;
-        } else if (v > 0) {
-            predictor[train_pc] = v - 1;
-        }
-    }
-}
-
-/* Exact Hawkeye replay: sampled-set OPTgen training, the PC predictor
- * (dense pc ids, initialised to the weakly-friendly midpoint), friendly /
- * averse insertion and hit promotion, ageing of other lines on friendly
- * insertions, and detraining when an oldest friendly line is evicted. */
-void hawkeye_replay(const int64_t *blocks, const int64_t *block_ids,
-                    const int64_t *pc_ids, int64_t n, int32_t num_sets,
-                    int32_t ways, int32_t max_rrpv, int32_t sample_period,
-                    int32_t predictor_max, int64_t history, int64_t *tags,
-                    int32_t *rrpv, uint8_t *friendly, int64_t *line_pc,
-                    int32_t *predictor, int64_t *last_access, int64_t *last_pc,
-                    int32_t *occupancy, int64_t *occ_head, int64_t *occ_len,
-                    int64_t *timestamps, uint8_t *hits, int64_t *misses_per_set)
-{
-    const int64_t mask = (int64_t)num_sets - 1;
-    const int32_t midpoint = (predictor_max + 1) / 2;
-    for (int64_t i = 0; i < n; i++) {
-        const int64_t block = blocks[i];
-        const int64_t set = block & mask;
-        const int64_t pc = pc_ids[i];
-        int64_t *tag = tags + set * ways;
-        int32_t *r = rrpv + set * ways;
-        uint8_t *fr = friendly + set * ways;
-        int64_t *lp = line_pc + set * ways;
-        const int sampled = (set % sample_period) == 0;
-        const int64_t sampler = set / sample_period;
-        int32_t way = -1;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == block) { way = w; break; }
-        }
-        if (way >= 0) {
-            hits[i] = 1;
-            if (sampled)
-                hawkeye_observe(sampler, block_ids[i], pc, ways, history,
-                                occupancy, occ_head, occ_len, timestamps,
-                                last_access, last_pc, predictor, predictor_max);
-            const int f = predictor[pc] >= midpoint;
-            fr[way] = (uint8_t)f;
-            lp[way] = pc;
-            r[way] = f ? 0 : max_rrpv;
-            continue;
-        }
-        hits[i] = 0;
-        misses_per_set[set]++;
-        for (int32_t w = 0; w < ways; w++) {
-            if (tag[w] == -1) { way = w; break; }
-        }
-        if (way < 0) {
-            /* Prefer a cache-averse (saturated) line; otherwise evict the
-             * oldest line and detrain its PC if it was friendly. */
-            for (int32_t w = 0; w < ways; w++) {
-                if (r[w] >= max_rrpv) { way = w; break; }
-            }
-            if (way < 0) {
-                way = 0;
-                for (int32_t w = 1; w < ways; w++) {
-                    if (r[w] > r[way]) way = w;
-                }
-                if (fr[way] && predictor[lp[way]] > 0) predictor[lp[way]]--;
-            }
-        }
-        if (sampled)
-            hawkeye_observe(sampler, block_ids[i], pc, ways, history,
-                            occupancy, occ_head, occ_len, timestamps,
-                            last_access, last_pc, predictor, predictor_max);
-        const int f = predictor[pc] >= midpoint;
-        if (f) {
-            for (int32_t w = 0; w < ways; w++) {
-                if (w != way && r[w] < max_rrpv - 1) r[w]++;
-            }
-        }
-        fr[way] = (uint8_t)f;
-        lp[way] = pc;
-        r[way] = f ? 0 : max_rrpv;
-        tag[way] = block;
-    }
-}
-"""
-
-_lib: Optional[ctypes.CDLL] = None
-_resolved = False
-
-
-def _build_dir() -> str:
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    platform_tag = sysconfig.get_platform().replace("-", "_").replace(".", "_")
-    name = f"repro_fastsim_{digest}_py{sys.version_info[0]}{sys.version_info[1]}_{platform_tag}"
-    # The library is loaded into the process, so the cache must not live at a
-    # predictable path in a world-writable directory (another local user could
-    # plant a malicious .so there).  Prefer the user's cache directory; fall
-    # back to a fresh private temp directory (per-process recompile).
-    cache_home = os.environ.get("XDG_CACHE_HOME") or os.path.join(
-        os.path.expanduser("~"), ".cache"
-    )
-    try:
-        directory = os.path.join(cache_home, "repro-fastsim", name)
-        os.makedirs(directory, mode=0o700, exist_ok=True)
-        return directory
-    except OSError:
-        return tempfile.mkdtemp(prefix=name)
-
-
-def _compile() -> Optional[ctypes.CDLL]:
-    try:
-        directory = _build_dir()
-    except OSError:
-        return None
-    library = os.path.join(directory, "lru_replay.so")
-    if not os.path.exists(library):
-        try:
-            source = os.path.join(directory, "lru_replay.c")
-            with open(source, "w") as handle:
-                handle.write(_SOURCE)
-            scratch = os.path.join(directory, f"lru_replay.{os.getpid()}.so")
-            subprocess.run(
-                ["cc", "-O3", "-shared", "-fPIC", "-o", scratch, source],
-                check=True,
-                capture_output=True,
-                timeout=120,
-            )
-            os.replace(scratch, library)
-        except (OSError, subprocess.SubprocessError):
-            return None
-    # Signature shorthand: pointers (P*) and scalars (i32/i64) in C argument
-    # order, one row per kernel.
-    p_i64 = ctypes.POINTER(ctypes.c_int64)
-    p_i32 = ctypes.POINTER(ctypes.c_int32)
-    p_u8 = ctypes.POINTER(ctypes.c_uint8)
-    i64 = ctypes.c_int64
-    i32 = ctypes.c_int32
-    signatures = {
-        "lru_replay": [p_i64, i64, i32, i32, p_i64, p_i64, p_u8, p_i64, p_i64],
-        "rrip_replay": [
-            p_i64, p_u8, i64, i32, i32, i32, p_i32, p_i32, i64, i64, i32,
-            p_i64, p_i32, p_u8, p_i64, p_i64,
-        ],
-        "pin_replay": [
-            p_i64, p_u8, i64, i32, i32, i32, i64, i64, i32, i32, i32,
-            p_i64, p_i32, p_u8, p_i32, p_u8, p_i64, p_i64, p_i64,
-        ],
-        "opt_replay": [p_i64, p_i64, i64, i32, i32, p_i64, p_i64, p_u8, p_i64],
-        "ship_replay": [
-            p_i64, p_i64, i64, i32, i32, i32, i32, p_i64, p_i32, p_i64, p_u8,
-            p_i64, p_u8, p_i64,
-        ],
-        "leeway_replay": [
-            p_i64, p_i64, i64, i32, i32, i32, p_i64, p_i32, p_i64, p_i32,
-            p_i64, p_i64, p_u8, p_i64,
-        ],
-        "hawkeye_replay": [
-            p_i64, p_i64, p_i64, i64, i32, i32, i32, i32, i32, i64, p_i64,
-            p_i32, p_u8, p_i64, p_i32, p_i64, p_i64, p_i32, p_i64, p_i64,
-            p_i64, p_u8, p_i64,
-        ],
-    }
-    try:
-        lib = ctypes.CDLL(library)
-        for name, argtypes in signatures.items():
-            function = getattr(lib, name)
-            function.restype = None
-            function.argtypes = argtypes
-        return lib
-    except (OSError, AttributeError):
-        return None
-
-
-def available() -> bool:
-    """Whether the compiled kernel can be used (and is not disabled)."""
-    global _lib, _resolved
-    if not _resolved:
-        disabled = os.environ.get(NATIVE_ENV_VAR, "").strip() == "0"
-        _lib = None if disabled else _compile()
-        _resolved = True
-    return _lib is not None
-
-
-def lru_feed(
-    blocks: np.ndarray,
-    num_sets: int,
-    ways: int,
-    tags: np.ndarray,
-    stamps: np.ndarray,
-    misses_per_set: np.ndarray,
-    state: np.ndarray,
-):
-    """Run the LRU kernel over caller-owned state; ``None`` when unavailable.
-
-    ``tags``/``stamps`` (``num_sets * ways`` int64, tags initialised to -1),
-    ``misses_per_set`` (accumulating) and ``state`` (``[clock]``) persist
-    across calls, so feeding a stream in chunks is bit-identical to one call
-    over the concatenation.  Returns the chunk's hit mask.
-    """
-    if not available():
-        return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
-    _lib.lru_replay(
-        _as_i64(blocks),
-        ctypes.c_int64(n),
-        ctypes.c_int32(num_sets),
-        ctypes.c_int32(ways),
-        _as_i64(tags),
-        _as_i64(stamps),
-        _as_u8(hits),
-        _as_i64(misses_per_set),
-        _as_i64(state),
-    )
-    return hits.view(bool)
-
-
-def lru_replay(blocks: np.ndarray, num_sets: int, ways: int):
-    """Replay through the compiled kernel; ``None`` when unavailable.
-
-    Returns ``(hits, misses_per_set)`` matching the NumPy engine exactly.
-    """
-    if not available():
-        return None
-    misses_per_set = np.zeros(num_sets, dtype=np.int64)
-    tags = np.full(num_sets * ways, -1, dtype=np.int64)
-    stamps = np.zeros(num_sets * ways, dtype=np.int64)
-    state = np.zeros(1, dtype=np.int64)
-    hits = lru_feed(blocks, num_sets, ways, tags, stamps, misses_per_set, state)
-    return hits, misses_per_set
-
-
-def rrip_feed(
-    blocks: np.ndarray,
-    hints: np.ndarray,
-    num_sets: int,
-    ways: int,
-    max_rrpv: int,
-    ins_table: np.ndarray,
-    promo_table: np.ndarray,
-    epsilon: int,
-    psel_max: int,
-    leader_period: int,
-    tags: np.ndarray,
-    rrpv: np.ndarray,
-    misses_per_set: np.ndarray,
-    state: np.ndarray,
-):
-    """Run the RRIP kernel over caller-owned state; ``None`` when unavailable.
-
-    ``tags`` (int64, -1 initial) / ``rrpv`` (int32, ``max_rrpv`` initial) /
-    ``misses_per_set`` / ``state`` (``[psel, insert_count]``) persist across
-    calls.  Returns the chunk's hit mask.
-    """
-    if not available():
-        return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    hints = np.ascontiguousarray(hints, dtype=np.uint8)
-    ins_table = np.ascontiguousarray(ins_table, dtype=np.int32)
-    promo_table = np.ascontiguousarray(promo_table, dtype=np.int32)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
-    _lib.rrip_replay(
-        _as_i64(blocks),
-        _as_u8(hints),
-        ctypes.c_int64(n),
-        ctypes.c_int32(num_sets),
-        ctypes.c_int32(ways),
-        ctypes.c_int32(max_rrpv),
-        _as_i32(ins_table),
-        _as_i32(promo_table),
-        ctypes.c_int64(epsilon),
-        ctypes.c_int64(psel_max),
-        ctypes.c_int32(leader_period),
-        _as_i64(tags),
-        _as_i32(rrpv),
-        _as_u8(hits),
-        _as_i64(misses_per_set),
-        _as_i64(state),
-    )
-    return hits.view(bool)
-
-
-def rrip_replay(
-    blocks: np.ndarray,
-    hints: np.ndarray,
-    num_sets: int,
-    ways: int,
-    max_rrpv: int,
-    ins_table: np.ndarray,
-    promo_table: np.ndarray,
-    epsilon: int,
-    psel_max: int,
-    leader_period: int,
-    psel_init: int,
-):
-    """RRIP-family replay through the compiled kernel; ``None`` when unavailable.
-
-    Returns ``(hits, misses_per_set, psel, insert_count)`` matching the NumPy
-    engine (:func:`repro.fastsim.rrip.numpy_rrip_replay`) exactly.
-    """
-    if not available():
-        return None
-    misses_per_set = np.zeros(num_sets, dtype=np.int64)
-    tags = np.full(num_sets * ways, -1, dtype=np.int64)
-    rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
-    state = np.array([psel_init, 0], dtype=np.int64)
-    hits = rrip_feed(
-        blocks, hints, num_sets, ways, max_rrpv, ins_table, promo_table,
-        epsilon, psel_max, leader_period, tags, rrpv, misses_per_set, state,
-    )
-    return hits, misses_per_set, int(state[0]), int(state[1])
-
-
-def _as_i64(array: np.ndarray):
-    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
-
-
-def _as_i32(array: np.ndarray):
-    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_int32))
-
-
-def _as_u8(array: np.ndarray):
-    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8))
-
-
-def pin_replay(
-    blocks: np.ndarray,
-    hints: np.ndarray,
-    num_sets: int,
-    ways: int,
-    max_rrpv: int,
-    epsilon: int,
-    psel_max: int,
-    leader_period: int,
-    reserved_ways: int,
-    hint_high: int,
-    psel_init: int,
-):
-    """PIN-X replay through the compiled kernel; ``None`` when unavailable.
-
-    Returns ``(hits, misses_per_set, bypasses_per_set, psel, insert_count)``
-    matching :func:`repro.fastsim.pin.numpy_pin_replay` exactly.
-    """
-    if not available():
-        return None
-    misses_per_set = np.zeros(num_sets, dtype=np.int64)
-    bypasses_per_set = np.zeros(num_sets, dtype=np.int64)
-    tags = np.full(num_sets * ways, -1, dtype=np.int64)
-    rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
-    pinned = np.zeros(num_sets * ways, dtype=np.uint8)
-    pinned_count = np.zeros(num_sets, dtype=np.int32)
-    state = np.array([psel_init, 0], dtype=np.int64)
-    hits = pin_feed(
-        blocks, hints, num_sets, ways, max_rrpv, epsilon, psel_max,
-        leader_period, reserved_ways, hint_high, tags, rrpv, pinned,
-        pinned_count, misses_per_set, bypasses_per_set, state,
-    )
-    return hits, misses_per_set, bypasses_per_set, int(state[0]), int(state[1])
-
-
-def pin_feed(
-    blocks: np.ndarray,
-    hints: np.ndarray,
-    num_sets: int,
-    ways: int,
-    max_rrpv: int,
-    epsilon: int,
-    psel_max: int,
-    leader_period: int,
-    reserved_ways: int,
-    hint_high: int,
-    tags: np.ndarray,
-    rrpv: np.ndarray,
-    pinned: np.ndarray,
-    pinned_count: np.ndarray,
-    misses_per_set: np.ndarray,
-    bypasses_per_set: np.ndarray,
-    state: np.ndarray,
-):
-    """Run the PIN-X kernel over caller-owned state; ``None`` when unavailable.
-
-    All array arguments after ``hint_high`` persist across calls (``state``
-    is ``[psel, insert_count]``).  Returns the chunk's hit mask.
-    """
-    if not available():
-        return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    hints = np.ascontiguousarray(hints, dtype=np.uint8)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
-    _lib.pin_replay(
-        _as_i64(blocks),
-        _as_u8(hints),
-        ctypes.c_int64(n),
-        ctypes.c_int32(num_sets),
-        ctypes.c_int32(ways),
-        ctypes.c_int32(max_rrpv),
-        ctypes.c_int64(epsilon),
-        ctypes.c_int64(psel_max),
-        ctypes.c_int32(leader_period),
-        ctypes.c_int32(reserved_ways),
-        ctypes.c_int32(hint_high),
-        _as_i64(tags),
-        _as_i32(rrpv),
-        _as_u8(pinned),
-        _as_i32(pinned_count),
-        _as_u8(hits),
-        _as_i64(misses_per_set),
-        _as_i64(bypasses_per_set),
-        _as_i64(state),
-    )
-    return hits.view(bool)
-
-
-def opt_replay(blocks: np.ndarray, next_use: np.ndarray, num_sets: int, ways: int):
-    """Belady OPT replay through the compiled kernel; ``None`` when unavailable.
-
-    Returns ``(hits, misses_per_set)`` matching
-    :func:`repro.fastsim.opt.numpy_opt_replay` exactly.
-    """
-    if not available():
-        return None
-    misses_per_set = np.zeros(num_sets, dtype=np.int64)
-    tags = np.full(num_sets * ways, -1, dtype=np.int64)
-    next_vals = np.zeros(num_sets * ways, dtype=np.int64)
-    hits = opt_feed(blocks, next_use, num_sets, ways, tags, next_vals, misses_per_set)
-    return hits, misses_per_set
-
-
-def opt_feed(
-    blocks: np.ndarray,
-    next_use: np.ndarray,
-    num_sets: int,
-    ways: int,
-    tags: np.ndarray,
-    next_vals: np.ndarray,
-    misses_per_set: np.ndarray,
-):
-    """Run the OPT kernel over caller-owned state; ``None`` when unavailable.
-
-    ``next_use`` must hold globally consistent next-use indices (the caller's
-    two-pass precompute); ``tags``/``next_vals``/``misses_per_set`` persist
-    across calls.  Returns the chunk's hit mask.
-    """
-    if not available():
-        return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    next_use = np.ascontiguousarray(next_use, dtype=np.int64)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
-    _lib.opt_replay(
-        _as_i64(blocks),
-        _as_i64(next_use),
-        ctypes.c_int64(n),
-        ctypes.c_int32(num_sets),
-        ctypes.c_int32(ways),
-        _as_i64(tags),
-        _as_i64(next_vals),
-        _as_u8(hits),
-        _as_i64(misses_per_set),
-    )
-    return hits.view(bool)
-
-
-def ship_replay(
-    blocks: np.ndarray,
-    sig_ids: np.ndarray,
-    num_signatures: int,
-    num_sets: int,
-    ways: int,
-    max_rrpv: int,
-    counter_max: int,
-    unseen_value: int,
-):
-    """SHiP-MEM replay through the compiled kernel; ``None`` when unavailable.
-
-    Returns ``(hits, misses_per_set, shct)`` matching
-    :func:`repro.fastsim.ship.numpy_ship_replay` exactly; ``shct`` is the
-    final counter table indexed by dense signature id.
-    """
-    if not available():
-        return None
-    misses_per_set = np.zeros(num_sets, dtype=np.int64)
-    tags = np.full(num_sets * ways, -1, dtype=np.int64)
-    rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
-    line_sig = np.zeros(num_sets * ways, dtype=np.int64)
-    reused = np.zeros(num_sets * ways, dtype=np.uint8)
-    shct = np.full(max(1, num_signatures), unseen_value, dtype=np.int64)
-    hits = ship_feed(
-        blocks, sig_ids, num_sets, ways, max_rrpv, counter_max,
-        tags, rrpv, line_sig, reused, shct, misses_per_set,
-    )
-    return hits, misses_per_set, shct[:num_signatures]
-
-
-def ship_feed(
-    blocks: np.ndarray,
-    sig_ids: np.ndarray,
-    num_sets: int,
-    ways: int,
-    max_rrpv: int,
-    counter_max: int,
-    tags: np.ndarray,
-    rrpv: np.ndarray,
-    line_sig: np.ndarray,
-    reused: np.ndarray,
-    shct: np.ndarray,
-    misses_per_set: np.ndarray,
-):
-    """Run the SHiP kernel over caller-owned state; ``None`` when unavailable.
-
-    ``sig_ids`` must use signature ids that are stable across calls, and
-    ``shct`` must cover every id in the chunk; all array arguments after
-    ``counter_max`` persist across calls.  Returns the chunk's hit mask.
-    """
-    if not available():
-        return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    sig_ids = np.ascontiguousarray(sig_ids, dtype=np.int64)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
-    _lib.ship_replay(
-        _as_i64(blocks),
-        _as_i64(sig_ids),
-        ctypes.c_int64(n),
-        ctypes.c_int32(num_sets),
-        ctypes.c_int32(ways),
-        ctypes.c_int32(max_rrpv),
-        ctypes.c_int32(counter_max),
-        _as_i64(tags),
-        _as_i32(rrpv),
-        _as_i64(line_sig),
-        _as_u8(reused),
-        _as_i64(shct),
-        _as_u8(hits),
-        _as_i64(misses_per_set),
-    )
-    return hits.view(bool)
-
-
-def leeway_replay(
-    blocks: np.ndarray,
-    pc_ids: np.ndarray,
-    num_signatures: int,
-    num_sets: int,
-    ways: int,
-    decay_period: int,
-):
-    """Leeway replay through the compiled kernel; ``None`` when unavailable.
-
-    Returns ``(hits, misses_per_set, predicted)`` matching
-    :func:`repro.fastsim.leeway.numpy_leeway_replay` exactly; ``predicted``
-    is the final live-distance table indexed by dense PC id.
-    """
-    if not available():
-        return None
-    misses_per_set = np.zeros(num_sets, dtype=np.int64)
-    tags = np.full(num_sets * ways, -1, dtype=np.int64)
-    pos = np.tile(np.arange(ways, dtype=np.int32), num_sets)
-    line_sig = np.zeros(num_sets * ways, dtype=np.int64)
-    observed = np.zeros(num_sets * ways, dtype=np.int32)
-    predicted = np.zeros(max(1, num_signatures), dtype=np.int64)
-    votes = np.zeros(max(1, num_signatures), dtype=np.int64)
-    hits = leeway_feed(
-        blocks, pc_ids, num_sets, ways, decay_period,
-        tags, pos, line_sig, observed, predicted, votes, misses_per_set,
-    )
-    return hits, misses_per_set, predicted[:num_signatures]
-
-
-def leeway_feed(
-    blocks: np.ndarray,
-    pc_ids: np.ndarray,
-    num_sets: int,
-    ways: int,
-    decay_period: int,
-    tags: np.ndarray,
-    pos: np.ndarray,
-    line_sig: np.ndarray,
-    observed: np.ndarray,
-    predicted: np.ndarray,
-    votes: np.ndarray,
-    misses_per_set: np.ndarray,
-):
-    """Run the Leeway kernel over caller-owned state; ``None`` when unavailable.
-
-    ``pc_ids`` must use PC ids that are stable across calls, and
-    ``predicted``/``votes`` must cover every id in the chunk; all array
-    arguments after ``decay_period`` persist across calls.  Returns the
-    chunk's hit mask.
-    """
-    if not available():
-        return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    pc_ids = np.ascontiguousarray(pc_ids, dtype=np.int64)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
-    _lib.leeway_replay(
-        _as_i64(blocks),
-        _as_i64(pc_ids),
-        ctypes.c_int64(n),
-        ctypes.c_int32(num_sets),
-        ctypes.c_int32(ways),
-        ctypes.c_int32(decay_period),
-        _as_i64(tags),
-        _as_i32(pos),
-        _as_i64(line_sig),
-        _as_i32(observed),
-        _as_i64(predicted),
-        _as_i64(votes),
-        _as_u8(hits),
-        _as_i64(misses_per_set),
-    )
-    return hits.view(bool)
-
-
-def hawkeye_replay(
-    blocks: np.ndarray,
-    block_ids: np.ndarray,
-    num_blocks: int,
-    pc_ids: np.ndarray,
-    num_pcs: int,
-    num_sets: int,
-    ways: int,
-    max_rrpv: int,
-    sample_period: int,
-    predictor_max: int,
-    history: int,
-):
-    """Hawkeye replay through the compiled kernel; ``None`` when unavailable.
-
-    Returns ``(hits, misses_per_set, predictor)`` matching
-    :func:`repro.fastsim.hawkeye.numpy_hawkeye_replay` exactly;
-    ``predictor`` is the final counter table indexed by dense PC id.
-    """
-    if not available() or history <= 0:
-        return None
-    num_samplers = (num_sets + sample_period - 1) // sample_period
-    midpoint = (predictor_max + 1) // 2
-    misses_per_set = np.zeros(num_sets, dtype=np.int64)
-    tags = np.full(num_sets * ways, -1, dtype=np.int64)
-    rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
-    friendly = np.zeros(num_sets * ways, dtype=np.uint8)
-    line_pc = np.zeros(num_sets * ways, dtype=np.int64)
-    predictor = np.full(max(1, num_pcs), midpoint, dtype=np.int32)
-    last_access = np.full(max(1, num_blocks), -1, dtype=np.int64)
-    last_pc = np.zeros(max(1, num_blocks), dtype=np.int64)
-    occupancy = np.zeros(max(1, num_samplers * history), dtype=np.int32)
-    occ_head = np.zeros(max(1, num_samplers), dtype=np.int64)
-    occ_len = np.zeros(max(1, num_samplers), dtype=np.int64)
-    timestamps = np.zeros(max(1, num_samplers), dtype=np.int64)
-    hits = hawkeye_feed(
-        blocks, block_ids, pc_ids, num_sets, ways, max_rrpv, sample_period,
-        predictor_max, history, tags, rrpv, friendly, line_pc, predictor,
-        last_access, last_pc, occupancy, occ_head, occ_len, timestamps,
-        misses_per_set,
-    )
-    return hits, misses_per_set, predictor[:num_pcs]
-
-
-def hawkeye_feed(
-    blocks: np.ndarray,
-    block_ids: np.ndarray,
-    pc_ids: np.ndarray,
-    num_sets: int,
-    ways: int,
-    max_rrpv: int,
-    sample_period: int,
-    predictor_max: int,
-    history: int,
-    tags: np.ndarray,
-    rrpv: np.ndarray,
-    friendly: np.ndarray,
-    line_pc: np.ndarray,
-    predictor: np.ndarray,
-    last_access: np.ndarray,
-    last_pc: np.ndarray,
-    occupancy: np.ndarray,
-    occ_head: np.ndarray,
-    occ_len: np.ndarray,
-    timestamps: np.ndarray,
-    misses_per_set: np.ndarray,
-):
-    """Run the Hawkeye kernel over caller-owned state; ``None`` when unavailable.
-
-    ``block_ids``/``pc_ids`` must use dense ids that are stable across calls
-    and covered by ``last_access``/``last_pc``/``predictor``; all array
-    arguments after ``history`` persist across calls.  Returns the chunk's
-    hit mask.
-    """
-    if not available() or history <= 0:
-        return None
-    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
-    block_ids = np.ascontiguousarray(block_ids, dtype=np.int64)
-    pc_ids = np.ascontiguousarray(pc_ids, dtype=np.int64)
-    n = int(blocks.shape[0])
-    hits = np.empty(n, dtype=np.uint8)
-    _lib.hawkeye_replay(
-        _as_i64(blocks),
-        _as_i64(block_ids),
-        _as_i64(pc_ids),
-        ctypes.c_int64(n),
-        ctypes.c_int32(num_sets),
-        ctypes.c_int32(ways),
-        ctypes.c_int32(max_rrpv),
-        ctypes.c_int32(sample_period),
-        ctypes.c_int32(predictor_max),
-        ctypes.c_int64(history),
-        _as_i64(tags),
-        _as_i32(rrpv),
-        _as_u8(friendly),
-        _as_i64(line_pc),
-        _as_i32(predictor),
-        _as_i64(last_access),
-        _as_i64(last_pc),
-        _as_i32(occupancy),
-        _as_i64(occ_head),
-        _as_i64(occ_len),
-        _as_i64(timestamps),
-        _as_u8(hits),
-        _as_i64(misses_per_set),
-    )
-    return hits.view(bool)
+from repro.fastsim.kernels import (
+    NATIVE_ENV_VAR,
+    available,
+    hawkeye_feed,
+    hawkeye_replay,
+    leeway_feed,
+    leeway_replay,
+    lru_feed,
+    lru_replay,
+    opt_feed,
+    opt_replay,
+    pin_feed,
+    pin_replay,
+    rrip_feed,
+    rrip_replay,
+    ship_feed,
+    ship_replay,
+)
+
+__all__ = [
+    "NATIVE_ENV_VAR",
+    "available",
+    "hawkeye_feed",
+    "hawkeye_replay",
+    "leeway_feed",
+    "leeway_replay",
+    "lru_feed",
+    "lru_replay",
+    "opt_feed",
+    "opt_replay",
+    "pin_feed",
+    "pin_replay",
+    "rrip_feed",
+    "rrip_replay",
+    "ship_feed",
+    "ship_replay",
+]

@@ -1,0 +1,88 @@
+"""Native kernel registry and engine-family kernel modules.
+
+Importing this package registers every engine family's
+:class:`~repro.fastsim.kernels.registry.KernelSpec` (registration is pure
+bookkeeping — see :mod:`repro.fastsim.kernels.registry`; nothing compiles
+until the first lookup).  Import order matters: ``core`` defines the shared
+``static inline`` C steps, the family fragments build on them, and ``fused``
+(last) stitches family steps into the single-pass threaded pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.fastsim.kernels.registry import (
+    BASE_CFLAGS,
+    CC_ENV_VAR,
+    KernelSpec,
+    NATIVE_ENV_VAR,
+    THREADS_ENV_VAR,
+    available,
+    build_key,
+    capabilities,
+    has_capability,
+    lookup,
+    register_kernel,
+    registered,
+    reset,
+    resolved,
+    thread_count,
+)
+
+from repro.fastsim.kernels import core as _core  # noqa: F401  (registers "core")
+from repro.fastsim.kernels.lru import lru_feed, lru_replay
+from repro.fastsim.kernels.rrip import rrip_feed, rrip_replay
+from repro.fastsim.kernels.pin import pin_feed, pin_replay
+from repro.fastsim.kernels.opt import opt_feed, opt_replay
+from repro.fastsim.kernels.ship import ship_feed, ship_replay
+from repro.fastsim.kernels.leeway import leeway_feed, leeway_replay
+from repro.fastsim.kernels.hawkeye import hawkeye_feed, hawkeye_replay
+from repro.fastsim.kernels.fused import (
+    FilterState,
+    RegionTable,
+    fused_hawkeye_feed,
+    fused_leeway_feed,
+    fused_lru_feed,
+    fused_pin_feed,
+    fused_rrip_feed,
+    fused_ship_feed,
+)
+
+__all__ = [
+    "BASE_CFLAGS",
+    "CC_ENV_VAR",
+    "FilterState",
+    "KernelSpec",
+    "NATIVE_ENV_VAR",
+    "RegionTable",
+    "THREADS_ENV_VAR",
+    "available",
+    "build_key",
+    "capabilities",
+    "fused_hawkeye_feed",
+    "fused_leeway_feed",
+    "fused_lru_feed",
+    "fused_pin_feed",
+    "fused_rrip_feed",
+    "fused_ship_feed",
+    "has_capability",
+    "hawkeye_feed",
+    "hawkeye_replay",
+    "leeway_feed",
+    "leeway_replay",
+    "lookup",
+    "lru_feed",
+    "lru_replay",
+    "opt_feed",
+    "opt_replay",
+    "pin_feed",
+    "pin_replay",
+    "register_kernel",
+    "registered",
+    "reset",
+    "resolved",
+    "rrip_feed",
+    "rrip_replay",
+    "ship_feed",
+    "ship_replay",
+    "thread_count",
+]

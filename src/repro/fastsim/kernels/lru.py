@@ -1,0 +1,103 @@
+"""LRU engine-family kernel: exact set-associative LRU replay."""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro.fastsim.kernels import registry
+from repro.fastsim.kernels.registry import (
+    KernelSpec,
+    as_i64,
+    as_u8,
+    i32,
+    i64,
+    p_i64,
+    p_u8,
+    register_kernel,
+)
+
+_SOURCE = r"""
+/* Exact set-associative LRU replay: timestamp per way, linear way scan.
+ * tags/stamps are caller-provided state of num_sets*ways entries; tags must
+ * be initialised to -1 on the first call.  state[0] is the recency clock
+ * in/out, so a stream can be replayed in chunks against persistent
+ * tags/stamps with bit-identical outcomes.  Returns nothing; hits[i] in
+ * {0,1} and misses_per_set accumulate the outcome. */
+void lru_replay(const int64_t *blocks, int64_t n, int32_t num_sets,
+                int32_t ways, int64_t *tags, int64_t *stamps,
+                uint8_t *hits, int64_t *misses_per_set, int64_t *state)
+{
+    const int64_t mask = (int64_t)num_sets - 1;
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t block = blocks[i];
+        const int64_t set = block & mask;
+        hits[i] = (uint8_t)lru_step(block, ways, tags + set * ways,
+                                    stamps + set * ways, misses_per_set + set,
+                                    state);
+    }
+}
+"""
+
+register_kernel(
+    KernelSpec(
+        name="lru",
+        source=_SOURCE,
+        functions={
+            "lru_replay": [p_i64, i64, i32, i32, p_i64, p_i64, p_u8, p_i64, p_i64],
+        },
+        capabilities=("replay:lru",),
+    )
+)
+
+
+def lru_feed(
+    blocks: np.ndarray,
+    num_sets: int,
+    ways: int,
+    tags: np.ndarray,
+    stamps: np.ndarray,
+    misses_per_set: np.ndarray,
+    state: np.ndarray,
+):
+    """Run the LRU kernel over caller-owned state; ``None`` when unavailable.
+
+    ``tags``/``stamps`` (``num_sets * ways`` int64, tags initialised to -1),
+    ``misses_per_set`` (accumulating) and ``state`` (``[clock]``) persist
+    across calls, so feeding a stream in chunks is bit-identical to one call
+    over the concatenation.  Returns the chunk's hit mask.
+    """
+    kernel = registry.lookup("lru_replay")
+    if kernel is None:
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
+    kernel(
+        as_i64(blocks),
+        ctypes.c_int64(n),
+        ctypes.c_int32(num_sets),
+        ctypes.c_int32(ways),
+        as_i64(tags),
+        as_i64(stamps),
+        as_u8(hits),
+        as_i64(misses_per_set),
+        as_i64(state),
+    )
+    return hits.view(bool)
+
+
+def lru_replay(blocks: np.ndarray, num_sets: int, ways: int):
+    """Replay through the compiled kernel; ``None`` when unavailable.
+
+    Returns ``(hits, misses_per_set)`` matching the NumPy engine exactly.
+    """
+    if registry.lookup("lru_replay") is None:
+        return None
+    misses_per_set = np.zeros(num_sets, dtype=np.int64)
+    tags = np.full(num_sets * ways, -1, dtype=np.int64)
+    stamps = np.zeros(num_sets * ways, dtype=np.int64)
+    state = np.zeros(1, dtype=np.int64)
+    hits = lru_feed(blocks, num_sets, ways, tags, stamps, misses_per_set, state)
+    return hits, misses_per_set

@@ -1,0 +1,220 @@
+"""RRIP engine-family kernel (SRRIP / BRRIP / DRRIP / GRASP)."""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro.fastsim.kernels import registry
+from repro.fastsim.kernels.registry import (
+    KernelSpec,
+    as_i32,
+    as_i64,
+    as_u8,
+    i32,
+    i64,
+    p_i32,
+    p_i64,
+    p_u8,
+    register_kernel,
+)
+
+_SOURCE = r"""
+/* One RRIP-family access against a single set: returns 1 on hit, 0 on miss
+ * (after inserting).  Policy behaviour is parameterized in array form:
+ * ins_table / promo_table hold, per 2-bit reuse hint, the insertion RRPV
+ * (negative = dynamic: bimodal counter when psel_max == 0, DRRIP set duel
+ * otherwise) and the hit-promotion RRPV (negative = decrement one step
+ * towards MRU).  tag/r point at the set's ways; psel/insert_count at the
+ * shared duel state. */
+static inline int rrip_step(int64_t block, int32_t hint, int64_t set,
+                            int32_t ways, int32_t max_rrpv,
+                            const int32_t *ins_table,
+                            const int32_t *promo_table, int64_t epsilon,
+                            int64_t psel_max, int32_t leader_period,
+                            int64_t midpoint, int64_t *tag, int32_t *r,
+                            int64_t *miss_ctr, int64_t *psel,
+                            int64_t *insert_count)
+{
+    int32_t way = -1;
+    for (int32_t w = 0; w < ways; w++) {
+        if (tag[w] == block) { way = w; break; }
+    }
+    if (way >= 0) {
+        const int32_t promotion = promo_table[hint];
+        if (promotion >= 0) r[way] = promotion;
+        else if (r[way] > 0) r[way]--;
+        return 1;
+    }
+    (*miss_ctr)++;
+    for (int32_t w = 0; w < ways; w++) {
+        if (tag[w] == -1) { way = w; break; }
+    }
+    if (way < 0) {
+        /* Standard RRIP victim search: leftmost saturated way, ageing
+         * every way until one saturates. */
+        for (;;) {
+            for (int32_t w = 0; w < ways; w++) {
+                if (r[w] >= max_rrpv) { way = w; break; }
+            }
+            if (way >= 0) break;
+            for (int32_t w = 0; w < ways; w++) r[w]++;
+        }
+    }
+    int32_t insertion = ins_table[hint];
+    if (insertion < 0) {
+        if (psel_max <= 0) {
+            /* BRRIP: every insertion consults the bimodal counter. */
+            (*insert_count)++;
+            insertion = (epsilon > 0 && *insert_count % epsilon == 0)
+                            ? max_rrpv - 1 : max_rrpv;
+        } else {
+            const int64_t slot = set % leader_period;
+            if (slot == 0) {            /* SRRIP leader */
+                if (*psel < psel_max) (*psel)++;
+                insertion = max_rrpv - 1;
+            } else if (slot == 1) {     /* BRRIP leader */
+                if (*psel > 0) (*psel)--;
+                (*insert_count)++;
+                insertion = (epsilon > 0 && *insert_count % epsilon == 0)
+                                ? max_rrpv - 1 : max_rrpv;
+            } else if (*psel < midpoint) {
+                insertion = max_rrpv - 1;
+            } else {
+                (*insert_count)++;
+                insertion = (epsilon > 0 && *insert_count % epsilon == 0)
+                                ? max_rrpv - 1 : max_rrpv;
+            }
+        }
+    }
+    tag[way] = block;
+    r[way] = insertion;
+    return 0;
+}
+
+/* Exact RRIP-family replay over rrip_step.  tags/rrpv are caller-provided
+ * scratch of num_sets*ways entries (tags initialised to -1, rrpv to
+ * max_rrpv); state is {psel, insert_count} in/out so the final duel state
+ * can be compared against the scalar policies. */
+void rrip_replay(const int64_t *blocks, const uint8_t *hints, int64_t n,
+                 int32_t num_sets, int32_t ways, int32_t max_rrpv,
+                 const int32_t *ins_table, const int32_t *promo_table,
+                 int64_t epsilon, int64_t psel_max, int32_t leader_period,
+                 int64_t *tags, int32_t *rrpv,
+                 uint8_t *hits, int64_t *misses_per_set, int64_t *state)
+{
+    int64_t psel = state[0];
+    int64_t insert_count = state[1];
+    const int64_t mask = (int64_t)num_sets - 1;
+    const int64_t midpoint = (psel_max + 1) / 2;
+    for (int64_t i = 0; i < n; i++) {
+        const int64_t block = blocks[i];
+        const int64_t set = block & mask;
+        hits[i] = (uint8_t)rrip_step(block, hints[i] & 3, set, ways, max_rrpv,
+                                     ins_table, promo_table, epsilon, psel_max,
+                                     leader_period, midpoint, tags + set * ways,
+                                     rrpv + set * ways, misses_per_set + set,
+                                     &psel, &insert_count);
+    }
+    state[0] = psel;
+    state[1] = insert_count;
+}
+"""
+
+register_kernel(
+    KernelSpec(
+        name="rrip",
+        source=_SOURCE,
+        functions={
+            "rrip_replay": [
+                p_i64, p_u8, i64, i32, i32, i32, p_i32, p_i32, i64, i64, i32,
+                p_i64, p_i32, p_u8, p_i64, p_i64,
+            ],
+        },
+        capabilities=("replay:rrip",),
+    )
+)
+
+
+def rrip_feed(
+    blocks: np.ndarray,
+    hints: np.ndarray,
+    num_sets: int,
+    ways: int,
+    max_rrpv: int,
+    ins_table: np.ndarray,
+    promo_table: np.ndarray,
+    epsilon: int,
+    psel_max: int,
+    leader_period: int,
+    tags: np.ndarray,
+    rrpv: np.ndarray,
+    misses_per_set: np.ndarray,
+    state: np.ndarray,
+):
+    """Run the RRIP kernel over caller-owned state; ``None`` when unavailable.
+
+    ``tags`` (int64, -1 initial) / ``rrpv`` (int32, ``max_rrpv`` initial) /
+    ``misses_per_set`` / ``state`` (``[psel, insert_count]``) persist across
+    calls.  Returns the chunk's hit mask.
+    """
+    kernel = registry.lookup("rrip_replay")
+    if kernel is None:
+        return None
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    hints = np.ascontiguousarray(hints, dtype=np.uint8)
+    ins_table = np.ascontiguousarray(ins_table, dtype=np.int32)
+    promo_table = np.ascontiguousarray(promo_table, dtype=np.int32)
+    n = int(blocks.shape[0])
+    hits = np.empty(n, dtype=np.uint8)
+    kernel(
+        as_i64(blocks),
+        as_u8(hints),
+        ctypes.c_int64(n),
+        ctypes.c_int32(num_sets),
+        ctypes.c_int32(ways),
+        ctypes.c_int32(max_rrpv),
+        as_i32(ins_table),
+        as_i32(promo_table),
+        ctypes.c_int64(epsilon),
+        ctypes.c_int64(psel_max),
+        ctypes.c_int32(leader_period),
+        as_i64(tags),
+        as_i32(rrpv),
+        as_u8(hits),
+        as_i64(misses_per_set),
+        as_i64(state),
+    )
+    return hits.view(bool)
+
+
+def rrip_replay(
+    blocks: np.ndarray,
+    hints: np.ndarray,
+    num_sets: int,
+    ways: int,
+    max_rrpv: int,
+    ins_table: np.ndarray,
+    promo_table: np.ndarray,
+    epsilon: int,
+    psel_max: int,
+    leader_period: int,
+    psel_init: int,
+):
+    """RRIP-family replay through the compiled kernel; ``None`` when unavailable.
+
+    Returns ``(hits, misses_per_set, psel, insert_count)`` matching the NumPy
+    engine (:func:`repro.fastsim.rrip.numpy_rrip_replay`) exactly.
+    """
+    if registry.lookup("rrip_replay") is None:
+        return None
+    misses_per_set = np.zeros(num_sets, dtype=np.int64)
+    tags = np.full(num_sets * ways, -1, dtype=np.int64)
+    rrpv = np.full(num_sets * ways, max_rrpv, dtype=np.int32)
+    state = np.array([psel_init, 0], dtype=np.int64)
+    hits = rrip_feed(
+        blocks, hints, num_sets, ways, max_rrpv, ins_table, promo_table,
+        epsilon, psel_max, leader_period, tags, rrpv, misses_per_set, state,
+    )
+    return hits, misses_per_set, int(state[0]), int(state[1])

@@ -219,14 +219,29 @@ class DenseIdMap:
     identical simulations.
     """
 
+    #: Largest key eligible for the direct-lookup fast path; beyond this the
+    #: table (8 bytes/slot) would dominate the stream's bounded footprint.
+    DIRECT_LIMIT = 1 << 22
+
     def __init__(self) -> None:
         self._ids: dict = {}
+        self._direct: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self._ids)
 
     def map(self, values: np.ndarray) -> np.ndarray:
         """Dense ids for ``values``, assigning new ids to unseen keys."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._direct is not False:
+            lo, hi = int(values.min()), int(values.max())
+            if 0 <= lo and hi < self.DIRECT_LIMIT:
+                return self._map_direct(values, hi)
+        # Keys outside the direct range: fall back to the dict permanently
+        # (the dict is authoritative, so ids stay consistent either way).
+        self._direct = False  # type: ignore[assignment]
         unique, inverse = np.unique(values, return_inverse=True)
         ids = self._ids
         table = np.fromiter(
@@ -235,6 +250,32 @@ class DenseIdMap:
             count=unique.shape[0],
         )
         return table[inverse]
+
+    def _map_direct(self, values: np.ndarray, hi: int) -> np.ndarray:
+        """O(n) lookup through a grow-only array instead of a per-chunk sort.
+
+        New keys still receive ids in sorted order within the chunk, exactly
+        like the ``np.unique`` path, so both routes assign identical ids.
+        """
+        direct = self._direct
+        if direct is None or direct.shape[0] <= hi:
+            direct = grow_to(
+                direct if direct is not None else np.empty(0, dtype=np.int64),
+                max(hi + 1, 2 * (direct.shape[0] if direct is not None else 0)),
+                -1,
+            )
+            self._direct = direct
+        out = direct[values]
+        missing = out < 0
+        if missing.any():
+            ids = self._ids
+            fresh = np.unique(values[missing])
+            start = len(ids)
+            direct[fresh] = np.arange(start, start + fresh.shape[0], dtype=np.int64)
+            for key in fresh.tolist():
+                ids[key] = len(ids)
+            out = direct[values]
+        return out
 
     def keys_in_id_order(self) -> list:
         """Raw keys ordered by their dense id (dicts preserve insertion)."""

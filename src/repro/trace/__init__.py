@@ -21,6 +21,7 @@ from repro.trace.generator import (
     generate_iteration_trace,
     iter_execution_trace,
     iter_iteration_trace_chunks,
+    iter_trace_slices,
     iteration_trace_length,
 )
 from repro.trace.layout import (
@@ -51,5 +52,6 @@ __all__ = [
     "generate_iteration_trace",
     "iter_execution_trace",
     "iter_iteration_trace_chunks",
+    "iter_trace_slices",
     "iteration_trace_length",
 ]

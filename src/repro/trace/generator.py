@@ -82,6 +82,23 @@ class Trace:
         )
 
 
+def iter_trace_slices(trace: Trace, max_accesses: int) -> Iterator[Trace]:
+    """Yield a trace as zero-copy views of at most ``max_accesses`` each.
+
+    Feeding every slice through a streaming engine in order is equivalent to
+    feeding the whole trace at once; an empty trace yields nothing.
+    """
+    if max_accesses <= 0:
+        raise ValueError("max_accesses must be positive")
+    for start in range(0, len(trace), max_accesses):
+        stop = start + max_accesses
+        yield Trace(
+            addresses=trace.addresses[start:stop],
+            pcs=trace.pcs[start:stop],
+            regions=trace.regions[start:stop],
+        )
+
+
 def _edge_slice_for(graph: CSRGraph, vertices: np.ndarray, direction: str):
     """Edge indices and neighbour IDs for the given vertices, in traversal order."""
     if direction == PULL:

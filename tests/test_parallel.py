@@ -13,6 +13,8 @@ from repro.experiments import (
 )
 from repro.experiments.memo import DiskMemo, MEMO_VERSION, default_cache_dir
 from repro.experiments.runner import active_disk_memo, build_workload, set_disk_memo
+from repro.experiments.schemes import scheme_policy
+from repro.fastsim import fused_native_supported
 
 
 @pytest.fixture(autouse=True)
@@ -131,7 +133,12 @@ class TestParallelRunner:
         )
         memo = DiskMemo(cache_dir)
         assert memo.entry_count("workload") == len(self.DATASETS)
+        # Multi-scheme comparisons materialize the filtered ROI trace once
+        # and share it across schemes (the fused single-pass route is for
+        # single-consumer replays); the budget-less timing counters ride
+        # along for workload_cycles.
         assert memo.entry_count("llctrace") == len(self.DATASETS)
+        assert memo.entry_count("roisummary") == len(self.DATASETS)
         assert memo.entry_count("policy") == len(self.DATASETS) * len(self.SCHEMES)
         # A fresh "invocation": cold in-memory tables, warm disk.
         clear_caches()
@@ -166,11 +173,37 @@ class TestParallelRunner:
         # The workers persisted the chunked LLC streams and per-scheme
         # full-execution results for reuse across schemes and invocations.
         memo = DiskMemo(cache_dir)
-        # Two llcstream entries per stream: the budget-keyed chunk manifest
-        # and the budget-less counter summary.
+        # Multi-scheme streaming comparisons persist the filtered chunk
+        # store once and replay every scheme from it; two llcstream entries
+        # per stream (the budget-keyed chunk manifest and the budget-less
+        # counter summary).  The fused single-pass route only engages for
+        # single-consumer streams.
         assert memo.entry_count("llcstream") == 2 * len(self.DATASETS)
         assert memo.entry_count("llcchunk") > len(self.DATASETS)
         assert memo.entry_count("policystream") == len(self.DATASETS) * len(self.SCHEMES)
+
+    def test_single_consumer_stream_skips_chunk_store(self, tmp_path):
+        """A lone policy replay takes the fused route: no chunk store, only
+        the budget-less counter summary (and, for the ROI path, the
+        ``roisummary`` counters instead of a materialized ``llctrace``)."""
+        from repro.experiments.runner import (
+            simulate_llc_policy_streaming,
+            simulate_scheme,
+        )
+
+        config = ExperimentConfig.smoke()
+        policy = scheme_policy("GRASP")
+        if not fused_native_supported(policy, config.hierarchy):
+            pytest.skip("no fused kernel available")
+        memo = DiskMemo(tmp_path / "memo")
+        set_disk_memo(memo)
+        workload = build_workload("PR", "lj", config=config)
+        simulate_llc_policy_streaming(workload, policy, config=config)
+        assert memo.entry_count("llcchunk") == 0
+        assert memo.entry_count("llcstream") == 1
+        simulate_scheme(workload, "GRASP", config)
+        assert memo.entry_count("llctrace") == 0
+        assert memo.entry_count("roisummary") == 1
 
     def test_single_pair_runs_serially(self):
         config = ExperimentConfig.smoke()

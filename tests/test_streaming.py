@@ -441,6 +441,56 @@ class TestRunnerStreaming:
         assert one.total_references > roi_only.total_references
 
 
+class TestFusedStreaming:
+    """Fused single-pass streaming vs the staged chunked pipeline (ISSUE 7).
+
+    The ``vector`` route of ``simulate_llc_policy_streaming`` fuses trace
+    generation, L1/L2 filtering and the LLC replay into one native call per
+    chunk, sharded over ``REPRO_THREADS`` filter threads.  It must stay
+    bit-identical to the staged/scalar cross-checked pipeline for every
+    thread count and chunk budget, including the hint-driven schemes.
+    """
+
+    SCHEMES = ("GRASP", "SHiP-MEM", "Hawkeye", "Leeway", "PIN-50")
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        clear_caches()
+        set_disk_memo(None)
+        config = ExperimentConfig.smoke()
+        workload = build_workload("PR", "lj", config=config)
+        return config, workload
+
+    @pytest.mark.parametrize("threads", ["1", "2", "8"])
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_thread_counts_match_verify(self, setup, monkeypatch, scheme, threads):
+        config, workload = setup
+        monkeypatch.setenv("REPRO_THREADS", threads)
+        fused = simulate_llc_policy_streaming(
+            workload, scheme_policy(scheme), config,
+            backend="vector", max_chunk_accesses=5000,
+        )
+        reference = simulate_llc_policy_streaming(
+            workload, scheme_policy(scheme), config,
+            backend="verify", max_chunk_accesses=5000,
+        )
+        assert_stats_equal(reference, fused, f"fused {scheme} x{threads}")
+
+    def test_chunk_budget_invariance_under_threads(self, setup, monkeypatch):
+        config, workload = setup
+        monkeypatch.setenv("REPRO_THREADS", "8")
+        baseline = simulate_llc_policy_streaming(
+            workload, scheme_policy("GRASP"), config,
+            backend="vector", max_chunk_accesses=1500,
+        )
+        for budget in (700, 50_000, 10**9):
+            other = simulate_llc_policy_streaming(
+                workload, scheme_policy("GRASP"), config,
+                backend="vector", max_chunk_accesses=budget,
+            )
+            assert_stats_equal(baseline, other, f"fused budget {budget}")
+
+
 def test_execution_chunks_respect_budget():
     config = ExperimentConfig.smoke()
     workload = build_workload("PR", "pl", config=config)
