@@ -4,8 +4,12 @@
 
     repro sweep --apps PR --datasets lj,pl --schemes RRIP,GRASP --preset smoke
     repro sweep --figure fig5                       # a whole paper figure
+    repro sweep --apps PR --graph file:web-Google.txt.gz --schemes RRIP,GRASP
     repro sweep --resume 20260807-101501-ab12cd34   # finish an interrupted run
     repro runs                                      # list known runs
+    repro graph info lj "rmat:scale=12,seed=7"      # describe graph specs
+    repro graph ingest crawl.txt.gz                 # build the binary-CSR cache
+    repro graph fetch web-google --dest data/       # checksum-verified download
 
 ``sweep`` decomposes the comparison into the content-addressed task DAG of
 :mod:`repro.experiments.service`, runs it on a worker pool with retry,
@@ -85,6 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--apps", type=_csv, default=None, help="comma-separated app names")
     sweep.add_argument("--datasets", type=_csv, default=None, help="comma-separated dataset names")
     sweep.add_argument(
+        "--graph", action="append", default=None, metavar="SPEC",
+        help="add one repro.graph.load spec as a dataset (repeatable; commas "
+             'stay inside the spec, e.g. --graph "rmat:scale=18,seed=7" or '
+             '--graph file:web-Google.txt.gz)',
+    )
+    sweep.add_argument(
+        "--graph-cache", default=None, metavar="DIR",
+        help="binary-CSR cache root for file-backed graph specs "
+             "(default: REPRO_GRAPH_CACHE or .repro-cache/graphs)",
+    )
+    sweep.add_argument(
         "--schemes", type=_csv, default=None,
         help=f"comma-separated schemes (known: {', '.join(POLICY_SPECS)})",
     )
@@ -131,6 +146,49 @@ def build_parser() -> argparse.ArgumentParser:
     runs = sub.add_parser("runs", help="list recorded sweep runs")
     runs.add_argument("--cache-dir", default=None)
     runs.set_defaults(func=cmd_runs)
+
+    graph = sub.add_parser(
+        "graph",
+        help="graph acquisition tools (specs, ingestion cache, datasets)",
+        description="Inspect graph specs, manage the binary-CSR cache and "
+                    "download/verify real-world datasets.",
+    )
+    graph_sub = graph.add_subparsers(dest="graph_command", required=True)
+
+    info = graph_sub.add_parser("info", help="describe specs and their skew profiles")
+    info.add_argument("specs", nargs="+", metavar="SPEC")
+    info.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    info.add_argument("--seed", type=int, default=42, help="generation seed")
+    info.add_argument("--graph-cache", default=None, help="binary-CSR cache root")
+    info.add_argument(
+        "--no-load", action="store_true",
+        help="only resolve the specs; skip loading and profiling the graphs",
+    )
+    info.set_defaults(func=cmd_graph_info)
+
+    ingest = graph_sub.add_parser(
+        "ingest", help="parse graph files into the binary-CSR cache (out-of-core)"
+    )
+    ingest.add_argument("files", nargs="+", metavar="FILE")
+    ingest.add_argument("--format", choices=("edgelist", "snap", "mtx"), default=None)
+    ingest.add_argument("--graph-cache", default=None, help="binary-CSR cache root")
+    ingest.set_defaults(func=cmd_graph_ingest)
+
+    fetch = graph_sub.add_parser(
+        "fetch", help="download a known dataset (or URL) with checksum verification"
+    )
+    fetch.add_argument("names", nargs="*", metavar="NAME_OR_URL")
+    fetch.add_argument("--dest", default="data", help="download directory (default: data/)")
+    fetch.add_argument("--sha256", default=None, help="expected digest (single download)")
+    fetch.add_argument("--force", action="store_true", help="re-download even if present")
+    fetch.add_argument("--list", action="store_true", help="list known datasets and exit")
+    fetch.set_defaults(func=cmd_graph_fetch)
+
+    verify = graph_sub.add_parser(
+        "verify", help="verify downloaded files against the CHECKSUMS.sha256 lockfile"
+    )
+    verify.add_argument("--dest", default="data", help="directory holding the lockfile")
+    verify.set_defaults(func=cmd_graph_verify)
     return parser
 
 
@@ -143,7 +201,7 @@ def _resolve_cache_dir(value: Optional[str]) -> Path:
 
 def _spec_from_args(args: argparse.Namespace, config: ExperimentConfig) -> SweepSpec:
     apps = args.apps
-    datasets = args.datasets
+    datasets = tuple(args.datasets or ()) + tuple(args.graph or ()) or None
     schemes = args.schemes
     if args.figure is not None:
         figure_schemes, group = FIGURE_PRESETS[args.figure]
@@ -154,7 +212,8 @@ def _spec_from_args(args: argparse.Namespace, config: ExperimentConfig) -> Sweep
         apps = apps or tuple(config.apps)
     if not (apps and datasets and schemes):
         raise SystemExit(
-            "repro sweep: need --apps/--datasets/--schemes (or --figure to fill them in)"
+            "repro sweep: need --apps/--datasets (or --graph)/--schemes "
+            "(or --figure to fill them in)"
         )
     return SweepSpec(
         apps=tuple(apps),
@@ -177,6 +236,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["backend"] = args.sim_backend
     if args.chunk_accesses is not None:
         overrides["chunk_accesses"] = args.chunk_accesses
+    if getattr(args, "graph_cache", None) is not None:
+        overrides["graph_cache_dir"] = args.graph_cache
     return config.with_overrides(**overrides) if overrides else config
 
 
@@ -314,6 +375,121 @@ def cmd_runs(args: argparse.Namespace) -> int:
             )
     print(format_table(rows, title=f"runs under {root}"))
     return 0
+
+
+def cmd_graph_info(args: argparse.Namespace) -> int:
+    from repro.graph.csr import GraphError
+    from repro.graph.properties import skew_report
+    from repro.graph.source import describe_spec, load
+
+    rows: List[Dict[str, object]] = []
+    status = 0
+    for spec in args.specs:
+        try:
+            info = describe_spec(spec)
+        except GraphError as error:
+            print(f"error: {error}", file=sys.stderr)
+            status = 1
+            continue
+        row: Dict[str, object] = {
+            "spec": info["spec"],
+            "head": info["head"],
+            "canonical": info.get("canonical", info.get("canonical_error", "?")),
+        }
+        if not args.no_load:
+            try:
+                graph = load(
+                    spec, scale=args.scale, seed=args.seed,
+                    cache_root=args.graph_cache,
+                )
+            except GraphError as error:
+                print(f"error loading {spec!r}: {error}", file=sys.stderr)
+                status = 1
+                rows.append(row)
+                continue
+            report = skew_report(graph, extended=True).as_dict()
+            report.pop("dataset", None)
+            row["mmap"] = graph.is_mmap
+            row.update(report)
+        rows.append(row)
+    if rows:
+        print(format_table(rows, title="graph specs"))
+    return status
+
+
+def cmd_graph_ingest(args: argparse.Namespace) -> int:
+    from repro.graph.csr import GraphError
+    from repro.graph.ingest import ingest_graph
+
+    status = 0
+    for filename in args.files:
+        try:
+            graph = ingest_graph(
+                filename, fmt=args.format, mmap=True, cache_root=args.graph_cache,
+            )
+        except GraphError as error:
+            print(f"error: {error}", file=sys.stderr)
+            status = 1
+            continue
+        print(
+            f"{filename}: {graph.num_vertices} vertices, {graph.num_edges} edges"
+            f"{' (weighted)' if graph.is_weighted else ''} -> {graph.backing_dir}"
+        )
+    return status
+
+
+def cmd_graph_fetch(args: argparse.Namespace) -> int:
+    from repro.graph.csr import GraphError
+    from repro.graph.ingest import KNOWN_DATASETS, fetch_dataset
+
+    if args.list or not args.names:
+        rows = [
+            {"name": d.name, "description": d.description, "url": d.url}
+            for d in KNOWN_DATASETS.values()
+        ]
+        print(format_table(rows, title="known datasets"))
+        return 0
+    if args.sha256 and len(args.names) > 1:
+        print("error: --sha256 applies to a single download", file=sys.stderr)
+        return 1
+    status = 0
+    for name in args.names:
+        try:
+            dest = fetch_dataset(
+                name, args.dest, sha256=args.sha256, force=args.force,
+            )
+        except GraphError as error:
+            print(f"error: {error}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{name}: {dest}")
+    return status
+
+
+def cmd_graph_verify(args: argparse.Namespace) -> int:
+    from repro.graph.csr import GraphError
+    from repro.graph.ingest import load_checksums, verify_file
+
+    directory = Path(args.dest)
+    checksums = load_checksums(directory)
+    if not checksums:
+        print(f"error: no checksum lockfile under {directory}", file=sys.stderr)
+        return 1
+    status = 0
+    for filename, digest in sorted(checksums.items()):
+        target = directory / filename
+        if not target.exists():
+            print(f"MISSING  {filename}")
+            status = 1
+            continue
+        try:
+            verify_file(target, digest)
+        except GraphError as error:
+            print(f"FAILED   {filename}: {error}")
+            status = 1
+            continue
+        print(f"ok       {filename}")
+    return status
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -53,6 +53,12 @@ class ExperimentConfig:
         (``policystream`` stats, stream summaries); only the chunk store
         itself (``llcchunk`` entries and their ``llcstream`` manifest) is
         budget-keyed, because chunk boundaries depend on it.
+    graph_cache_dir:
+        Root of the binary-CSR graph cache used when dataset entries are
+        ``repro.graph.load`` file specs (``"file:..."``, ``"mtx:..."``);
+        ``None`` defers to ``REPRO_GRAPH_CACHE`` / the default cache root.
+        Like the backend, this never changes results — file specs enter memo
+        keys through their content digest, not through cache paths.
     """
 
     scale: float = 1.0
@@ -66,6 +72,7 @@ class ExperimentConfig:
     merged_properties: bool = True
     backend: Optional[str] = None
     chunk_accesses: Optional[int] = None
+    graph_cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:

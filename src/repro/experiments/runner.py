@@ -83,7 +83,8 @@ from repro.fastsim.dispatch import SCALAR, VECTOR, VERIFY, resolve_backend
 from repro.fastsim.filter import assert_stats_equal
 from repro.experiments.schemes import scheme_policy
 from repro.graph.csr import CSRGraph
-from repro.graph.datasets import get_dataset
+from repro.graph.csr import GraphError
+from repro.graph.source import canonical_spec, load_for_experiment
 from repro.perf.timing import LevelCounts, TimingModel
 from repro.reorder import get_technique
 from repro.trace import (
@@ -239,6 +240,22 @@ def _resolve_merged(config: ExperimentConfig, merged: Optional[bool]) -> bool:
     return config.merged_properties if merged is None else merged
 
 
+def canonical_dataset(dataset_name: str) -> str:
+    """Memo-key form of a dataset entry (name or ``repro.graph.load`` spec).
+
+    Synthetic specs ("lj", "rmat:scale=18,seed=7") canonicalize to
+    themselves, so every pre-existing memo key is byte-identical and
+    MEMO_VERSION does not move; file specs canonicalize to their
+    content-addressed form so a memo entry tracks the file's *bytes*, not
+    its path.  Unknown names pass through untouched — they fail loudly at
+    load time instead of at key-construction time.
+    """
+    try:
+        return canonical_spec(dataset_name)
+    except GraphError:
+        return dataset_name
+
+
 def workload_memo_key(
     app_name: str,
     dataset_name: str,
@@ -248,7 +265,7 @@ def workload_memo_key(
 ) -> tuple:
     """Memo key of a built :class:`Workload` (kind ``workload``)."""
     return (
-        app_name, dataset_name, reorder,
+        app_name, canonical_dataset(dataset_name), reorder,
         config.scale, config.seed, _resolve_merged(config, merged),
     )
 
@@ -262,7 +279,7 @@ def llctrace_memo_key(
 ) -> tuple:
     """Memo key of the one-shot filtered ROI trace (kind ``llctrace``)."""
     return (
-        (app_name, dataset_name, reorder),
+        (app_name, canonical_dataset(dataset_name), reorder),
         config.scale, config.seed, config.hierarchy, _resolve_merged(config, merged),
     )
 
@@ -277,7 +294,7 @@ def policy_memo_key(
 ) -> tuple:
     """Memo key of one scheme's ROI replay stats (kind ``policy``)."""
     return (
-        (app_name, dataset_name, reorder),
+        (app_name, canonical_dataset(dataset_name), reorder),
         scheme, config.scale, config.seed, config.hierarchy,
         _resolve_merged(config, merged),
     )
@@ -292,7 +309,7 @@ def llcstream_summary_memo_key(
 ) -> tuple:
     """Budget-independent key of a full-execution stream (kind ``llcstream``)."""
     return (
-        (app_name, dataset_name, reorder),
+        (app_name, canonical_dataset(dataset_name), reorder),
         config.scale, config.seed, config.hierarchy,
         _resolve_merged(config, merged),
         "execution",
@@ -309,7 +326,7 @@ def policystream_memo_key(
 ) -> tuple:
     """Memo key of one scheme's full-execution stats (kind ``policystream``)."""
     return (
-        (app_name, dataset_name, reorder),
+        (app_name, canonical_dataset(dataset_name), reorder),
         scheme, config.scale, config.seed, config.hierarchy,
         _resolve_merged(config, merged),
         "execution",
@@ -335,7 +352,10 @@ def build_workload(
     def compute() -> Workload:
         app = get_application(app_name, merged_properties=merged)
         weighted = app_name == "SSSP"
-        graph = get_dataset(dataset_name, scale=config.scale, seed=config.seed, weighted=weighted)
+        graph = load_for_experiment(
+            dataset_name, scale=config.scale, seed=config.seed,
+            weighted=weighted, cache_root=config.graph_cache_dir,
+        )
 
         degree_source = "in" if app.dominant_direction == "push" else "out"
         technique = get_technique(reorder, degree_source=degree_source)

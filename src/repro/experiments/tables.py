@@ -13,18 +13,32 @@ from repro.experiments.runner import (
     workload_cycles,
 )
 from repro.experiments.schemes import scheme_policy
-from repro.graph.datasets import get_dataset
+from repro.graph.source import load_for_experiment
 from repro.graph.properties import skew_report
 
 
-def table1_skew(config: Optional[ExperimentConfig] = None, datasets: Optional[Sequence[str]] = None) -> List[Dict[str, object]]:
-    """Table I: percentage of hot vertices and of edges they cover, per dataset."""
+def table1_skew(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Optional[Sequence[str]] = None,
+    extended: bool = False,
+) -> List[Dict[str, object]]:
+    """Table I: percentage of hot vertices and of edges they cover, per dataset.
+
+    Dataset entries may be any ``repro.graph.load`` spec, so the table can be
+    produced for real on-disk graphs (``"file:web-Google.txt.gz"``) next to
+    the synthetic stand-ins.  ``extended=True`` adds the skew-profile columns
+    (Gini coefficient, degree percentiles, tail coverage) beyond the paper's
+    Table I.
+    """
     config = config or ExperimentConfig.default()
     names = datasets or config.high_skew_datasets
     rows = []
     for name in names:
-        graph = get_dataset(name, scale=config.scale, seed=config.seed)
-        rows.append(skew_report(graph).as_dict())
+        graph = load_for_experiment(
+            name, scale=config.scale, seed=config.seed, weighted=False,
+            cache_root=config.graph_cache_dir,
+        )
+        rows.append(skew_report(graph, extended=extended).as_dict())
     return rows
 
 

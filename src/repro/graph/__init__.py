@@ -1,23 +1,29 @@
-"""Graph substrate: CSR representation, builders, generators and analysis.
+"""Graph substrate: CSR representation, acquisition, ingestion and analysis.
 
 This subpackage provides everything the rest of the library needs to model
 the graph datasets the paper evaluates on:
 
 * :class:`~repro.graph.csr.CSRGraph` — Compressed Sparse Row graph with both
-  out- and in-adjacency, optional edge weights, and relabelling support.
-* :mod:`~repro.graph.builder` — construction of CSR graphs from edge lists.
-* :mod:`~repro.graph.generators` — synthetic power-law (Chung-Lu), R-MAT,
-  low-skew and uniform random graph generators that stand in for the paper's
-  real datasets.
-* :mod:`~repro.graph.datasets` — a registry of named, scaled-down datasets
-  mirroring the paper's Table V.
+  out- and in-adjacency, optional edge weights, and relabelling support;
+  :class:`~repro.graph.csr.MmapCSRGraph` is the ``np.memmap``-backed variant
+  for graphs larger than RAM.
+* :func:`~repro.graph.source.load` — the unified acquisition entry point:
+  ``load("lj")``, ``load("rmat:scale=18,seed=7")``,
+  ``load("file:web-Google.txt.gz")``, ``load("mtx:graph.mtx")``.
+* :mod:`~repro.graph.ingest` — chunked parsers for real-world graph files,
+  the binary-CSR on-disk cache, out-of-core CSR construction and dataset
+  download/verify tooling.
 * :mod:`~repro.graph.properties` — degree/skew analysis used to reproduce
   Table I.
-* :mod:`~repro.graph.io` — edge-list and binary persistence.
+
+The older per-mechanism entry points (:mod:`~repro.graph.generators`
+functions, :func:`~repro.graph.datasets.get_dataset`,
+:mod:`~repro.graph.io` load/save, raw :func:`~repro.graph.builder.build_csr`)
+remain importable as deprecated wrappers around the same implementations.
 """
 
 from repro.graph.builder import build_csr, from_edge_list
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, GraphError, MmapCSRGraph
 from repro.graph.datasets import DatasetSpec, get_dataset, list_datasets
 from repro.graph.generators import (
     chung_lu_graph,
@@ -25,30 +31,58 @@ from repro.graph.generators import (
     rmat_graph,
     uniform_random_graph,
 )
+from repro.graph.ingest import fetch_dataset, ingest_graph, verify_file
 from repro.graph.properties import (
     DegreeStatistics,
+    SkewProfile,
     SkewReport,
     degree_statistics,
     edge_coverage,
     hot_vertex_mask,
     skew_report,
 )
+from repro.graph.source import (
+    GraphSource,
+    LoadContext,
+    canonical_spec,
+    describe_spec,
+    list_sources,
+    load,
+    load_for_experiment,
+    register_source,
+    save,
+)
 
 __all__ = [
     "CSRGraph",
     "DatasetSpec",
     "DegreeStatistics",
+    "GraphError",
+    "GraphSource",
+    "LoadContext",
+    "MmapCSRGraph",
+    "SkewProfile",
     "SkewReport",
     "build_csr",
+    "canonical_spec",
     "chung_lu_graph",
     "degree_statistics",
+    "describe_spec",
     "edge_coverage",
+    "fetch_dataset",
     "from_edge_list",
     "get_dataset",
     "hot_vertex_mask",
+    "ingest_graph",
     "list_datasets",
+    "list_sources",
+    "load",
+    "load_for_experiment",
     "low_skew_graph",
+    "register_source",
     "rmat_graph",
+    "save",
     "skew_report",
     "uniform_random_graph",
+    "verify_file",
 ]

@@ -9,7 +9,8 @@ can switch between pull and push per iteration, as Ligra does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
+from pathlib import Path
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
@@ -39,6 +40,13 @@ class CSRGraph:
         The transpose adjacency (in-edges grouped by destination).
     out_weights, in_weights:
         Optional edge weights aligned with ``out_targets`` / ``in_sources``.
+    validate_edges:
+        Init-only flag.  ``False`` skips the O(E) range scan over the edge
+        arrays (the cheap O(1) shape checks still run); used by trusted
+        loaders — most notably the binary-CSR cache of
+        :mod:`repro.graph.ingest`, whose entries were validated when built
+        and whose memmap-backed arrays should not be paged in just to
+        recompute a min/max.
     """
 
     out_index: np.ndarray
@@ -48,19 +56,22 @@ class CSRGraph:
     out_weights: Optional[np.ndarray] = None
     in_weights: Optional[np.ndarray] = None
     name: str = field(default="graph")
+    validate_edges: InitVar[bool] = True
 
     # -- construction helpers -------------------------------------------------
 
-    def __post_init__(self) -> None:
-        self.out_index = np.asarray(self.out_index, dtype=INDEX_DTYPE)
-        self.in_index = np.asarray(self.in_index, dtype=INDEX_DTYPE)
-        self.out_targets = np.asarray(self.out_targets, dtype=VERTEX_DTYPE)
-        self.in_sources = np.asarray(self.in_sources, dtype=VERTEX_DTYPE)
+    def __post_init__(self, validate_edges: bool = True) -> None:
+        # asanyarray (not asarray) so np.memmap-backed arrays keep their
+        # memmap identity: graphs larger than RAM stay lazily paged.
+        self.out_index = np.asanyarray(self.out_index, dtype=INDEX_DTYPE)
+        self.in_index = np.asanyarray(self.in_index, dtype=INDEX_DTYPE)
+        self.out_targets = np.asanyarray(self.out_targets, dtype=VERTEX_DTYPE)
+        self.in_sources = np.asanyarray(self.in_sources, dtype=VERTEX_DTYPE)
         if self.out_weights is not None:
-            self.out_weights = np.asarray(self.out_weights, dtype=WEIGHT_DTYPE)
+            self.out_weights = np.asanyarray(self.out_weights, dtype=WEIGHT_DTYPE)
         if self.in_weights is not None:
-            self.in_weights = np.asarray(self.in_weights, dtype=WEIGHT_DTYPE)
-        self.validate()
+            self.in_weights = np.asanyarray(self.in_weights, dtype=WEIGHT_DTYPE)
+        self.validate(scan_edges=validate_edges)
 
     # -- basic properties ------------------------------------------------------
 
@@ -78,6 +89,11 @@ class CSRGraph:
     def is_weighted(self) -> bool:
         """Whether edge weights are attached."""
         return self.out_weights is not None
+
+    @property
+    def is_mmap(self) -> bool:
+        """Whether the edge arrays are memory-mapped (see :class:`MmapCSRGraph`)."""
+        return False
 
     @property
     def out_degrees(self) -> np.ndarray:
@@ -157,13 +173,13 @@ class CSRGraph:
         if not check.all():
             raise GraphError("permutation is not a bijection over the vertex set")
 
-        from repro.graph.builder import build_csr
+        from repro.graph.builder import _build_csr
 
         sources, targets = self.edge_arrays()
         new_sources = permutation[sources]
         new_targets = permutation[targets]
         weights = self.out_weights.copy() if self.out_weights is not None else None
-        return build_csr(
+        return _build_csr(
             self.num_vertices,
             new_sources,
             new_targets,
@@ -209,8 +225,14 @@ class CSRGraph:
 
     # -- validation ------------------------------------------------------------
 
-    def validate(self) -> None:
-        """Check structural invariants; raise :class:`GraphError` on failure."""
+    def validate(self, scan_edges: bool = True) -> None:
+        """Check structural invariants; raise :class:`GraphError` on failure.
+
+        ``scan_edges=False`` skips the checks that read every edge (vertex-ID
+        range scans and index monotonicity) and keeps only the O(1) shape and
+        endpoint checks; trusted loaders use it to avoid paging in an entire
+        memmap-backed graph.
+        """
         if self.out_index.ndim != 1 or self.in_index.ndim != 1:
             raise GraphError("index arrays must be one-dimensional")
         if self.out_index.shape[0] != self.in_index.shape[0]:
@@ -225,14 +247,15 @@ class CSRGraph:
             raise GraphError("out_index does not terminate at num_edges")
         if self.in_index[-1] != self.in_sources.shape[0]:
             raise GraphError("in_index does not terminate at num_edges")
-        if np.any(np.diff(self.out_index) < 0) or np.any(np.diff(self.in_index) < 0):
-            raise GraphError("index arrays must be non-decreasing")
-        n = self.num_vertices
-        if self.num_edges:
-            if self.out_targets.min() < 0 or self.out_targets.max() >= n:
-                raise GraphError("out_targets contains vertex IDs out of range")
-            if self.in_sources.min() < 0 or self.in_sources.max() >= n:
-                raise GraphError("in_sources contains vertex IDs out of range")
+        if scan_edges:
+            if np.any(np.diff(self.out_index) < 0) or np.any(np.diff(self.in_index) < 0):
+                raise GraphError("index arrays must be non-decreasing")
+            n = self.num_vertices
+            if self.num_edges:
+                if self.out_targets.min() < 0 or self.out_targets.max() >= n:
+                    raise GraphError("out_targets contains vertex IDs out of range")
+                if self.in_sources.min() < 0 or self.in_sources.max() >= n:
+                    raise GraphError("in_sources contains vertex IDs out of range")
         for weights, edge_array, label in (
             (self.out_weights, self.out_targets, "out_weights"),
             (self.in_weights, self.in_sources, "in_weights"),
@@ -244,4 +267,50 @@ class CSRGraph:
         return (
             f"CSRGraph(name={self.name!r}, vertices={self.num_vertices}, "
             f"edges={self.num_edges}, weighted={self.is_weighted})"
+        )
+
+
+@dataclass
+class MmapCSRGraph(CSRGraph):
+    """A :class:`CSRGraph` whose arrays are ``np.memmap``-backed.
+
+    Instances are produced by the binary-CSR disk cache
+    (:class:`repro.graph.ingest.CSRBinaryCache`): the ``indptr`` / ``indices``
+    / ``weights`` arrays are opened with ``np.load(..., mmap_mode="r")`` so a
+    graph larger than RAM is paged in lazily as the trace pipeline slices it.
+    Everything that consumes a :class:`CSRGraph` — the analytics framework,
+    the reordering stack, trace generation, :mod:`repro.graph.properties` —
+    works against either backing unchanged; transformations that materialize
+    new arrays (``relabel``, ``reverse``, ``with_random_weights``) return
+    plain in-RAM graphs.
+
+    The backing directory's entry was validated when the cache wrote it, so
+    construction skips the O(E) edge-range scan by default (it would fault in
+    the whole mapping).
+    """
+
+    backing_dir: Optional[Path] = None
+
+    @property
+    def is_mmap(self) -> bool:
+        """Whether the edge arrays are memory-mapped (always true here)."""
+        return True
+
+    def materialize(self, name: Optional[str] = None) -> CSRGraph:
+        """Copy the graph into plain in-RAM arrays."""
+        return CSRGraph(
+            out_index=np.array(self.out_index),
+            out_targets=np.array(self.out_targets),
+            in_index=np.array(self.in_index),
+            in_sources=np.array(self.in_sources),
+            out_weights=None if self.out_weights is None else np.array(self.out_weights),
+            in_weights=None if self.in_weights is None else np.array(self.in_weights),
+            name=name or self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MmapCSRGraph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges}, weighted={self.is_weighted}, "
+            f"backing_dir={str(self.backing_dir)!r})"
         )

@@ -19,6 +19,7 @@ preserved so that, as in the paper, the larger datasets thrash the LLC harder.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -26,10 +27,10 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import (
-    chung_lu_graph,
-    low_skew_graph,
-    rmat_graph,
-    uniform_random_graph,
+    _chung_lu_graph,
+    _low_skew_graph,
+    _rmat_graph,
+    _uniform_random_graph,
 )
 
 #: Datasets used in the paper's main evaluation (high skew).
@@ -70,34 +71,34 @@ class DatasetSpec:
 
 
 def _build_lj(n: int, degree: float, seed: int) -> CSRGraph:
-    return chung_lu_graph(n, degree, exponent=2.0, seed=seed, name="lj", deduplicate=False)
+    return _chung_lu_graph(n, degree, exponent=2.0, seed=seed, name="lj", deduplicate=False)
 
 
 def _build_pl(n: int, degree: float, seed: int) -> CSRGraph:
-    return chung_lu_graph(n, degree, exponent=1.92, seed=seed, name="pl", deduplicate=False)
+    return _chung_lu_graph(n, degree, exponent=1.92, seed=seed, name="pl", deduplicate=False)
 
 
 def _build_tw(n: int, degree: float, seed: int) -> CSRGraph:
-    return chung_lu_graph(n, degree, exponent=1.9, seed=seed, name="tw", deduplicate=False)
+    return _chung_lu_graph(n, degree, exponent=1.9, seed=seed, name="tw", deduplicate=False)
 
 
 def _build_kr(n: int, degree: float, seed: int) -> CSRGraph:
     # Kron is generated with R-MAT/Graph500 parameters in the paper.  The
     # vertex count is rounded to the nearest power of two, as R-MAT requires.
     scale = max(1, int(round(np.log2(max(2, n)))))
-    return rmat_graph(scale, edge_factor=degree, seed=seed, name="kr")
+    return _rmat_graph(scale, edge_factor=degree, seed=seed, name="kr")
 
 
 def _build_sd(n: int, degree: float, seed: int) -> CSRGraph:
-    return chung_lu_graph(n, degree, exponent=1.85, seed=seed, name="sd", deduplicate=False)
+    return _chung_lu_graph(n, degree, exponent=1.85, seed=seed, name="sd", deduplicate=False)
 
 
 def _build_fr(n: int, degree: float, seed: int) -> CSRGraph:
-    return low_skew_graph(n, degree, seed=seed, name="fr")
+    return _low_skew_graph(n, degree, seed=seed, name="fr")
 
 
 def _build_uni(n: int, degree: float, seed: int) -> CSRGraph:
-    return uniform_random_graph(n, degree, seed=seed, name="uni")
+    return _uniform_random_graph(n, degree, seed=seed, name="uni")
 
 
 _REGISTRY: Dict[str, DatasetSpec] = {
@@ -132,7 +133,7 @@ def dataset_spec(name: str) -> DatasetSpec:
         ) from None
 
 
-def get_dataset(
+def _get_dataset(
     name: str,
     scale: float = 1.0,
     seed: int = 42,
@@ -160,3 +161,21 @@ def get_dataset(
     if weighted:
         graph = graph.with_random_weights(seed=seed + 1)
     return graph
+
+
+def get_dataset(
+    name: str,
+    scale: float = 1.0,
+    seed: int = 42,
+    weighted: bool = False,
+) -> CSRGraph:
+    """Instantiate a named dataset.
+
+    .. deprecated:: use ``repro.graph.load("lj")`` (etc.) instead.
+    """
+    warnings.warn(
+        'repro.graph.datasets.get_dataset is deprecated; use repro.graph.load("<name>") instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _get_dataset(name, scale=scale, seed=seed, weighted=weighted)

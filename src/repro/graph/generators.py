@@ -19,9 +19,12 @@ available offline, so this module provides scaled-down generators whose
 
 from __future__ import annotations
 
+import functools
+import warnings
+
 import numpy as np
 
-from repro.graph.builder import build_csr
+from repro.graph.builder import _build_csr
 from repro.graph.csr import CSRGraph, VERTEX_DTYPE
 
 
@@ -48,7 +51,7 @@ def _sample_endpoints(
     return rng.choice(weights.shape[0], size=num_edges, p=probabilities).astype(VERTEX_DTYPE)
 
 
-def chung_lu_graph(
+def _chung_lu_graph(
     num_vertices: int,
     average_degree: float,
     exponent: float = 2.1,
@@ -83,7 +86,7 @@ def chung_lu_graph(
     weights = _powerlaw_weights(num_vertices, exponent, rng)
     sources = _sample_endpoints(weights, num_edges, rng)
     targets = _sample_endpoints(weights, num_edges, rng)
-    return build_csr(
+    return _build_csr(
         num_vertices,
         sources,
         targets,
@@ -93,7 +96,7 @@ def chung_lu_graph(
     )
 
 
-def low_skew_graph(
+def _low_skew_graph(
     num_vertices: int,
     average_degree: float,
     seed: int = 0,
@@ -105,7 +108,7 @@ def low_skew_graph(
     fewer edges than in natural graphs, which is the regime where the paper
     shows pinning-based schemes break down (Fig. 9).
     """
-    return chung_lu_graph(
+    return _chung_lu_graph(
         num_vertices,
         average_degree,
         exponent=3.5,
@@ -114,7 +117,7 @@ def low_skew_graph(
     )
 
 
-def uniform_random_graph(
+def _uniform_random_graph(
     num_vertices: int,
     average_degree: float,
     seed: int = 0,
@@ -127,7 +130,7 @@ def uniform_random_graph(
     num_edges = int(round(num_vertices * average_degree))
     sources = rng.integers(0, num_vertices, size=num_edges).astype(VERTEX_DTYPE)
     targets = rng.integers(0, num_vertices, size=num_edges).astype(VERTEX_DTYPE)
-    return build_csr(
+    return _build_csr(
         num_vertices,
         sources,
         targets,
@@ -137,7 +140,7 @@ def uniform_random_graph(
     )
 
 
-def rmat_graph(
+def _rmat_graph(
     scale: int,
     edge_factor: float = 16.0,
     a: float = 0.57,
@@ -178,7 +181,7 @@ def rmat_graph(
     permutation = rng.permutation(num_vertices).astype(VERTEX_DTYPE)
     sources = permutation[sources]
     targets = permutation[targets]
-    return build_csr(
+    return _build_csr(
         num_vertices,
         sources,
         targets,
@@ -188,7 +191,7 @@ def rmat_graph(
     )
 
 
-def planted_community_graph(
+def _planted_community_graph(
     num_communities: int,
     community_size: int,
     intra_degree: float = 8.0,
@@ -221,7 +224,7 @@ def planted_community_graph(
 
     sources = np.concatenate([intra_sources, inter_sources])
     targets = np.concatenate([intra_targets, inter_targets])
-    return build_csr(
+    return _build_csr(
         num_vertices,
         sources,
         targets,
@@ -229,3 +232,39 @@ def planted_community_graph(
         deduplicate=True,
         name=name,
     )
+
+
+# ---------------------------------------------------------------------------
+# deprecated public entry points
+# ---------------------------------------------------------------------------
+#
+# Graph acquisition is unified behind ``repro.graph.load(spec)``; these
+# wrappers keep the original signatures working while steering callers to the
+# spec grammar (e.g. ``"rmat:scale=18,seed=7"``, ``"chung-lu:n=4096,deg=8"``).
+
+
+def _deprecated_generator(impl, public_name: str, spec_head: str):
+    @functools.wraps(impl)
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            f"repro.graph.generators.{public_name} is deprecated; "
+            f'use repro.graph.load("{spec_head}:...") instead',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return impl(*args, **kwargs)
+
+    wrapper.__name__ = public_name
+    wrapper.__qualname__ = public_name
+    return wrapper
+
+
+chung_lu_graph = _deprecated_generator(_chung_lu_graph, "chung_lu_graph", "chung-lu")
+low_skew_graph = _deprecated_generator(_low_skew_graph, "low_skew_graph", "low-skew")
+uniform_random_graph = _deprecated_generator(
+    _uniform_random_graph, "uniform_random_graph", "uniform"
+)
+rmat_graph = _deprecated_generator(_rmat_graph, "rmat_graph", "rmat")
+planted_community_graph = _deprecated_generator(
+    _planted_community_graph, "planted_community_graph", "community"
+)

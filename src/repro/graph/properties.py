@@ -9,7 +9,7 @@ separately for in-edges and out-edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -64,10 +64,11 @@ class SkewReport:
     in_edge_coverage_pct: float
     out_hot_vertex_pct: float
     out_edge_coverage_pct: float
+    profile: Optional["SkewProfile"] = None
 
     def as_dict(self) -> Dict[str, float]:
         """Return the report as a plain dictionary (for tabular output)."""
-        return {
+        row = {
             "dataset": self.name,
             "vertices": self.num_vertices,
             "edges": self.num_edges,
@@ -76,6 +77,63 @@ class SkewReport:
             "in_edge_coverage_pct": round(self.in_edge_coverage_pct, 1),
             "out_hot_vertices_pct": round(self.out_hot_vertex_pct, 1),
             "out_edge_coverage_pct": round(self.out_edge_coverage_pct, 1),
+        }
+        if self.profile is not None:
+            row.update(self.profile.as_dict())
+        return row
+
+
+@dataclass(frozen=True)
+class SkewProfile:
+    """Extended per-graph skew columns beyond the paper's Table I.
+
+    Characterizes *how* skewed a degree distribution is, not just how much
+    of it clears the hot threshold: Gini coefficients, tail percentiles,
+    the share of edges covered by the hottest 1% of vertices, and the
+    zero-degree fraction (real crawls have large dangling tails that the
+    synthetic stand-ins lack).
+    """
+
+    in_gini: float
+    out_gini: float
+    in_max_degree: int
+    out_max_degree: int
+    in_p99_degree: float
+    out_p99_degree: float
+    in_top1pct_edge_coverage_pct: float
+    out_top1pct_edge_coverage_pct: float
+    in_zero_degree_pct: float
+    out_zero_degree_pct: float
+
+    @classmethod
+    def from_graph(cls, graph: CSRGraph) -> "SkewProfile":
+        in_degrees = np.asarray(graph.in_degrees)
+        out_degrees = np.asarray(graph.out_degrees)
+        return cls(
+            in_gini=gini_coefficient(in_degrees),
+            out_gini=gini_coefficient(out_degrees),
+            in_max_degree=int(in_degrees.max(initial=0)),
+            out_max_degree=int(out_degrees.max(initial=0)),
+            in_p99_degree=float(np.percentile(in_degrees, 99)) if in_degrees.size else 0.0,
+            out_p99_degree=float(np.percentile(out_degrees, 99)) if out_degrees.size else 0.0,
+            in_top1pct_edge_coverage_pct=100.0 * top_fraction_edge_coverage(in_degrees),
+            out_top1pct_edge_coverage_pct=100.0 * top_fraction_edge_coverage(out_degrees),
+            in_zero_degree_pct=100.0 * float((in_degrees == 0).mean()) if in_degrees.size else 0.0,
+            out_zero_degree_pct=100.0 * float((out_degrees == 0).mean()) if out_degrees.size else 0.0,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "in_gini": round(self.in_gini, 3),
+            "out_gini": round(self.out_gini, 3),
+            "in_max_degree": self.in_max_degree,
+            "out_max_degree": self.out_max_degree,
+            "in_p99_degree": round(self.in_p99_degree, 1),
+            "out_p99_degree": round(self.out_p99_degree, 1),
+            "in_top1pct_edge_coverage_pct": round(self.in_top1pct_edge_coverage_pct, 1),
+            "out_top1pct_edge_coverage_pct": round(self.out_top1pct_edge_coverage_pct, 1),
+            "in_zero_degree_pct": round(self.in_zero_degree_pct, 1),
+            "out_zero_degree_pct": round(self.out_zero_degree_pct, 1),
         }
 
 
@@ -113,12 +171,24 @@ def degree_statistics(graph: CSRGraph) -> Dict[str, DegreeStatistics]:
     }
 
 
-def skew_report(graph: CSRGraph) -> SkewReport:
+def top_fraction_edge_coverage(degrees: np.ndarray, fraction: float = 0.01) -> float:
+    """Fraction of edges attached to the top ``fraction`` highest-degree vertices."""
+    degrees = np.asarray(degrees)
+    total = degrees.sum()
+    if total == 0 or degrees.size == 0:
+        return 0.0
+    count = max(1, int(round(degrees.size * fraction)))
+    top = np.partition(degrees, degrees.size - count)[degrees.size - count:]
+    return float(top.sum() / total)
+
+
+def skew_report(graph: CSRGraph, extended: bool = False) -> SkewReport:
     """Compute the Table I row for a graph.
 
     The hot-vertex threshold is the average degree of the graph (the paper's
     definition), applied independently to the in- and out-degree
-    distributions.
+    distributions.  ``extended=True`` attaches a :class:`SkewProfile` with
+    the distribution-shape columns (Gini, tails, zero-degree share).
     """
     threshold = graph.average_degree
     return SkewReport(
@@ -130,6 +200,7 @@ def skew_report(graph: CSRGraph) -> SkewReport:
         in_edge_coverage_pct=100.0 * edge_coverage(graph.in_degrees, threshold),
         out_hot_vertex_pct=100.0 * hot_vertex_fraction(graph.out_degrees, threshold),
         out_edge_coverage_pct=100.0 * edge_coverage(graph.out_degrees, threshold),
+        profile=SkewProfile.from_graph(graph) if extended else None,
     )
 
 
