@@ -15,7 +15,7 @@ import sys
 from repro.experiments import ExperimentConfig
 from repro.experiments.figures import fig10a_reordering_speedup
 from repro.experiments.reporting import format_table
-from repro.graph import get_dataset, skew_report
+from repro.graph import load, skew_report
 from repro.reorder import get_technique
 
 
@@ -25,7 +25,7 @@ def main() -> None:
         scale=0.4, apps=("PR", "PRD"), high_skew_datasets=(dataset,)
     )
 
-    graph = get_dataset(dataset, scale=config.scale, seed=config.seed)
+    graph = load(dataset, scale=config.scale, seed=config.seed)
     report = skew_report(graph)
     print(f"Dataset {dataset}: {report.num_vertices} vertices, {report.num_edges} edges, "
           f"{report.out_hot_vertex_pct:.1f}% hot vertices covering "

@@ -18,6 +18,7 @@ last-level cache whose replacement policy is the subject of the study.
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, HierarchyConfig
 from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.partition import PartitionedPolicy, WayPartition
 from repro.cache.stats import CacheStats
 
 __all__ = [
@@ -25,5 +26,7 @@ __all__ = [
     "CacheHierarchy",
     "CacheStats",
     "HierarchyConfig",
+    "PartitionedPolicy",
     "SetAssociativeCache",
+    "WayPartition",
 ]

@@ -15,23 +15,59 @@ class SetAssociativeCache:
     The cache owns the tag array and the statistics; all replacement state
     lives inside the policy object.  Addresses are byte addresses; the cache
     reduces them to block addresses before consulting tags or the policy.
+
+    Multi-programmed (co-run) operation: pass ``track_streams=True`` to
+    attribute every access to the ``stream`` given to :meth:`access` /
+    :meth:`access_block`, and optionally a
+    :class:`~repro.cache.partition.WayPartition` to confine each stream to
+    its own contiguous ways.  A partition implies stream tracking; a policy
+    that does not support partitioning natively is wrapped in
+    :class:`~repro.cache.partition.PartitionedPolicy` automatically.  With
+    neither, the access path is unchanged from single-programmed operation —
+    policies are called with the legacy five-argument hook form, so external
+    policy subclasses written before stream identity keep working.
     """
 
-    __slots__ = ("config", "policy", "stats", "_tags", "_num_sets", "_ways", "_offset_bits", "_set_mask")
+    __slots__ = (
+        "config", "policy", "stats", "_tags", "_num_sets", "_ways",
+        "_offset_bits", "_set_mask", "_partition", "_track_streams",
+    )
 
-    def __init__(self, config: CacheConfig, policy: ReplacementPolicy) -> None:
+    def __init__(
+        self,
+        config: CacheConfig,
+        policy: ReplacementPolicy,
+        partition=None,
+        track_streams: bool = False,
+    ) -> None:
         self.config = config
+        self._partition = partition
+        self._track_streams = track_streams or partition is not None
+        if partition is not None:
+            partition.validate_ways(config.ways)
+            if not policy.supports_partition:
+                from repro.cache.partition import PartitionedPolicy
+
+                policy = PartitionedPolicy(policy, partition)
         self.policy = policy
         self.stats = CacheStats(name=config.name)
         self._num_sets = config.num_sets
         self._ways = config.ways
         self._offset_bits = config.block_offset_bits
         self._set_mask = self._num_sets - 1
-        policy.bind(self._num_sets, self._ways)
+        if partition is not None:
+            policy.bind(self._num_sets, self._ways, partition)
+        else:
+            policy.bind(self._num_sets, self._ways)
         # -1 marks an invalid way.
         self._tags = [[-1] * self._ways for _ in range(self._num_sets)]
 
     # -- queries ---------------------------------------------------------------
+
+    @property
+    def partition(self):
+        """The bound :class:`~repro.cache.partition.WayPartition`, if any."""
+        return self._partition
 
     def contains(self, address: int) -> bool:
         """Whether the block holding ``address`` is currently resident."""
@@ -42,46 +78,108 @@ class SetAssociativeCache:
         """All resident block addresses (order unspecified); used by tests."""
         return [tag for ways in self._tags for tag in ways if tag != -1]
 
+    def resident_blocks_by_way(self) -> list[tuple[int, int, int]]:
+        """``(set_index, way, block)`` for every resident block; used by tests."""
+        return [
+            (set_index, way, tag)
+            for set_index, ways in enumerate(self._tags)
+            for way, tag in enumerate(ways)
+            if tag != -1
+        ]
+
     # -- the access path ---------------------------------------------------------
 
-    def access(self, address: int, pc: int = 0, hint: int = 0, region: Optional[int] = None) -> bool:
+    def access(
+        self,
+        address: int,
+        pc: int = 0,
+        hint: int = 0,
+        region: Optional[int] = None,
+        stream: int = 0,
+    ) -> bool:
         """Perform one access; return ``True`` on a hit.
 
         ``pc`` is the (synthetic) program counter of the instruction making
-        the access, ``hint`` the 2-bit GRASP reuse hint and ``region`` an
-        optional label used only for statistics breakdowns (Fig. 2).
+        the access, ``hint`` the 2-bit GRASP reuse hint, ``region`` an
+        optional label used only for statistics breakdowns (Fig. 2) and
+        ``stream`` the requesting co-run stream (ignored unless the cache
+        tracks streams).
         """
         block = address >> self._offset_bits
-        return self.access_block(block, pc, hint, region)
+        return self.access_block(block, pc, hint, region, stream)
 
-    def access_block(self, block: int, pc: int = 0, hint: int = 0, region: Optional[int] = None) -> bool:
+    def access_block(
+        self,
+        block: int,
+        pc: int = 0,
+        hint: int = 0,
+        region: Optional[int] = None,
+        stream: int = 0,
+    ) -> bool:
         """Same as :meth:`access` but takes an already block-aligned address."""
         set_index = block & self._set_mask
         tags = self._tags[set_index]
         policy = self.policy
+
+        if not self._track_streams:
+            # Single-programmed fast path: byte-identical to the pre-co-run
+            # cache, including the five-argument policy hook calls (external
+            # policy subclasses may not accept a stream argument).
+            try:
+                way = tags.index(block)
+            except ValueError:
+                way = -1
+            if way >= 0:
+                self.stats.record(True, region)
+                policy.on_hit(set_index, way, block, pc, hint)
+                return True
+            self.stats.record(False, region)
+            try:
+                way = tags.index(-1)
+            except ValueError:
+                way = policy.choose_victim(set_index, block, pc, hint)
+                if way == BYPASS:
+                    self.stats.record_bypass()
+                    return False
+                policy.on_evict(set_index, way, tags[way])
+                self.stats.evictions += 1
+            tags[way] = block
+            policy.on_insert(set_index, way, block, pc, hint)
+            return False
+
         try:
             way = tags.index(block)
         except ValueError:
             way = -1
-
         if way >= 0:
-            self.stats.record(True, region)
-            policy.on_hit(set_index, way, block, pc, hint)
+            self.stats.record(True, region, stream)
+            policy.on_hit(set_index, way, block, pc, hint, stream)
             return True
 
-        self.stats.record(False, region)
-        try:
-            way = tags.index(-1)
-        except ValueError:
-            way = policy.choose_victim(set_index, block, pc, hint)
+        self.stats.record(False, region, stream)
+        way = self._free_way(tags, stream)
+        if way < 0:
+            way = policy.choose_victim(set_index, block, pc, hint, stream)
             if way == BYPASS:
-                self.stats.bypasses += 1
+                self.stats.record_bypass(stream)
                 return False
             policy.on_evict(set_index, way, tags[way])
             self.stats.evictions += 1
         tags[way] = block
-        policy.on_insert(set_index, way, block, pc, hint)
+        policy.on_insert(set_index, way, block, pc, hint, stream)
         return False
+
+    def _free_way(self, tags: list, stream: int) -> int:
+        """First invalid way the requesting stream may allocate into, or -1."""
+        if self._partition is None:
+            try:
+                return tags.index(-1)
+            except ValueError:
+                return -1
+        for way in self._partition.allowed(stream):
+            if tags[way] == -1:
+                return way
+        return -1
 
     def reset(self) -> None:
         """Invalidate all blocks and clear statistics and policy state."""

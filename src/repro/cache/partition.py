@@ -1,0 +1,198 @@
+"""Way partitioning for multi-programmed shared-LLC simulation.
+
+A :class:`WayPartition` assigns every co-running stream a contiguous,
+disjoint range of ways in each set — the way-partitioning QoS mechanism
+real LLCs expose (e.g. Intel CAT).  :class:`PartitionedPolicy` is the single
+implementation of partitioned replacement semantics: it clones the wrapped
+policy once per stream and confines each clone to that stream's ways, so
+
+* victim selection never leaves the requester's partition (no eviction can
+  cross a partition boundary, by construction);
+* RRPV ageing, recency stacks and pinned-way bookkeeping are scoped to the
+  partition (one application's PIN-X pinning cannot saturate another's
+  ways);
+* learning state — DRRIP's PSEL duel, BRRIP's bimodal counter, SHiP's SHCT,
+  Hawkeye's PC predictor and OPTgen samplers, Leeway's live-distance table —
+  is per stream, exactly as if each application ran alone in a cache of its
+  partition's associativity.
+
+That last property is what makes the scalar and vector co-run paths provably
+equivalent: a stream confined to ``c`` contiguous ways of every set behaves
+bit-identically to the same policy bound to a standalone ``c``-way cache with
+the same number of sets, so the vectorized engines replay each stream through
+an independent per-stream engine (:mod:`repro.fastsim.corun`) while the
+scalar reference uses this wrapper — and ``verify`` asserts they agree.
+
+``partition=None`` everywhere reproduces today's single-policy behaviour
+exactly: streams share one policy instance and contend freely.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cache.policies.base import BYPASS, ReplacementPolicy
+
+
+@dataclass(frozen=True)
+class WayPartition:
+    """Per-stream way counts, assigned as contiguous ranges in stream order.
+
+    ``counts[k]`` ways belong to stream ``k``; stream 0 owns ways
+    ``[0, counts[0])``, stream 1 the next ``counts[1]`` ways, and so on.
+    The counts must cover the cache's associativity exactly — validated
+    against the geometry at bind time via :meth:`validate_ways`.
+    """
+
+    counts: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            raise ValueError("a way partition needs at least one stream")
+        if any(int(count) != count or count < 1 for count in self.counts):
+            raise ValueError(
+                f"every partition share must be a positive way count, got {self.counts}"
+            )
+        object.__setattr__(self, "counts", tuple(int(count) for count in self.counts))
+
+    @classmethod
+    def parse(cls, spec: str) -> "WayPartition":
+        """Parse the CLI form ``"8:8"`` (colon-separated per-stream way counts)."""
+        parts = [part.strip() for part in str(spec).split(":")]
+        try:
+            counts = tuple(int(part) for part in parts if part != "")
+        except ValueError:
+            raise ValueError(
+                f"invalid way-partition spec {spec!r}; expected colon-separated "
+                'way counts like "8:8"'
+            ) from None
+        if len(counts) != len(parts):
+            raise ValueError(f"invalid way-partition spec {spec!r}: empty share")
+        return cls(counts)
+
+    @property
+    def num_streams(self) -> int:
+        """Number of co-running streams the partition provisions."""
+        return len(self.counts)
+
+    @property
+    def total_ways(self) -> int:
+        """Sum of all shares (must equal the cache's associativity)."""
+        return sum(self.counts)
+
+    def validate_ways(self, ways: int) -> None:
+        """Raise unless the shares cover a ``ways``-way set exactly."""
+        if self.total_ways != ways:
+            raise ValueError(
+                f"way partition {self} covers {self.total_ways} ways, "
+                f"but the cache has {ways}"
+            )
+
+    def bounds(self, stream: int) -> Tuple[int, int]:
+        """Half-open way range ``[lo, hi)`` owned by ``stream``."""
+        if not 0 <= stream < len(self.counts):
+            raise IndexError(
+                f"stream {stream} out of range for a {len(self.counts)}-stream partition"
+            )
+        lo = sum(self.counts[:stream])
+        return lo, lo + self.counts[stream]
+
+    def allowed(self, stream: int) -> range:
+        """Ways ``stream`` may allocate into (its victim-search domain)."""
+        lo, hi = self.bounds(stream)
+        return range(lo, hi)
+
+    def owner_of(self, way: int) -> int:
+        """Stream owning ``way`` (the inverse of :meth:`allowed`)."""
+        remaining = way
+        for stream, count in enumerate(self.counts):
+            if remaining < count:
+                return stream
+            remaining -= count
+        raise IndexError(f"way {way} beyond the partition's {self.total_ways} ways")
+
+    def __str__(self) -> str:
+        return ":".join(str(count) for count in self.counts)
+
+
+class PartitionedPolicy(ReplacementPolicy):
+    """Way-partitioned composite over per-stream clones of one policy.
+
+    Wraps a freshly created template policy; :meth:`bind` deep-copies it once
+    per stream and binds each clone to ``(num_sets, counts[k])``.  Hook calls
+    are routed to the requesting stream's clone with the way index translated
+    into the partition-local coordinate space, so every clone behaves exactly
+    as if it ran alone in a cache of its partition's associativity.
+    """
+
+    supports_partition = True
+
+    def __init__(self, template: ReplacementPolicy, partition: WayPartition) -> None:
+        super().__init__()
+        if isinstance(template, PartitionedPolicy):
+            raise ValueError("cannot partition an already-partitioned policy")
+        self.template = template
+        self.partition = partition
+        self.name = f"{template.name}@{partition}"
+        self._subs: List[ReplacementPolicy] = []
+        self._lo: List[int] = []
+
+    def bind(self, num_sets: int, ways: int, partition=None) -> None:
+        if partition is not None and partition != self.partition:
+            raise ValueError(
+                f"bound partition {partition} disagrees with the wrapper's "
+                f"{self.partition}"
+            )
+        self.partition.validate_ways(ways)
+        self.num_sets = num_sets
+        self.ways = ways
+        self._lo = [self.partition.bounds(k)[0] for k in range(self.partition.num_streams)]
+        self._subs = []
+        for count in self.partition.counts:
+            sub = copy.deepcopy(self.template)
+            sub.bind(num_sets, count)
+            self._subs.append(sub)
+
+    def sub_policy(self, stream: int) -> ReplacementPolicy:
+        """The per-stream clone (tests inspect its predictor/pinning state)."""
+        return self._subs[stream]
+
+    def on_hit(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
+        self._subs[stream].on_hit(
+            set_index, way - self._lo[stream], block_address, pc, hint
+        )
+
+    def choose_victim(
+        self, set_index: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> int:
+        local = self._subs[stream].choose_victim(set_index, block_address, pc, hint)
+        if local == BYPASS:
+            return BYPASS
+        return local + self._lo[stream]
+
+    def on_insert(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
+        self._subs[stream].on_insert(
+            set_index, way - self._lo[stream], block_address, pc, hint
+        )
+
+    def on_evict(self, set_index: int, way: int, block_address: int) -> None:
+        # Victims are always chosen inside the requester's partition, so the
+        # way's owner *is* the stream whose clone must observe the eviction.
+        stream = self.partition.owner_of(way)
+        self._subs[stream].on_evict(set_index, way - self._lo[stream], block_address)
+
+    def reset(self) -> None:
+        if self.num_sets:
+            self.bind(self.num_sets, self.ways)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PartitionedPolicy({self.template!r}, {self.partition})"

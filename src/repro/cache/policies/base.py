@@ -4,6 +4,19 @@ A policy owns whatever per-block metadata it needs (RRPV counters, signatures,
 recency timestamps, predictor tables); the cache owns only the tag array.
 All addresses handed to a policy are **block addresses** (byte address with
 the block-offset bits removed).
+
+Stream identity: multi-programmed (co-run) simulation tags every access with
+the requesting application's ``stream`` id.  Every hook accepts a trailing
+``stream`` argument (default 0, the single-programmed case); plain policies
+ignore it — their state is shared across all streams, which is the
+free-for-all contention regime of an unpartitioned shared LLC.  Isolation is
+opted into via :meth:`bind`'s ``partition`` argument (a
+:class:`~repro.cache.partition.WayPartition`): way-partitioned operation is
+provided by :class:`~repro.cache.partition.PartitionedPolicy`, which clones
+the policy per stream and confines each clone — victim selection, RRPV
+ageing, pinning, predictor tables — to that stream's ways.  Policies that do
+not implement partitioning natively reject a non-``None`` partition, so the
+semantics cannot silently fork.
 """
 
 from __future__ import annotations
@@ -23,34 +36,62 @@ class ReplacementPolicy(abc.ABC):
     then :meth:`on_hit` / :meth:`choose_victim` / :meth:`on_evict` /
     :meth:`on_insert` per access.  ``hint`` is the 2-bit GRASP reuse hint
     (0 = Default for every non-graph access and for all baseline policies
-    that ignore it).
+    that ignore it); ``stream`` is the requesting co-run stream (always 0 in
+    single-programmed simulation).
     """
 
     #: Registry name; subclasses must override.
     name: str = "base"
 
+    #: Whether :meth:`bind` accepts a way partition.  Only
+    #: :class:`~repro.cache.partition.PartitionedPolicy` does — everything
+    #: else must be wrapped, so partitioned behaviour has a single
+    #: definition instead of eight slightly different ones.
+    supports_partition: bool = False
+
     def __init__(self) -> None:
         self.num_sets = 0
         self.ways = 0
+        self.partition = None
 
-    def bind(self, num_sets: int, ways: int) -> None:
-        """Allocate per-set metadata for a cache with the given geometry."""
+    def bind(self, num_sets: int, ways: int, partition=None) -> None:
+        """Allocate per-set metadata for a cache with the given geometry.
+
+        ``partition`` is an optional per-stream allowed-ways mask
+        (:class:`~repro.cache.partition.WayPartition`); policies that cannot
+        honour one reject it loudly rather than ignoring it.
+        """
+        if partition is not None and not self.supports_partition:
+            raise ValueError(
+                f"policy {self.name!r} cannot bind a way partition directly; "
+                "wrap it in repro.cache.partition.PartitionedPolicy"
+            )
         self.num_sets = num_sets
         self.ways = ways
+        self.partition = partition
 
     @abc.abstractmethod
-    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_hit(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         """Update state on a cache hit (the "hit promotion" policy)."""
 
     @abc.abstractmethod
-    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+    def choose_victim(
+        self, set_index: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> int:
         """Return the way to evict for an insertion into a full set.
 
         May return :data:`BYPASS` to decline caching the incoming block.
         """
 
     @abc.abstractmethod
-    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_insert(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         """Update state after the incoming block has been placed (insertion policy)."""
 
     def on_evict(self, set_index: int, way: int, block_address: int) -> None:
@@ -59,7 +100,12 @@ class ReplacementPolicy(abc.ABC):
     def reset(self) -> None:
         """Re-initialise all metadata (equivalent to re-binding)."""
         if self.num_sets:
-            self.bind(self.num_sets, self.ways)
+            # Only pass the partition through when one is bound, so subclasses
+            # predating the partition parameter keep working unmodified.
+            if self.partition is not None:
+                self.bind(self.num_sets, self.ways, self.partition)
+            else:
+                self.bind(self.num_sets, self.ways)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"

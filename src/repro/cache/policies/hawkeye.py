@@ -107,8 +107,8 @@ class HawkeyePolicy(_RRIPBase):
         self.history_factor = history_factor
         self._predictor: Dict[int, int] = {}
 
-    def bind(self, num_sets: int, ways: int) -> None:
-        super().bind(num_sets, ways)
+    def bind(self, num_sets: int, ways: int, partition=None) -> None:
+        super().bind(num_sets, ways, partition)
         self._predictor = {}
         self._samplers: Dict[int, _OptGen] = {}
         self._block_pc = [[0] * ways for _ in range(num_sets)]
@@ -147,7 +147,10 @@ class HawkeyePolicy(_RRIPBase):
 
     # -- policy hooks ----------------------------------------------------------
 
-    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_hit(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         self._observe(set_index, block_address, pc)
         friendly = self.is_cache_friendly(pc)
         self._friendly[set_index][way] = friendly
@@ -159,7 +162,10 @@ class HawkeyePolicy(_RRIPBase):
     def insertion_rrpv(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
         return 0 if self.is_cache_friendly(pc) else self.max_rrpv
 
-    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_insert(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         self._observe(set_index, block_address, pc)
         friendly = self.is_cache_friendly(pc)
         if friendly:
@@ -172,7 +178,10 @@ class HawkeyePolicy(_RRIPBase):
         self._block_pc[set_index][way] = pc
         self.set_rrpv(set_index, way, 0 if friendly else self.max_rrpv)
 
-    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+    def choose_victim(
+        self, set_index: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> int:
         rrpvs = self._rrpv[set_index]
         # Prefer a cache-averse line (RRPV == max); otherwise evict the oldest
         # friendly line and detrain the PC that inserted it.

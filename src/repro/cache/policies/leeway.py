@@ -39,8 +39,8 @@ class LeewayPolicy(ReplacementPolicy):
         self._predicted_ld: Dict[int, int] = {}
         self._shrink_votes: Dict[int, int] = {}
 
-    def bind(self, num_sets: int, ways: int) -> None:
-        super().bind(num_sets, ways)
+    def bind(self, num_sets: int, ways: int, partition=None) -> None:
+        super().bind(num_sets, ways, partition)
         self._predicted_ld = {}
         self._shrink_votes = {}
         # Recency stack per set: list of ways ordered MRU → LRU.
@@ -78,13 +78,19 @@ class LeewayPolicy(ReplacementPolicy):
 
     # -- policy hooks -------------------------------------------------------------
 
-    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_hit(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         position = self._stack_position(set_index, way)
         if position > self._observed_ld[set_index][way]:
             self._observed_ld[set_index][way] = position
         self._move_to_mru(set_index, way)
 
-    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+    def choose_victim(
+        self, set_index: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> int:
         stack = self._stack[set_index]
         signatures = self._signature[set_index]
         # Walk from LRU towards MRU and take the first predicted-dead block.
@@ -102,7 +108,10 @@ class LeewayPolicy(ReplacementPolicy):
         signature = self._signature[set_index][way]
         self._update_prediction(signature, self._observed_ld[set_index][way])
 
-    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_insert(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         self._signature[set_index][way] = pc
         self._observed_ld[set_index][way] = 0
         self._move_to_mru(set_index, way)

@@ -16,8 +16,8 @@ class LRUPolicy(ReplacementPolicy):
 
     name = "lru"
 
-    def bind(self, num_sets: int, ways: int) -> None:
-        super().bind(num_sets, ways)
+    def bind(self, num_sets: int, ways: int, partition=None) -> None:
+        super().bind(num_sets, ways, partition)
         self._clock = 0
         self._last_use = [[0] * ways for _ in range(num_sets)]
 
@@ -25,12 +25,21 @@ class LRUPolicy(ReplacementPolicy):
         self._clock += 1
         self._last_use[set_index][way] = self._clock
 
-    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_hit(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         self._touch(set_index, way)
 
-    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+    def choose_victim(
+        self, set_index: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> int:
         stamps = self._last_use[set_index]
         return stamps.index(min(stamps))
 
-    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_insert(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         self._touch(set_index, way)

@@ -60,8 +60,8 @@ class PinningPolicy(DRRIPPolicy):
         """The paper's PIN-100 configuration (whole LLC may be pinned)."""
         return cls(reserved_fraction=1.0)
 
-    def bind(self, num_sets: int, ways: int) -> None:
-        super().bind(num_sets, ways)
+    def bind(self, num_sets: int, ways: int, partition=None) -> None:
+        super().bind(num_sets, ways, partition)
         self.reserved_ways = max(1, int(round(ways * self.reserved_fraction)))
         self._pinned = [[False] * ways for _ in range(num_sets)]
         self._pinned_count = [0] * num_sets
@@ -70,7 +70,10 @@ class PinningPolicy(DRRIPPolicy):
         """Whether the block in ``way`` is currently pinned."""
         return self._pinned[set_index][way]
 
-    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_hit(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         if self._pinned[set_index][way]:
             return
         # Unpinned blocks are managed by the base RRIP policy.  A block that
@@ -85,7 +88,10 @@ class PinningPolicy(DRRIPPolicy):
             return
         super().on_hit(set_index, way, block_address, pc, hint)
 
-    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+    def choose_victim(
+        self, set_index: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> int:
         if self._pinned_count[set_index] >= self.ways:
             # Every way is pinned (only possible under PIN-100): nothing may
             # be evicted, so the incoming block bypasses the LLC.
@@ -105,7 +111,10 @@ class PinningPolicy(DRRIPPolicy):
         # Victims are never pinned; nothing to clean up beyond the base class.
         super().on_evict(set_index, way, block_address)
 
-    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_insert(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         # Every insertion — pinned or not — is a miss that must feed the DRRIP
         # set duel: leader-set misses steer PSEL and bimodal insertions tick
         # the shared counter regardless of whether the block ends up pinned.

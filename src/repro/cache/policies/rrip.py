@@ -38,8 +38,8 @@ class _RRIPBase(ReplacementPolicy):
         self.rrpv_bits = rrpv_bits
         self.max_rrpv = (1 << rrpv_bits) - 1
 
-    def bind(self, num_sets: int, ways: int) -> None:
-        super().bind(num_sets, ways)
+    def bind(self, num_sets: int, ways: int, partition=None) -> None:
+        super().bind(num_sets, ways, partition)
         self._rrpv = [[self.max_rrpv] * ways for _ in range(num_sets)]
 
     # -- RRIP mechanics --------------------------------------------------------
@@ -52,7 +52,10 @@ class _RRIPBase(ReplacementPolicy):
         """Set a block's RRPV, clamped to the representable range."""
         self._rrpv[set_index][way] = min(self.max_rrpv, max(0, value))
 
-    def choose_victim(self, set_index: int, block_address: int, pc: int, hint: int) -> int:
+    def choose_victim(
+        self, set_index: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> int:
         """Standard RRIP victim search: leftmost block with RRPV == max.
 
         If no block is at the maximum, all RRPVs are aged until one is.  This
@@ -73,11 +76,17 @@ class _RRIPBase(ReplacementPolicy):
         """RRPV assigned to a newly inserted block."""
         return self.max_rrpv - 1
 
-    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_hit(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         # Hit priority: promote to re-reference interval 0.
         self._rrpv[set_index][way] = 0
 
-    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_insert(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         self._rrpv[set_index][way] = self.insertion_rrpv(set_index, block_address, pc, hint)
 
     # -- array-form policy description (consumed by repro.fastsim.rrip) --------
@@ -158,8 +167,8 @@ class DRRIPPolicy(_RRIPBase):
         self._psel = self.psel_max // 2
         self._insert_count = 0
 
-    def bind(self, num_sets: int, ways: int) -> None:
-        super().bind(num_sets, ways)
+    def bind(self, num_sets: int, ways: int, partition=None) -> None:
+        super().bind(num_sets, ways, partition)
         self._psel = self.psel_max // 2
         self._insert_count = 0
 

@@ -62,8 +62,8 @@ class ShipMemPolicy(_RRIPBase):
         # scheme's maximum potential; a dict gives exactly that.
         self._shct: Dict[int, int] = {}
 
-    def bind(self, num_sets: int, ways: int) -> None:
-        super().bind(num_sets, ways)
+    def bind(self, num_sets: int, ways: int, partition=None) -> None:
+        super().bind(num_sets, ways, partition)
         self._shct = {}
         self._signature = [[0] * ways for _ in range(num_sets)]
         self._reused = [[False] * ways for _ in range(num_sets)]
@@ -75,7 +75,10 @@ class ShipMemPolicy(_RRIPBase):
         """Current SHCT counter for a signature (weakly reused when unseen)."""
         return self._shct.get(signature, 1)
 
-    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_hit(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         super().on_hit(set_index, way, block_address, pc, hint)
         if not self._reused[set_index][way]:
             self._reused[set_index][way] = True
@@ -93,7 +96,10 @@ class ShipMemPolicy(_RRIPBase):
             return self.max_rrpv
         return self.max_rrpv - 1
 
-    def on_insert(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_insert(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         super().on_insert(set_index, way, block_address, pc, hint)
         self._signature[set_index][way] = self._signature_of(block_address)
         self._reused[set_index][way] = False

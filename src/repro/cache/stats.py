@@ -5,6 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
+#: The dict-valued per-stream counter fields, in one place so pickle
+#: compatibility (:meth:`CacheStats.__setstate__`), merging and validation
+#: never drift apart.
+_STREAM_FIELDS = ("stream_accesses", "stream_hits", "stream_misses", "stream_bypasses")
+
 
 @dataclass
 class CacheStats:
@@ -21,6 +26,16 @@ class CacheStats:
     and ``evictions`` excludes bypassed insertions (nothing was displaced).
     Both simulation backends follow this accounting and the ``verify``
     backend asserts it.
+
+    Stream attribution: multi-programmed (co-run) replays additionally key
+    accesses/hits/misses/bypasses by the requesting *stream* (one stream per
+    co-running application).  The ``stream_*`` dictionaries stay empty unless
+    an access is recorded with an explicit stream, so single-stream runs keep
+    byte-identical summaries (:meth:`as_dict` omits the ``streams`` entry)
+    and previously persisted memo entries remain readable.  When present, the
+    per-stream counters must satisfy the same ``hits + misses == accesses``
+    invariant per stream and sum exactly to the aggregates —
+    :meth:`validate` enforces both.
     """
 
     name: str = "cache"
@@ -31,6 +46,18 @@ class CacheStats:
     bypasses: int = 0
     region_accesses: Dict[int, int] = field(default_factory=dict)
     region_misses: Dict[int, int] = field(default_factory=dict)
+    stream_accesses: Dict[int, int] = field(default_factory=dict)
+    stream_hits: Dict[int, int] = field(default_factory=dict)
+    stream_misses: Dict[int, int] = field(default_factory=dict)
+    stream_bypasses: Dict[int, int] = field(default_factory=dict)
+
+    def __setstate__(self, state: dict) -> None:
+        # Entries pickled before the co-run counters existed lack the
+        # ``stream_*`` dictionaries; default them so old on-disk memo entries
+        # stay readable without a MEMO_VERSION bump.
+        self.__dict__.update(state)
+        for name in _STREAM_FIELDS:
+            self.__dict__.setdefault(name, {})
 
     @property
     def miss_rate(self) -> float:
@@ -52,12 +79,17 @@ class CacheStats:
         bypasses: int = 0,
         region_accesses: Optional[Mapping[int, int]] = None,
         region_misses: Optional[Mapping[int, int]] = None,
+        stream_hits: Optional[Mapping[int, int]] = None,
+        stream_misses: Optional[Mapping[int, int]] = None,
+        stream_bypasses: Optional[Mapping[int, int]] = None,
     ) -> "CacheStats":
         """Build statistics from aggregate counters.
 
         This is the vectorized stats path: the fast simulator derives whole
         counters (and per-region breakdowns, via ``np.bincount``) from array
-        reductions instead of calling :meth:`record` once per access.
+        reductions instead of calling :meth:`record` once per access.  The
+        per-stream access counts are derived (``hits + misses`` per stream)
+        rather than passed, so they can never disagree with the split.
         """
         stats = cls(
             name=name,
@@ -71,10 +103,26 @@ class CacheStats:
             stats.region_accesses.update({int(k): int(v) for k, v in region_accesses.items()})
         if region_misses:
             stats.region_misses.update({int(k): int(v) for k, v in region_misses.items()})
+        if stream_hits or stream_misses:
+            hits_map = {int(k): int(v) for k, v in (stream_hits or {}).items() if v}
+            misses_map = {int(k): int(v) for k, v in (stream_misses or {}).items() if v}
+            stats.stream_hits.update(hits_map)
+            stats.stream_misses.update(misses_map)
+            for stream in sorted(set(hits_map) | set(misses_map)):
+                stats.stream_accesses[stream] = hits_map.get(stream, 0) + misses_map.get(stream, 0)
+        if stream_bypasses:
+            stats.stream_bypasses.update(
+                {int(k): int(v) for k, v in stream_bypasses.items() if v}
+            )
         return stats
 
-    def record(self, hit: bool, region: int | None = None) -> None:
-        """Record one access outcome."""
+    def record(self, hit: bool, region: int | None = None, stream: int | None = None) -> None:
+        """Record one access outcome.
+
+        ``stream`` attributes the access to a co-running application's
+        stream; ``None`` (the single-programmed default) leaves the
+        per-stream dictionaries untouched.
+        """
         self.accesses += 1
         if hit:
             self.hits += 1
@@ -84,6 +132,18 @@ class CacheStats:
             self.region_accesses[region] = self.region_accesses.get(region, 0) + 1
             if not hit:
                 self.region_misses[region] = self.region_misses.get(region, 0) + 1
+        if stream is not None:
+            self.stream_accesses[stream] = self.stream_accesses.get(stream, 0) + 1
+            if hit:
+                self.stream_hits[stream] = self.stream_hits.get(stream, 0) + 1
+            else:
+                self.stream_misses[stream] = self.stream_misses.get(stream, 0) + 1
+
+    def record_bypass(self, stream: int | None = None) -> None:
+        """Count one bypassed insertion (the access itself was already recorded)."""
+        self.bypasses += 1
+        if stream is not None:
+            self.stream_bypasses[stream] = self.stream_bypasses.get(stream, 0) + 1
 
     def merge(self, other: "CacheStats") -> "CacheStats":
         """Return a new :class:`CacheStats` combining two counters."""
@@ -99,11 +159,82 @@ class CacheStats:
         for source in (self.region_misses, other.region_misses):
             for region, count in source.items():
                 merged.region_misses[region] = merged.region_misses.get(region, 0) + count
+        for field_name in _STREAM_FIELDS:
+            target = getattr(merged, field_name)
+            for source in (getattr(self, field_name), getattr(other, field_name)):
+                for stream, count in source.items():
+                    target[stream] = target.get(stream, 0) + count
         return merged
+
+    def stream_view(self, stream: int) -> "CacheStats":
+        """Aggregate-shaped view of one stream's counters.
+
+        Evictions are not attributed per stream (a victim's way may be
+        refilled by any later access of the same partition), so the view
+        reports 0 there; everything else carries the stream's exact counts.
+        """
+        hits = self.stream_hits.get(stream, 0)
+        misses = self.stream_misses.get(stream, 0)
+        return CacheStats(
+            name=f"{self.name}[s{stream}]",
+            accesses=self.stream_accesses.get(stream, 0),
+            hits=hits,
+            misses=misses,
+            bypasses=self.stream_bypasses.get(stream, 0),
+        )
+
+    def validate(self) -> "CacheStats":
+        """Enforce the counter invariants; raise :class:`ValueError` on breakage.
+
+        Aggregate: ``hits + misses == accesses`` and ``bypasses <= misses``.
+        Per stream (when any stream counters exist): the same two invariants
+        per stream, plus every per-stream column summing exactly to its
+        aggregate — a co-run replay may not lose or double-count accesses.
+        Returns ``self`` so call sites can validate inline.
+        """
+        if self.hits + self.misses != self.accesses:
+            raise ValueError(
+                f"{self.name}: hits ({self.hits}) + misses ({self.misses}) "
+                f"!= accesses ({self.accesses})"
+            )
+        if self.bypasses > self.misses:
+            raise ValueError(
+                f"{self.name}: bypasses ({self.bypasses}) exceed misses ({self.misses})"
+            )
+        streams = set()
+        for field_name in _STREAM_FIELDS:
+            streams.update(getattr(self, field_name))
+        if not streams:
+            return self
+        for stream in streams:
+            s_hits = self.stream_hits.get(stream, 0)
+            s_misses = self.stream_misses.get(stream, 0)
+            s_accesses = self.stream_accesses.get(stream, 0)
+            if s_hits + s_misses != s_accesses:
+                raise ValueError(
+                    f"{self.name} stream {stream}: hits ({s_hits}) + misses "
+                    f"({s_misses}) != accesses ({s_accesses})"
+                )
+            if self.stream_bypasses.get(stream, 0) > s_misses:
+                raise ValueError(
+                    f"{self.name} stream {stream}: bypasses exceed misses"
+                )
+        for field_name, aggregate in (
+            ("stream_accesses", self.accesses),
+            ("stream_hits", self.hits),
+            ("stream_misses", self.misses),
+            ("stream_bypasses", self.bypasses),
+        ):
+            total = sum(getattr(self, field_name).values())
+            if total != aggregate:
+                raise ValueError(
+                    f"{self.name}: {field_name} sum ({total}) != aggregate ({aggregate})"
+                )
+        return self
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dictionary view used by reports."""
-        return {
+        out = {
             "name": self.name,
             "accesses": self.accesses,
             "hits": self.hits,
@@ -112,3 +243,16 @@ class CacheStats:
             "evictions": self.evictions,
             "bypasses": self.bypasses,
         }
+        # Only co-run results carry stream counters; single-stream summaries
+        # must stay byte-identical to the pre-co-run format.
+        if self.stream_accesses:
+            out["streams"] = {
+                stream: {
+                    "accesses": self.stream_accesses.get(stream, 0),
+                    "hits": self.stream_hits.get(stream, 0),
+                    "misses": self.stream_misses.get(stream, 0),
+                    "bypasses": self.stream_bypasses.get(stream, 0),
+                }
+                for stream in sorted(self.stream_accesses)
+            }
+        return out

@@ -47,7 +47,10 @@ class GraspPolicy(DRRIPPolicy):
         # Default: fall back to the DRRIP set-dueling insertion.
         return super().insertion_rrpv(set_index, block_address, pc, hint)
 
-    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_hit(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         if hint == HINT_HIGH:
             self.set_rrpv(set_index, way, 0)
             return

@@ -47,6 +47,9 @@ class GraspInsertionOnlyPolicy(GraspPolicy):
 
     name = "grasp-insertion"
 
-    def on_hit(self, set_index: int, way: int, block_address: int, pc: int, hint: int) -> None:
+    def on_hit(
+        self, set_index: int, way: int, block_address: int, pc: int, hint: int,
+        stream: int = 0,
+    ) -> None:
         # Baseline RRIP hit priority for every access, regardless of hint.
         DRRIPPolicy.on_hit(self, set_index, way, block_address, pc, hint)

@@ -28,11 +28,13 @@ from repro.experiments.memo import DiskMemo
 from repro.experiments.parallel import WorkerPoolBrokenWarning, compare_policies_parallel
 from repro.experiments.queue import FailureEvent, RetryPolicy
 from repro.experiments.runner import (
+    CorunSpec,
     DataPoint,
     Workload,
     build_workload,
     clear_caches,
     compare_policies,
+    compare_policies_corun,
     compare_policies_streaming,
     execution_trace,
     filter_trace,
@@ -41,6 +43,7 @@ from repro.experiments.runner import (
     set_disk_memo,
     simulate_llc_policy,
     simulate_llc_policy_streaming,
+    simulate_corun,
     simulate_opt,
     simulate_opt_streaming,
     simulate_scheme,
@@ -56,6 +59,7 @@ from repro.experiments.service import (
 )
 
 __all__ = [
+    "CorunSpec",
     "DataPoint",
     "DiskMemo",
     "ExperimentConfig",
@@ -71,6 +75,7 @@ __all__ = [
     "clear_caches",
     "compare_policies",
     "compare_policies_parallel",
+    "compare_policies_corun",
     "compare_policies_streaming",
     "execution_trace",
     "filter_trace",
@@ -85,5 +90,6 @@ __all__ = [
     "simulate_opt",
     "simulate_opt_streaming",
     "simulate_scheme",
+    "simulate_corun",
     "simulate_scheme_streaming",
 ]

@@ -5,6 +5,8 @@
     repro sweep --apps PR --datasets lj,pl --schemes RRIP,GRASP --preset smoke
     repro sweep --figure fig5                       # a whole paper figure
     repro sweep --apps PR --graph file:web-Google.txt.gz --schemes RRIP,GRASP
+    repro sweep --corun PR,PR --datasets lj,pl --schemes RRIP,GRASP \
+        --schedule poisson --partition 8:8          # multi-programmed co-run
     repro sweep --resume 20260807-101501-ab12cd34   # finish an interrupted run
     repro runs                                      # list known runs
     repro graph info lj "rmat:scale=12,seed=7"      # describe graph specs
@@ -28,11 +30,17 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.partition import WayPartition
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.memo import default_cache_dir
+from repro.experiments.memo import DiskMemo, default_cache_dir
 from repro.experiments.queue import RetryPolicy
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import DataPoint
+from repro.experiments.runner import (
+    CorunSpec,
+    DataPoint,
+    compare_policies_corun,
+    set_disk_memo,
+)
 from repro.experiments.schemes import (
     ABLATION_SCHEMES,
     HISTORY_SCHEMES,
@@ -50,6 +58,7 @@ from repro.experiments.service import (
     run_sweep,
     runs_root,
 )
+from repro.trace.interleave import SCHEDULES
 
 #: Fallback cache root when neither --cache-dir nor REPRO_CACHE_DIR is set.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -115,6 +124,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=None, help="override generation seed")
     sweep.add_argument("--reorder", default=None, help="software reordering (default: config)")
     sweep.add_argument("--baseline", default="RRIP", help="baseline scheme (default: RRIP)")
+    sweep.add_argument(
+        "--corun", type=_csv, default=None, metavar="APPS",
+        help="co-run these apps on one shared LLC (comma-separated; pairs with "
+             "--datasets: one dataset broadcast to all apps, or one per app)",
+    )
+    sweep.add_argument(
+        "--schedule", choices=SCHEDULES, default="round_robin",
+        help="co-run interleaving schedule (default: round_robin)",
+    )
+    sweep.add_argument(
+        "--quantum", type=int, default=64,
+        help="co-run schedule quantum in accesses (default: 64)",
+    )
+    sweep.add_argument(
+        "--partition", default=None, metavar="W1:W2[:...]",
+        help="static way-partition shares per co-runner, e.g. 8:8 "
+             "(default: unpartitioned shared LLC)",
+    )
+    sweep.add_argument(
+        "--corun-seed", type=int, default=0,
+        help="seed of the poisson co-run schedule (default: 0)",
+    )
     sweep.add_argument(
         "--streaming", action="store_true",
         help="sweep full executions through the streaming pipeline",
@@ -299,8 +330,59 @@ def _print_summary(result: SweepResult, out) -> None:
     print(format_table(_points_rows(result.points), title="DataPoints"), file=out)
 
 
+def _corun_spec_from_args(args: argparse.Namespace) -> CorunSpec:
+    apps = tuple(args.corun)
+    datasets = tuple(args.datasets or ()) + tuple(args.graph or ())
+    if not datasets or not args.schemes:
+        raise SystemExit("repro sweep --corun: need --datasets (or --graph) and --schemes")
+    if len(datasets) == 1:
+        datasets = datasets * len(apps)
+    if len(datasets) != len(apps):
+        raise SystemExit(
+            f"repro sweep --corun: {len(apps)} app(s) but {len(datasets)} dataset(s) "
+            "(give one dataset to broadcast, or exactly one per app)"
+        )
+    partition = WayPartition.parse(args.partition) if args.partition else None
+    if partition is not None and partition.num_streams != len(apps):
+        raise SystemExit(
+            f"repro sweep --corun: partition {partition} names "
+            f"{partition.num_streams} share(s) for {len(apps)} app(s)"
+        )
+    return CorunSpec(
+        pairs=tuple(zip(apps, datasets)),
+        schedule=args.schedule,
+        quantum=args.quantum,
+        seed=args.corun_seed,
+        partition=partition,
+    )
+
+
+def _cmd_corun(args: argparse.Namespace, cache_dir: Path) -> int:
+    """Serial co-run comparison: one shared LLC, per-stream DataPoints."""
+    config = _config_from_args(args)
+    spec = _corun_spec_from_args(args)
+    set_disk_memo(DiskMemo(cache_dir))
+    workloads = " + ".join(f"{app}/{dataset}" for app, dataset in spec.pairs)
+    partition = f"partition {spec.partition}" if spec.partition else "shared (no partition)"
+    print(
+        f"corun: {workloads} [{spec.schedule}, quantum {spec.quantum}, {partition}] "
+        f"x {len(args.schemes)} scheme(s)"
+    )
+    points = compare_policies_corun(
+        spec,
+        args.schemes,
+        config=config,
+        reorder=args.reorder,
+        baseline=args.baseline,
+    )
+    print(format_table(_points_rows(points), title="DataPoints"))
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     cache_dir = _resolve_cache_dir(args.cache_dir)
+    if args.corun:
+        return _cmd_corun(args, cache_dir)
     progress = _Progress(args.quiet, sys.stdout)
     retry = RetryPolicy(max_attempts=args.max_attempts)
     try:

@@ -29,6 +29,16 @@ The streaming pipeline (PR 5) adds three kinds with the same layout:
     streaming replay (chunk budgets do not affect results, so they are not
     part of the key).
 
+The multi-programmed co-run subsystem (PR 9) adds one more:
+
+``<root>/v3/corun/<sha256>.pkl``
+    Per-scheme :class:`~repro.cache.stats.CacheStats` (with per-stream
+    counters) of an interleaved co-run replay, keyed by the app/dataset
+    pairs, the interleaving schedule parameters and the way-partition
+    shares (see :func:`repro.experiments.runner.corun_memo_key`).  Kinds
+    are just directory names, so the new kind needs no ``MEMO_VERSION``
+    bump — old entries stay valid.
+
 :class:`ChunkSpill` is the unkeyed sibling of the chunk store: a scratch
 directory for out-of-core intermediates that are only meaningful within one
 computation (e.g. streaming OPT's per-chunk block and next-use arrays

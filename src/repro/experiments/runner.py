@@ -61,6 +61,7 @@ from repro.analytics import get_application
 from repro.analytics.base import AppResult, IterationRecord
 from repro.cache import CacheConfig, SetAssociativeCache
 from repro.cache.config import HierarchyConfig
+from repro.cache.partition import WayPartition
 from repro.cache.policies import BeladyOptimal, simulate_opt_misses
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.stats import CacheStats
@@ -68,6 +69,7 @@ from repro.core import AddressBoundRegisterFile, GraspClassifier
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.memo import ChunkSpill, DiskMemo, default_cache_dir
 from repro.fastsim import (
+    CorunReplayStream,
     FilterStream,
     FusedPipeline,
     OptStream,
@@ -75,6 +77,7 @@ from repro.fastsim import (
     fused_native_supported,
     resolve_chunk_next_use,
     run_filter,
+    supports_vector_corun,
     supports_vector_replay,
     vector_opt_replay,
     vector_policy_replay,
@@ -88,6 +91,7 @@ from repro.graph.source import canonical_spec, load_for_experiment
 from repro.perf.timing import LevelCounts, TimingModel
 from repro.reorder import get_technique
 from repro.trace import (
+    InterleavedTraceStream,
     MemoryLayout,
     Trace,
     TraceChunk,
@@ -170,6 +174,7 @@ _WORKLOADS: Dict[tuple, Workload] = {}
 _LLC_TRACES: Dict[tuple, LLCTrace] = {}
 _POLICY_RUNS: Dict[tuple, CacheStats] = {}
 _POLICY_STREAM_RUNS: Dict[tuple, CacheStats] = {}
+_CORUN_RUNS: Dict[tuple, CacheStats] = {}
 _STREAM_SUMMARIES: Dict[tuple, dict] = {}
 _ROI_SUMMARIES: Dict[tuple, dict] = {}
 
@@ -219,6 +224,7 @@ def clear_caches() -> None:
     _LLC_TRACES.clear()
     _POLICY_RUNS.clear()
     _POLICY_STREAM_RUNS.clear()
+    _CORUN_RUNS.clear()
     _STREAM_SUMMARIES.clear()
     _ROI_SUMMARIES.clear()
 
@@ -330,6 +336,64 @@ def policystream_memo_key(
         scheme, config.scale, config.seed, config.hierarchy,
         _resolve_merged(config, merged),
         "execution",
+    )
+
+
+@dataclass(frozen=True)
+class CorunSpec:
+    """One multi-programmed (co-run) experiment: who runs, and how they meet.
+
+    ``pairs`` lists the co-running applications in stream order — stream ``k``
+    is ``pairs[k]`` — as ``(app_name, dataset_name)`` tuples.  The schedule
+    parameters select how the per-app LLC streams interleave (see
+    :class:`~repro.trace.interleave.InterleavedTraceStream`) and ``partition``
+    optionally confines each stream to its own LLC ways
+    (:class:`~repro.cache.partition.WayPartition`, one share per stream;
+    ``None`` is the free-for-all contention regime).
+    """
+
+    pairs: Tuple[Tuple[str, str], ...]
+    schedule: str = "round_robin"
+    quantum: int = 64
+    seed: int = 0
+    partition: Optional[WayPartition] = None
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ValueError("a co-run needs at least one application")
+        if self.partition is not None and self.partition.num_streams != len(self.pairs):
+            raise ValueError(
+                f"partition {self.partition} provisions "
+                f"{self.partition.num_streams} streams but the co-run has "
+                f"{len(self.pairs)}"
+            )
+
+    @property
+    def num_streams(self) -> int:
+        return len(self.pairs)
+
+
+def corun_memo_key(
+    spec: CorunSpec,
+    reorder: str,
+    scheme: str,
+    config: ExperimentConfig,
+    merged: Optional[bool] = None,
+) -> tuple:
+    """Memo key of one scheme's co-run replay stats (kind ``corun``).
+
+    Results are chunk-budget- and backend-invariant like the single-app
+    keys; the schedule parameters and the partition shares are load-bearing
+    (they change the merged access order / victim domains).
+    """
+    return (
+        tuple((app, canonical_dataset(dataset)) for app, dataset in spec.pairs),
+        reorder, scheme,
+        spec.schedule, spec.quantum, spec.seed,
+        spec.partition.counts if spec.partition is not None else None,
+        config.scale, config.seed, config.hierarchy,
+        _resolve_merged(config, merged),
+        "corun",
     )
 
 
@@ -1007,6 +1071,204 @@ def compare_policies_streaming(
                         speedup_pct=timing.speedup_percent(baseline_cycles, cycles),
                     )
                 )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# multi-programmed (co-run) simulation
+# ---------------------------------------------------------------------------
+
+
+class _ScalarCorunStream:
+    """Scalar co-run reference: one stream-tracking cache fed merged chunks."""
+
+    def __init__(self, policy: ReplacementPolicy, llc_config: CacheConfig, partition) -> None:
+        self._cache = SetAssociativeCache(
+            llc_config, policy, partition=partition, track_streams=True
+        )
+
+    def feed(self, chunk) -> None:
+        access = self._cache.access_block
+        blocks = chunk.block_addresses.tolist()
+        pcs = chunk.pcs.tolist()
+        hints = chunk.hints.tolist()
+        regions = chunk.regions.tolist()
+        streams = chunk.stream_ids.tolist()
+        for block, pc, hint, region, stream in zip(blocks, pcs, hints, regions, streams):
+            access(block, pc, hint, region, stream)
+
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+
+def simulate_corun(
+    spec: CorunSpec,
+    scheme: str,
+    config: Optional[ExperimentConfig] = None,
+    reorder: Optional[str] = None,
+    max_chunk_accesses: Optional[int] = None,
+) -> CacheStats:
+    """Replay N co-running applications through one shared LLC, streaming.
+
+    Each application's post-L1/L2 stream is produced exactly as in the
+    single-programmed path (:func:`iter_llc_chunks` — private L1/L2 filters
+    per app, per-app reuse hints), merged under the spec's arrival schedule
+    with per-stream address-space remapping, and replayed through one shared
+    LLC.  The returned :class:`CacheStats` carries per-stream counters that
+    sum exactly to the aggregates.
+
+    Degenerate co-run is a strict generalization: a 1-app spec with
+    ``partition=None`` delegates to :func:`simulate_scheme_streaming`, so it
+    returns bit-identical stats *and* hits the same memo entries as the
+    single-app path.
+
+    Backend semantics match the single-app streaming path: ``vector`` uses
+    :class:`~repro.fastsim.CorunReplayStream` when
+    :func:`~repro.fastsim.supports_vector_corun` accepts the configuration
+    (per-stream engines under a partition, shared engine plus ``bincount``
+    attribution without), ``scalar`` replays through a stream-tracking
+    :class:`~repro.cache.SetAssociativeCache`, and ``verify`` runs both and
+    compares every counter including the per-stream breakdowns.  ``OPT`` has
+    no online co-run analogue (offline Belady needs the future of the merged
+    stream) and is rejected.
+
+    Results are memoised under the new ``corun`` kind — a fresh directory in
+    the on-disk store, so ``MEMO_VERSION`` is unaffected.
+    """
+    config = config or ExperimentConfig.default()
+    reorder = reorder or config.reorder
+    if scheme == "OPT":
+        raise ValueError("OPT is offline and has no co-run analogue")
+    if spec.num_streams == 1 and spec.partition is None:
+        app_name, dataset_name = spec.pairs[0]
+        workload = build_workload(app_name, dataset_name, reorder=reorder, config=config)
+        return simulate_scheme_streaming(workload, scheme, config)
+    key = corun_memo_key(spec, reorder, scheme, config)
+
+    def compute() -> CacheStats:
+        workloads = [
+            build_workload(app_name, dataset_name, reorder=reorder, config=config)
+            for app_name, dataset_name in spec.pairs
+        ]
+        merged = InterleavedTraceStream(
+            [
+                iter_llc_chunks(workload, config, max_chunk_accesses)
+                for workload in workloads
+            ],
+            schedule=spec.schedule,
+            quantum=spec.quantum,
+            seed=spec.seed,
+            chunk_accesses=_chunk_budget(config, max_chunk_accesses),
+        )
+        llc_config = config.hierarchy.llc
+        policy = scheme_policy(scheme)
+        mode = resolve_backend(config.backend)
+        vector_stream = None
+        scalar_stream = None
+        if mode != SCALAR and supports_vector_corun(policy, spec.partition):
+            vector_stream = CorunReplayStream(
+                policy, llc_config, spec.num_streams, partition=spec.partition
+            )
+        if vector_stream is None or mode == VERIFY:
+            scalar_stream = _ScalarCorunStream(
+                scheme_policy(scheme) if vector_stream is not None else policy,
+                llc_config,
+                spec.partition,
+            )
+        for chunk in merged:
+            if vector_stream is not None:
+                vector_stream.feed(
+                    chunk.block_addresses, chunk.stream_ids,
+                    chunk.hints, chunk.regions, chunk.pcs,
+                )
+            if scalar_stream is not None:
+                scalar_stream.feed(chunk)
+        if vector_stream is not None and scalar_stream is not None:
+            assert_stats_equal(
+                scalar_stream.stats().validate(),
+                vector_stream.stats(),
+                f"co-run LLC {policy.name} replay",
+            )
+        if vector_stream is not None:
+            return vector_stream.stats()
+        return scalar_stream.stats().validate()
+
+    return _memoised(_CORUN_RUNS, "corun", key, compute)
+
+
+def compare_policies_corun(
+    spec: CorunSpec,
+    schemes: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    reorder: Optional[str] = None,
+    baseline: str = "RRIP",
+) -> List[DataPoint]:
+    """Co-run counterpart of :func:`compare_policies_streaming`.
+
+    Simulates every scheme on the interleaved co-run and reports **one data
+    point per co-running application per scheme**, built from that stream's
+    own counters (:meth:`CacheStats.stream_view`): per-app cycles combine the
+    app's private L1/L2 filter counters with its share of the shared-LLC
+    hits and misses, and miss-reduction / speed-up compare the same stream
+    under the baseline scheme — i.e. how much each app gains or loses from
+    the policy change *under interference*.
+    """
+    config = config or ExperimentConfig.default()
+    reorder = reorder or config.reorder
+    timing: TimingModel = config.timing
+    workloads = [
+        build_workload(app_name, dataset_name, reorder=reorder, config=config)
+        for app_name, dataset_name in spec.pairs
+    ]
+    duplicated = len(set(spec.pairs)) != len(spec.pairs)
+
+    def views(stats: CacheStats) -> List[CacheStats]:
+        if spec.num_streams == 1 and not stats.stream_accesses:
+            # The degenerate path delegates to the single-app simulation,
+            # whose aggregates *are* stream 0's counters.
+            return [stats]
+        return [stats.stream_view(stream) for stream in range(spec.num_streams)]
+
+    def cycles_for(workload: Workload, view: CacheStats) -> float:
+        summary = execution_stream_summary(workload, config)
+        counts = LevelCounts(
+            l1_hits=summary["l1_hits"],
+            l2_hits=summary["l2_hits"],
+            llc_hits=view.hits,
+            memory_accesses=view.misses,
+        )
+        return config.timing.cycles(counts)
+
+    baseline_stats = simulate_corun(spec, baseline, config, reorder=reorder)
+    baseline_views = views(baseline_stats)
+    baseline_cycles = [
+        cycles_for(workload, view) for workload, view in zip(workloads, baseline_views)
+    ]
+    points: List[DataPoint] = []
+    for scheme in schemes:
+        stats = (
+            baseline_stats
+            if scheme == baseline
+            else simulate_corun(spec, scheme, config, reorder=reorder)
+        )
+        for stream, (workload, view) in enumerate(zip(workloads, views(stats))):
+            app_name, dataset_name = spec.pairs[stream]
+            cycles = cycles_for(workload, view)
+            points.append(
+                DataPoint(
+                    app_name=f"{app_name}#{stream}" if duplicated else app_name,
+                    dataset_name=dataset_name,
+                    scheme=scheme,
+                    stats=view,
+                    cycles=cycles,
+                    miss_reduction_pct=timing.miss_reduction_percent(
+                        baseline_views[stream].misses, view.misses
+                    ),
+                    speedup_pct=timing.speedup_percent(
+                        baseline_cycles[stream], cycles
+                    ),
+                )
+            )
     return points
 
 

@@ -62,6 +62,7 @@ use the scalar simulator regardless of the selected backend — they subclass
 DRRIP/GRASP and override hooks the array-form specs cannot express.
 """
 
+from repro.fastsim.corun import CorunReplayStream, supports_vector_corun
 from repro.fastsim.dispatch import (
     BACKEND_ENV_VAR,
     BACKENDS,
@@ -157,6 +158,7 @@ from repro.fastsim.stackdist import (
 __all__ = [
     "BACKEND_ENV_VAR",
     "BACKENDS",
+    "CorunReplayStream",
     "SCALAR",
     "VECTOR",
     "VERIFY",
@@ -219,6 +221,7 @@ __all__ = [
     "ship_replay",
     "ship_spec",
     "substream_previous_indices",
+    "supports_vector_corun",
     "supports_vector_replay",
     "vector_filter",
     "vector_lru_replay",

@@ -148,6 +148,14 @@ def assert_stats_equal(scalar: CacheStats, vector: CacheStats, context: str) -> 
         raise FastSimMismatchError(f"{context}: region access breakdowns differ")
     if scalar.region_misses != vector.region_misses:
         raise FastSimMismatchError(f"{context}: region miss breakdowns differ")
+    for field_name in ("stream_accesses", "stream_hits", "stream_misses", "stream_bypasses"):
+        left = getattr(scalar, field_name, {})
+        right = getattr(vector, field_name, {})
+        if left != right:
+            raise FastSimMismatchError(
+                f"{context}: scalar and vector backends disagree on "
+                f"{scalar.name} {field_name}: {left} != {right}"
+            )
 
 
 class FilterStream:

@@ -23,6 +23,13 @@ from repro.trace.generator import (
     iter_iteration_trace_chunks,
     iter_trace_slices,
     iteration_trace_length,
+    remap_address_space,
+)
+from repro.trace.interleave import (
+    SCHEDULES,
+    STREAM_ADDRESS_BITS,
+    InterleavedChunk,
+    InterleavedTraceStream,
 )
 from repro.trace.layout import (
     PC_EDGE_LOAD,
@@ -37,6 +44,8 @@ from repro.trace.layout import (
 )
 
 __all__ = [
+    "InterleavedChunk",
+    "InterleavedTraceStream",
     "MemoryLayout",
     "PC_EDGE_LOAD",
     "PC_PROPERTY_GATHER",
@@ -46,6 +55,8 @@ __all__ = [
     "REGION_NAMES",
     "REGION_PROPERTY",
     "REGION_VERTEX",
+    "SCHEDULES",
+    "STREAM_ADDRESS_BITS",
     "Trace",
     "TraceChunk",
     "generate_execution_trace",
@@ -54,4 +65,5 @@ __all__ = [
     "iter_iteration_trace_chunks",
     "iter_trace_slices",
     "iteration_trace_length",
+    "remap_address_space",
 ]

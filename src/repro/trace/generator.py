@@ -82,6 +82,24 @@ class Trace:
         )
 
 
+def remap_address_space(trace: Trace, offset: int) -> Trace:
+    """Shift a trace's byte addresses by a constant per-stream offset.
+
+    Co-run simulation gives each application a disjoint address space so
+    independently generated traces never falsely share cache blocks; PCs and
+    region labels are deliberately left alone (co-runners executing the same
+    binary *should* alias in PC-indexed predictors).  ``offset=0`` returns
+    the trace unchanged.
+    """
+    if offset == 0:
+        return trace
+    return Trace(
+        addresses=trace.addresses + np.int64(offset),
+        pcs=trace.pcs,
+        regions=trace.regions,
+    )
+
+
 def iter_trace_slices(trace: Trace, max_accesses: int) -> Iterator[Trace]:
     """Yield a trace as zero-copy views of at most ``max_accesses`` each.
 

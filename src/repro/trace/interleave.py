@@ -1,0 +1,264 @@
+"""Deterministic interleaving of per-application LLC access streams.
+
+Multi-programmed (co-run) simulation replays N single-application access
+streams through one shared LLC.  :class:`InterleavedTraceStream` merges the
+per-app chunk streams into a single stream-tagged access sequence under one
+of three arrival schedules:
+
+``round_robin``
+    Each live stream contributes a fixed quantum of ``quantum`` accesses per
+    turn, in stream order — the classic lockstep co-run model.
+``poisson``
+    Turn order and burst lengths are drawn from a seeded generator: a
+    uniformly random live stream runs for ``1 + Poisson(quantum - 1)``
+    accesses.  Models asynchronous cores with exponentially distributed
+    scheduling jitter while staying bit-reproducible per seed.
+``phase``
+    Each live stream contributes one whole source *chunk* per round.  Since
+    the single-app generators chunk at iteration-aligned boundaries, this
+    aligns the co-runners' algorithmic phases (all apps start an iteration
+    together), the adversarial case for hot-region pinning.
+
+Every merged access carries a ``stream_id``, and (by default) block addresses
+are remapped with a per-stream offset of ``1 << STREAM_ADDRESS_BITS`` so
+co-runners never falsely share cache blocks: applications simulated from
+independently generated traces would otherwise collide in the low address
+range.  Stream 0's addresses are unchanged, so a 1-stream interleave is
+bit-identical to the underlying single-app stream.
+
+The merge order depends only on the schedule parameters and the source
+lengths — never on the output chunk size — so replaying the merged stream
+through any chunk-oblivious engine gives the same result for every
+``chunk_accesses``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+#: Bit position of the per-stream address-space offset.  Block addresses from
+#: stream ``k`` are offset by ``k << STREAM_ADDRESS_BITS``; real block
+#: addresses are far below 2**48 blocks, and the offset stays comfortably
+#: inside int64 for any realistic stream count.
+STREAM_ADDRESS_BITS = 48
+
+#: The supported arrival schedules, in CLI order.
+SCHEDULES = ("round_robin", "poisson", "phase")
+
+
+@dataclass
+class InterleavedChunk:
+    """One chunk of the merged co-run access stream (parallel arrays)."""
+
+    block_addresses: np.ndarray
+    pcs: np.ndarray
+    regions: np.ndarray
+    hints: np.ndarray
+    stream_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.block_addresses.shape[0])
+
+
+class _StreamCursor:
+    """Read position over one source's chunk iterator."""
+
+    __slots__ = ("source", "chunk", "offset", "exhausted")
+
+    def __init__(self, source: Iterable) -> None:
+        self.source = iter(source)
+        self.chunk = None
+        self.offset = 0
+        self.exhausted = False
+
+    def _advance(self) -> bool:
+        """Load the next non-empty chunk; return False when the source ends."""
+        while self.chunk is None or self.offset >= len(self.chunk.block_addresses):
+            try:
+                self.chunk = next(self.source)
+            except StopIteration:
+                self.exhausted = True
+                self.chunk = None
+                return False
+            self.offset = 0
+        return True
+
+    @property
+    def live(self) -> bool:
+        if self.exhausted:
+            return False
+        return self._advance()
+
+    def take(self, n: int) -> List[tuple]:
+        """Up to ``n`` accesses as ``(blocks, pcs, regions, hints)`` slices.
+
+        May return fewer than ``n`` (possibly zero) pieces when the source
+        runs out; pieces cross chunk boundaries so a quantum is never
+        truncated early.
+        """
+        pieces = []
+        remaining = n
+        while remaining > 0 and self._advance():
+            chunk = self.chunk
+            stop = min(self.offset + remaining, len(chunk.block_addresses))
+            pieces.append(
+                (
+                    chunk.block_addresses[self.offset:stop],
+                    chunk.pcs[self.offset:stop],
+                    chunk.regions[self.offset:stop],
+                    chunk.hints[self.offset:stop],
+                )
+            )
+            remaining -= stop - self.offset
+            self.offset = stop
+        return pieces
+
+    def take_chunk(self) -> List[tuple]:
+        """The remainder of the current source chunk (one ``phase`` turn)."""
+        if not self._advance():
+            return []
+        chunk = self.chunk
+        piece = (
+            chunk.block_addresses[self.offset:],
+            chunk.pcs[self.offset:],
+            chunk.regions[self.offset:],
+            chunk.hints[self.offset:],
+        )
+        self.offset = len(chunk.block_addresses)
+        return [piece]
+
+
+class InterleavedTraceStream:
+    """Merge N per-app chunk streams into one stream-tagged access stream.
+
+    Parameters
+    ----------
+    sources:
+        One iterable of chunk-like objects per co-running application.  A
+        chunk is anything exposing parallel ``block_addresses`` / ``pcs`` /
+        ``regions`` / ``hints`` arrays (e.g. the runner's per-chunk LLC
+        traces).  Sources are consumed lazily, so the merge streams with
+        bounded memory regardless of total trace length.
+    schedule:
+        One of :data:`SCHEDULES`.
+    quantum:
+        Accesses per turn (``round_robin``) or mean burst length
+        (``poisson``); ignored by ``phase``.
+    seed:
+        Seed for the ``poisson`` schedule's generator; ignored otherwise.
+    remap:
+        Offset each stream's block addresses by
+        ``stream_id << STREAM_ADDRESS_BITS`` so co-runners never share
+        blocks.  Stream 0 is never changed.
+    chunk_accesses:
+        Target accesses per yielded :class:`InterleavedChunk`.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[Iterable],
+        schedule: str = "round_robin",
+        quantum: int = 64,
+        seed: int = 0,
+        remap: bool = True,
+        chunk_accesses: int = 1 << 16,
+    ) -> None:
+        if not sources:
+            raise ValueError("at least one source stream is required")
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; expected one of {', '.join(SCHEDULES)}"
+            )
+        if quantum < 1:
+            raise ValueError("quantum must be at least 1")
+        if chunk_accesses < 1:
+            raise ValueError("chunk_accesses must be at least 1")
+        self.num_streams = len(sources)
+        self.schedule = schedule
+        self.quantum = quantum
+        self.seed = seed
+        self.remap = remap
+        self.chunk_accesses = chunk_accesses
+        self._cursors = [_StreamCursor(source) for source in sources]
+        self._rng: Optional[np.random.Generator] = None
+        if schedule == "poisson":
+            self._rng = np.random.Generator(np.random.PCG64(seed))
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _turns(self) -> Iterator[tuple]:
+        """Yield ``(stream_id, pieces)`` merge turns until every source ends."""
+        cursors = self._cursors
+        if self.schedule == "poisson":
+            rng = self._rng
+            while True:
+                live = [k for k, cursor in enumerate(cursors) if cursor.live]
+                if not live:
+                    return
+                stream = live[int(rng.integers(len(live)))]
+                length = 1 + int(rng.poisson(self.quantum - 1)) if self.quantum > 1 else 1
+                pieces = cursors[stream].take(length)
+                if pieces:
+                    yield stream, pieces
+            # not reached
+        take_whole_chunk = self.schedule == "phase"
+        while True:
+            any_live = False
+            for stream, cursor in enumerate(cursors):
+                if not cursor.live:
+                    continue
+                pieces = cursor.take_chunk() if take_whole_chunk else cursor.take(self.quantum)
+                if pieces:
+                    any_live = True
+                    yield stream, pieces
+            if not any_live:
+                return
+
+    # -- iteration --------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[InterleavedChunk]:
+        pending: List[tuple] = []  # (stream_id, blocks, pcs, regions, hints)
+        pending_len = 0
+        for stream, pieces in self._turns():
+            for blocks, pcs, regions, hints in pieces:
+                if self.remap and stream:
+                    blocks = blocks.astype(np.int64, copy=True)
+                    blocks += np.int64(stream) << STREAM_ADDRESS_BITS
+                pending.append((stream, blocks, pcs, regions, hints))
+                pending_len += len(blocks)
+            while pending_len >= self.chunk_accesses:
+                chunk, pending, pending_len = self._emit(pending, pending_len)
+                yield chunk
+        if pending_len:
+            chunk, pending, pending_len = self._emit(pending, pending_len)
+            yield chunk
+
+    def _emit(self, pending: List[tuple], pending_len: int):
+        """Concatenate up to ``chunk_accesses`` pending accesses into a chunk."""
+        take = min(pending_len, self.chunk_accesses)
+        used: List[tuple] = []
+        size = 0
+        rest = list(pending)
+        while size < take:
+            stream, blocks, pcs, regions, hints = rest.pop(0)
+            room = take - size
+            if len(blocks) > room:
+                used.append((stream, blocks[:room], pcs[:room], regions[:room], hints[:room]))
+                rest.insert(0, (stream, blocks[room:], pcs[room:], regions[room:], hints[room:]))
+                size = take
+            else:
+                used.append((stream, blocks, pcs, regions, hints))
+                size += len(blocks)
+        chunk = InterleavedChunk(
+            block_addresses=np.concatenate([piece[1] for piece in used]),
+            pcs=np.concatenate([piece[2] for piece in used]),
+            regions=np.concatenate([piece[3] for piece in used]),
+            hints=np.concatenate([piece[4] for piece in used]),
+            stream_ids=np.concatenate(
+                [np.full(len(piece[1]), piece[0], dtype=np.int64) for piece in used]
+            ),
+        )
+        return chunk, rest, pending_len - take

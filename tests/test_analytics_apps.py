@@ -19,13 +19,15 @@ from repro.analytics import (
 )
 from repro.analytics.apps import PAPER_APPLICATIONS
 from repro.analytics.base import PULL, PUSH
-from repro.graph import chung_lu_graph, from_edge_list, get_dataset
+from repro.graph import load
+from repro.graph.generators import _chung_lu_graph
+from repro.graph.builder import _from_edge_list
 
 
 @pytest.fixture(scope="module")
 def small_graph():
     """A modest power-law graph used across the validation tests."""
-    return chung_lu_graph(300, 6.0, exponent=2.1, seed=5)
+    return _chung_lu_graph(300, 6.0, exponent=2.1, seed=5)
 
 
 def to_networkx(graph, weighted=False):
@@ -91,12 +93,12 @@ class TestPageRank:
 
     def test_high_in_degree_vertex_ranks_high(self):
         edges = [(i, 0) for i in range(1, 20)] + [(0, 1)]
-        graph = from_edge_list(edges, num_vertices=20)
+        graph = _from_edge_list(edges, num_vertices=20)
         ranks = PageRank().run(graph).values["rank"]
         assert np.argmax(ranks) == 0
 
     def test_empty_graph(self):
-        graph = from_edge_list([], num_vertices=0)
+        graph = _from_edge_list([], num_vertices=0)
         assert PageRank().run(graph).values["rank"].size == 0
 
     def test_invalid_parameters(self):
@@ -151,7 +153,7 @@ class TestBFS:
                 assert vertex in small_graph.out_neighbors(parent[vertex])
 
     def test_uses_both_directions_on_skewed_graph(self):
-        graph = chung_lu_graph(2000, 10.0, exponent=2.0, seed=2, deduplicate=False)
+        graph = _chung_lu_graph(2000, 10.0, exponent=2.0, seed=2, deduplicate=False)
         result = BreadthFirstSearch().run(graph, root=int(np.argmax(graph.out_degrees)))
         directions = {record.direction for record in result.iterations}
         assert PUSH in directions
@@ -165,7 +167,7 @@ class TestBFS:
 class TestBC:
     def test_single_source_matches_manual_brandes(self):
         """Hand-checkable diamond: 0->1->3, 0->2->3, 3->4."""
-        graph = from_edge_list([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], num_vertices=5)
+        graph = _from_edge_list([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], num_vertices=5)
         result = BetweennessCentrality().run(graph, root=0)
         centrality = result.values["centrality"]
         # Dependencies from source 0: delta(1)=delta(2)=0.5+0.5*... compute:
@@ -178,7 +180,7 @@ class TestBC:
         assert centrality[0] == pytest.approx(0.0)
 
     def test_all_sources_match_networkx(self):
-        graph = chung_lu_graph(120, 4.0, seed=9)
+        graph = _chung_lu_graph(120, 4.0, seed=9)
         result = BetweennessCentrality().run(graph, roots=list(range(graph.num_vertices)))
         expected = nx.betweenness_centrality(to_networkx(graph), normalized=False)
         ours = result.values["centrality"]
@@ -231,7 +233,7 @@ class TestSSSP:
 class TestRadii:
     def test_radius_bounds_on_path_graph(self):
         # Directed path 0 -> 1 -> 2 -> 3 -> 4 with all vertices sampled.
-        graph = from_edge_list([(0, 1), (1, 2), (2, 3), (3, 4)], num_vertices=5)
+        graph = _from_edge_list([(0, 1), (1, 2), (2, 3), (3, 4)], num_vertices=5)
         result = RadiiEstimation(num_samples=5, seed=1).run(graph)
         radius = result.values["radius"]
         # Vertex 4 is 4 hops from vertex 0: its radius estimate must be 4.
@@ -266,7 +268,7 @@ class TestConnectedComponents:
             assert len(set(labels[component].tolist())) == 1
 
     def test_two_islands(self):
-        graph = from_edge_list([(0, 1), (1, 2), (3, 4)], num_vertices=6)
+        graph = _from_edge_list([(0, 1), (1, 2), (3, 4)], num_vertices=6)
         labels = ConnectedComponents().run(graph).values["component"]
         assert labels[0] == labels[1] == labels[2]
         assert labels[3] == labels[4]
@@ -298,6 +300,6 @@ class TestIterationRecords:
     @pytest.mark.parametrize("name", ["PR", "PRD", "BC", "Radii", "BFS", "CC"])
     def test_apps_run_on_registry_dataset(self, name):
         """Every application must run end-to-end on a registry dataset."""
-        graph = get_dataset("lj", scale=0.05)
+        graph = load("lj", scale=0.05)
         result = get_application(name).run(graph, root=int(np.argmax(graph.out_degrees)))
         assert result.num_iterations >= 1

@@ -6,13 +6,13 @@ import pytest
 from repro.analytics import VertexSubset, gather_edges, select_direction
 from repro.analytics.base import PULL, PUSH
 from repro.analytics.framework import edge_map_pull_any, edge_map_pull_sum, frontier_out_edges
-from repro.graph import from_edge_list
+from repro.graph.builder import _from_edge_list
 
 
 @pytest.fixture
 def diamond_graph():
     # 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 4
-    return from_edge_list([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], num_vertices=5)
+    return _from_edge_list([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], num_vertices=5)
 
 
 class TestVertexSubset:

@@ -1,0 +1,187 @@
+"""Property-based invariant suite for :class:`CacheStats` (ISSUE 9).
+
+Drives the counter object with randomized access/bypass/merge schedules and
+checks the invariants ``validate()`` promises, for the aggregate and per
+stream: ``hits + misses == accesses``, ``bypasses <= misses``, every
+per-stream column summing exactly to its aggregate, merge additivity, and
+the single-stream summary staying byte-identical to the pre-co-run format.
+
+The suite needs ``hypothesis``; it is skipped wholesale where the package
+is unavailable.
+"""
+
+import pickle
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.cache.stats import CacheStats  # noqa: E402
+
+#: One recorded access: (hit, region label or None, stream id or None,
+#: bypass after a miss).  Bypasses only ever follow misses, as in the cache.
+ACCESS = st.tuples(
+    st.booleans(),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+    st.booleans(),
+)
+
+ACCESSES = st.lists(ACCESS, max_size=200)
+
+
+def replay(accesses, name="LLC"):
+    stats = CacheStats(name=name)
+    for hit, region, stream, bypass in accesses:
+        stats.record(hit, region, stream)
+        if not hit and bypass:
+            stats.record_bypass(stream)
+    return stats
+
+
+@given(ACCESSES)
+@settings(max_examples=200, deadline=None)
+def test_record_preserves_invariants(accesses):
+    stats = replay(accesses)
+    tagged_count = sum(1 for a in accesses if a[2] is not None)
+    if tagged_count in (0, len(accesses)):
+        # A real replay tags every access or none; validate() accepts those
+        # and rejects the partial taggings (columns can't sum to aggregates).
+        assert stats.validate() is stats
+    elif tagged_count:
+        with pytest.raises(ValueError):
+            stats.validate()
+    assert stats.accesses == len(accesses)
+    assert stats.hits + stats.misses == stats.accesses
+    assert stats.bypasses <= stats.misses
+    tagged = [a for a in accesses if a[2] is not None]
+    assert sum(stats.stream_accesses.values()) == len(tagged)
+    for stream in stats.stream_accesses:
+        assert (
+            stats.stream_hits.get(stream, 0) + stats.stream_misses.get(stream, 0)
+            == stats.stream_accesses[stream]
+        )
+
+
+@given(ACCESSES)
+@settings(max_examples=100, deadline=None)
+def test_stream_columns_sum_to_aggregate_when_fully_tagged(accesses):
+    """When every access carries a stream, validate() accepts the totals."""
+    tagged = [(hit, region, stream or 0, bypass) for hit, region, stream, bypass in accesses]
+    stats = replay(tagged).validate()
+    if tagged:
+        assert sum(stats.stream_accesses.values()) == stats.accesses
+        assert sum(stats.stream_hits.values()) == stats.hits
+        assert sum(stats.stream_misses.values()) == stats.misses
+        assert sum(stats.stream_bypasses.values()) == stats.bypasses
+
+
+@given(ACCESSES, ACCESSES)
+@settings(max_examples=100, deadline=None)
+def test_merge_is_counterwise_additive(left_accesses, right_accesses):
+    left, right = replay(left_accesses), replay(right_accesses)
+    merged = left.merge(right)
+    whole = replay(left_accesses + right_accesses)
+    assert merged.accesses == whole.accesses
+    assert merged.hits == whole.hits
+    assert merged.misses == whole.misses
+    assert merged.bypasses == whole.bypasses
+    assert merged.region_accesses == whole.region_accesses
+    assert merged.region_misses == whole.region_misses
+    assert merged.stream_accesses == whole.stream_accesses
+    assert merged.stream_hits == whole.stream_hits
+    assert merged.stream_misses == whole.stream_misses
+    assert merged.stream_bypasses == whole.stream_bypasses
+    if (left.stream_accesses or right.stream_accesses) and merged.stream_accesses:
+        # Fully-tagged merges must still validate; partially tagged ones are
+        # legitimately rejected (the columns cannot sum to the aggregate).
+        if sum(merged.stream_accesses.values()) == merged.accesses:
+            merged.validate()
+
+
+@given(ACCESSES)
+@settings(max_examples=100, deadline=None)
+def test_stream_views_partition_the_tagged_counters(accesses):
+    tagged = [(hit, region, stream or 0, bypass) for hit, region, stream, bypass in accesses]
+    stats = replay(tagged)
+    views = [stats.stream_view(stream) for stream in sorted(stats.stream_accesses)]
+    assert sum(view.accesses for view in views) == stats.accesses
+    assert sum(view.hits for view in views) == stats.hits
+    assert sum(view.misses for view in views) == stats.misses
+    assert sum(view.bypasses for view in views) == stats.bypasses
+    for view in views:
+        view.validate()
+        assert view.name.startswith(f"{stats.name}[s")
+
+
+@given(ACCESSES)
+@settings(max_examples=100, deadline=None)
+def test_untagged_summary_format_is_unchanged(accesses):
+    """Single-programmed runs never grow a ``streams`` key."""
+    untagged = [(hit, region, None, bypass) for hit, region, _stream, bypass in accesses]
+    stats = replay(untagged)
+    summary = stats.as_dict()
+    assert "streams" not in summary
+    assert set(summary) == {
+        "name", "accesses", "hits", "misses", "miss_rate", "evictions", "bypasses",
+    }
+
+
+@given(ACCESSES)
+@settings(max_examples=50, deadline=None)
+def test_pickle_round_trip(accesses):
+    stats = replay(accesses)
+    clone = pickle.loads(pickle.dumps(stats))
+    assert clone.as_dict() == stats.as_dict()
+    assert clone.stream_accesses == stats.stream_accesses
+
+
+def test_old_pickles_gain_empty_stream_fields():
+    """Entries persisted before co-run existed must deserialize cleanly."""
+    stats = CacheStats(name="LLC", accesses=3, hits=2, misses=1)
+    state = {
+        key: value
+        for key, value in stats.__dict__.items()
+        if not key.startswith("stream_")
+    }
+    revived = CacheStats.__new__(CacheStats)
+    revived.__setstate__(state)
+    assert revived.stream_accesses == {}
+    assert revived.stream_bypasses == {}
+    revived.validate()
+
+
+def test_validate_rejects_inconsistent_counters():
+    with pytest.raises(ValueError):
+        CacheStats(name="x", accesses=2, hits=2, misses=1).validate()
+    with pytest.raises(ValueError):
+        CacheStats(name="x", accesses=1, misses=1, bypasses=2).validate()
+    broken = CacheStats(name="x", accesses=2, hits=1, misses=1)
+    broken.stream_accesses = {0: 1}
+    broken.stream_hits = {0: 1}
+    with pytest.raises(ValueError, match="stream_accesses sum"):
+        broken.validate()
+    lying = CacheStats(name="x", accesses=2, hits=1, misses=1)
+    lying.stream_accesses = {0: 2}
+    lying.stream_hits = {0: 1}
+    with pytest.raises(ValueError, match="stream 0"):
+        lying.validate()
+    skewed = CacheStats(name="x", accesses=1, hits=1)
+    skewed.stream_accesses = {0: 1}
+    skewed.stream_misses = {0: 1}
+    with pytest.raises(ValueError, match="stream_hits sum|stream 0"):
+        skewed.validate()
+
+
+def test_from_counts_derives_stream_accesses():
+    stats = CacheStats.from_counts(
+        name="LLC",
+        hits=7,
+        misses=5,
+        stream_hits={0: 4, 1: 3},
+        stream_misses={0: 2, 1: 3},
+    )
+    assert stats.stream_accesses == {0: 6, 1: 6}
+    stats.validate()

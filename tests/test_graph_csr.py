@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.graph import CSRGraph, build_csr, from_edge_list
+from repro.graph import CSRGraph
+from repro.graph.builder import _build_csr, _from_edge_list
 from repro.graph.csr import GraphError
 
 
@@ -24,7 +25,7 @@ def paper_example_graph() -> CSRGraph:
         (5, 4),
         (2, 5),
     ]
-    return from_edge_list(edges, num_vertices=6, name="fig1")
+    return _from_edge_list(edges, num_vertices=6, name="fig1")
 
 
 class TestBuildCSR:
@@ -56,7 +57,7 @@ class TestBuildCSR:
     def test_edge_arrays_roundtrip(self):
         graph = paper_example_graph()
         sources, targets = graph.edge_arrays()
-        rebuilt = build_csr(6, sources, targets)
+        rebuilt = _build_csr(6, sources, targets)
         assert rebuilt.out_index.tolist() == graph.out_index.tolist()
         assert rebuilt.out_targets.tolist() == graph.out_targets.tolist()
 
@@ -67,37 +68,37 @@ class TestBuildCSR:
             assert np.all(np.diff(out) >= 0)
 
     def test_empty_graph(self):
-        graph = from_edge_list([], num_vertices=4)
+        graph = _from_edge_list([], num_vertices=4)
         assert graph.num_vertices == 4
         assert graph.num_edges == 0
         assert graph.average_degree == 0.0
 
     def test_zero_vertex_graph(self):
-        graph = from_edge_list([])
+        graph = _from_edge_list([])
         assert graph.num_vertices == 0
         assert graph.num_edges == 0
 
     def test_out_of_range_vertex_rejected(self):
         with pytest.raises(GraphError):
-            build_csr(3, np.array([0, 5]), np.array([1, 2]))
+            _build_csr(3, np.array([0, 5]), np.array([1, 2]))
 
     def test_negative_vertex_rejected(self):
         with pytest.raises(GraphError):
-            build_csr(3, np.array([0, -1]), np.array([1, 2]))
+            _build_csr(3, np.array([0, -1]), np.array([1, 2]))
 
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(GraphError):
-            build_csr(3, np.array([0, 1]), np.array([1]))
+            _build_csr(3, np.array([0, 1]), np.array([1]))
 
     def test_self_loop_removal(self):
-        graph = build_csr(
+        graph = _build_csr(
             3, np.array([0, 1, 2]), np.array([0, 2, 2]), remove_self_loops=True
         )
         assert graph.num_edges == 1
         assert graph.out_neighbors(1).tolist() == [2]
 
     def test_deduplicate(self):
-        graph = build_csr(
+        graph = _build_csr(
             3, np.array([0, 0, 0, 1]), np.array([1, 1, 2, 2]), deduplicate=True
         )
         assert graph.num_edges == 3

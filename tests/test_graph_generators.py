@@ -3,49 +3,48 @@
 import numpy as np
 import pytest
 
-from repro.graph import (
-    chung_lu_graph,
-    get_dataset,
-    list_datasets,
-    low_skew_graph,
-    rmat_graph,
-    skew_report,
-    uniform_random_graph,
-)
+from repro.graph import list_datasets, skew_report
 from repro.graph.datasets import (
     ADVERSARIAL_DATASETS,
     ALL_DATASETS,
     HIGH_SKEW_DATASETS,
+    _get_dataset,
     dataset_spec,
 )
-from repro.graph.generators import planted_community_graph
+from repro.graph.generators import (
+    _chung_lu_graph,
+    _low_skew_graph,
+    _planted_community_graph,
+    _rmat_graph,
+    _uniform_random_graph,
+)
 
 
 class TestChungLu:
     def test_basic_shape(self):
-        graph = chung_lu_graph(500, 8.0, seed=1)
+        graph = _chung_lu_graph(500, 8.0, seed=1)
         assert graph.num_vertices == 500
         assert graph.num_edges > 0
 
     def test_deterministic_for_same_seed(self):
-        a = chung_lu_graph(300, 6.0, seed=7)
-        b = chung_lu_graph(300, 6.0, seed=7)
+        a = _chung_lu_graph(300, 6.0, seed=7)
+        b = _chung_lu_graph(300, 6.0, seed=7)
         assert a.out_index.tolist() == b.out_index.tolist()
         assert a.out_targets.tolist() == b.out_targets.tolist()
 
     def test_different_seeds_differ(self):
-        a = chung_lu_graph(300, 6.0, seed=1)
-        b = chung_lu_graph(300, 6.0, seed=2)
+        a = _chung_lu_graph(300, 6.0, seed=1)
+        b = _chung_lu_graph(300, 6.0, seed=2)
         assert a.out_targets.tolist() != b.out_targets.tolist()
 
     def test_no_self_loops(self):
-        graph = chung_lu_graph(300, 6.0, seed=3)
+        graph = _chung_lu_graph(300, 6.0, seed=3)
         sources, targets = graph.edge_arrays()
         assert not np.any(sources == targets)
 
     def test_skew_increases_as_exponent_decreases(self):
-        steep = chung_lu_graph(2000, 10.0, exponent=1.9, seed=5, deduplicate=False)
-        flat = chung_lu_graph(2000, 10.0, exponent=3.0, seed=5, deduplicate=False)
+        steep = _chung_lu_graph(2000, 10.0, exponent=1.9, seed=5, deduplicate=False)
+        flat = _chung_lu_graph(2000, 10.0, exponent=3.0, seed=5, deduplicate=False)
         assert (
             skew_report(steep).out_edge_coverage_pct
             > skew_report(flat).out_edge_coverage_pct
@@ -53,26 +52,26 @@ class TestChungLu:
 
     def test_invalid_exponent_rejected(self):
         with pytest.raises(ValueError):
-            chung_lu_graph(100, 5.0, exponent=1.0)
+            _chung_lu_graph(100, 5.0, exponent=1.0)
 
     def test_invalid_vertex_count_rejected(self):
         with pytest.raises(ValueError):
-            chung_lu_graph(0, 5.0)
+            _chung_lu_graph(0, 5.0)
 
 
 class TestRmat:
     def test_vertex_count_is_power_of_two(self):
-        graph = rmat_graph(10, edge_factor=8.0, seed=1)
+        graph = _rmat_graph(10, edge_factor=8.0, seed=1)
         assert graph.num_vertices == 1024
 
     def test_rmat_is_skewed(self):
-        graph = rmat_graph(12, edge_factor=16.0, seed=1)
+        graph = _rmat_graph(12, edge_factor=16.0, seed=1)
         report = skew_report(graph)
         assert report.out_edge_coverage_pct > 70.0
 
     def test_uniform_rmat_parameters_reduce_skew(self):
-        skewed = rmat_graph(11, edge_factor=16.0, seed=2)
-        uniform = rmat_graph(11, edge_factor=16.0, a=0.25, b=0.25, c=0.25, seed=2)
+        skewed = _rmat_graph(11, edge_factor=16.0, seed=2)
+        uniform = _rmat_graph(11, edge_factor=16.0, a=0.25, b=0.25, c=0.25, seed=2)
         assert (
             skew_report(skewed).out_edge_coverage_pct
             > skew_report(uniform).out_edge_coverage_pct
@@ -80,16 +79,16 @@ class TestRmat:
 
     def test_invalid_probabilities_rejected(self):
         with pytest.raises(ValueError):
-            rmat_graph(8, a=0.6, b=0.3, c=0.2)
+            _rmat_graph(8, a=0.6, b=0.3, c=0.2)
 
     def test_invalid_scale_rejected(self):
         with pytest.raises(ValueError):
-            rmat_graph(0)
+            _rmat_graph(0)
 
 
 class TestUniformAndLowSkew:
     def test_uniform_graph_has_no_skew(self):
-        graph = uniform_random_graph(4000, 12.0, seed=1)
+        graph = _uniform_random_graph(4000, 12.0, seed=1)
         report = skew_report(graph)
         # Roughly half the vertices sit above the mean degree in a binomial
         # degree distribution, and they cover nowhere near the paper's 80%+.
@@ -97,16 +96,16 @@ class TestUniformAndLowSkew:
         assert report.out_edge_coverage_pct < 72.0
 
     def test_low_skew_between_uniform_and_natural(self):
-        low = skew_report(low_skew_graph(4000, 16.0, seed=1))
+        low = skew_report(_low_skew_graph(4000, 16.0, seed=1))
         natural = skew_report(
-            chung_lu_graph(4000, 16.0, exponent=1.9, seed=1, deduplicate=False)
+            _chung_lu_graph(4000, 16.0, exponent=1.9, seed=1, deduplicate=False)
         )
-        uniform = skew_report(uniform_random_graph(4000, 16.0, seed=1))
+        uniform = skew_report(_uniform_random_graph(4000, 16.0, seed=1))
         assert natural.out_edge_coverage_pct > low.out_edge_coverage_pct
         assert low.out_hot_vertex_pct < uniform.out_hot_vertex_pct
 
     def test_planted_community_graph_shape(self):
-        graph = planted_community_graph(8, 100, seed=1)
+        graph = _planted_community_graph(8, 100, seed=1)
         assert graph.num_vertices == 800
         assert graph.num_edges > 0
 
@@ -124,37 +123,37 @@ class TestDatasetRegistry:
         with pytest.raises(KeyError):
             dataset_spec("nope")
         with pytest.raises(KeyError):
-            get_dataset("nope")
+            _get_dataset("nope")
 
     def test_invalid_scale_rejected(self):
         with pytest.raises(ValueError):
-            get_dataset("lj", scale=0)
+            _get_dataset("lj", scale=0)
 
     def test_scale_changes_vertex_count(self):
-        small = get_dataset("lj", scale=0.25)
-        full = get_dataset("lj", scale=1.0)
+        small = _get_dataset("lj", scale=0.25)
+        full = _get_dataset("lj", scale=1.0)
         assert small.num_vertices < full.num_vertices
 
     def test_datasets_are_deterministic(self):
-        a = get_dataset("pl", scale=0.2, seed=9)
-        b = get_dataset("pl", scale=0.2, seed=9)
+        a = _get_dataset("pl", scale=0.2, seed=9)
+        b = _get_dataset("pl", scale=0.2, seed=9)
         assert a.out_targets.tolist() == b.out_targets.tolist()
 
     def test_weighted_dataset(self):
-        graph = get_dataset("lj", scale=0.2, weighted=True)
+        graph = _get_dataset("lj", scale=0.2, weighted=True)
         assert graph.is_weighted
 
     @pytest.mark.parametrize("name", HIGH_SKEW_DATASETS)
     def test_high_skew_datasets_match_table1_regime(self, name):
         """Table I: hot vertices are a small minority but cover most edges."""
-        report = skew_report(get_dataset(name, scale=0.5))
+        report = skew_report(_get_dataset(name, scale=0.5))
         assert report.out_hot_vertex_pct < 30.0
         assert report.out_edge_coverage_pct > 72.0
         assert report.in_edge_coverage_pct > 72.0
 
     @pytest.mark.parametrize("name", ADVERSARIAL_DATASETS)
     def test_adversarial_datasets_lack_skew(self, name):
-        report = skew_report(get_dataset(name, scale=0.5))
+        report = skew_report(_get_dataset(name, scale=0.5))
         assert report.out_edge_coverage_pct < 72.0
 
     def test_relative_sizes_follow_table5(self):

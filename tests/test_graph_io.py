@@ -3,15 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.graph import from_edge_list
+from repro.graph.builder import _from_edge_list
 from repro.graph.csr import GraphError
-from repro.graph.generators import chung_lu_graph
-from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.generators import _chung_lu_graph
+from repro.graph.io import _load_edge_list, _load_npz, _save_edge_list, _save_npz
 
 
 @pytest.fixture
 def small_graph():
-    return from_edge_list(
+    return _from_edge_list(
         [(0, 1), (0, 2), (1, 2), (2, 0), (3, 1)], num_vertices=5, name="tiny"
     )
 
@@ -19,8 +19,8 @@ def small_graph():
 class TestEdgeListIO:
     def test_roundtrip_unweighted(self, small_graph, tmp_path):
         path = tmp_path / "graph.el"
-        save_edge_list(small_graph, path)
-        loaded = load_edge_list(path)
+        _save_edge_list(small_graph, path)
+        loaded = _load_edge_list(path)
         assert loaded.num_vertices == small_graph.num_vertices
         assert loaded.num_edges == small_graph.num_edges
         assert loaded.out_targets.tolist() == small_graph.out_targets.tolist()
@@ -28,8 +28,8 @@ class TestEdgeListIO:
     def test_roundtrip_weighted(self, small_graph, tmp_path):
         weighted = small_graph.with_random_weights(seed=1)
         path = tmp_path / "graph.wel"
-        save_edge_list(weighted, path)
-        loaded = load_edge_list(path)
+        _save_edge_list(weighted, path)
+        loaded = _load_edge_list(path)
         assert loaded.is_weighted
         assert np.allclose(
             np.sort(loaded.out_weights), np.sort(weighted.out_weights)
@@ -37,42 +37,42 @@ class TestEdgeListIO:
 
     def test_vertex_count_preserved_for_isolated_tail(self, tmp_path):
         """Vertex 4 has no edges; the header comment must preserve it."""
-        graph = from_edge_list([(0, 1)], num_vertices=5)
+        graph = _from_edge_list([(0, 1)], num_vertices=5)
         path = tmp_path / "g.el"
-        save_edge_list(graph, path)
-        assert load_edge_list(path).num_vertices == 5
+        _save_edge_list(graph, path)
+        assert _load_edge_list(path).num_vertices == 5
 
     def test_malformed_line_raises(self, tmp_path):
         path = tmp_path / "bad.el"
         path.write_text("0 1\n7\n")
         with pytest.raises(GraphError):
-            load_edge_list(path)
+            _load_edge_list(path)
 
     def test_explicit_vertex_count_override(self, tmp_path):
         path = tmp_path / "g.el"
         path.write_text("0 1\n1 2\n")
-        assert load_edge_list(path, num_vertices=10).num_vertices == 10
+        assert _load_edge_list(path, num_vertices=10).num_vertices == 10
 
     def test_blank_lines_and_comments_ignored(self, tmp_path):
         path = tmp_path / "g.el"
         path.write_text("# a comment\n\n0 1\n\n# another\n1 0\n")
-        assert load_edge_list(path).num_edges == 2
+        assert _load_edge_list(path).num_edges == 2
 
 
 class TestNpzIO:
     def test_roundtrip(self, small_graph, tmp_path):
         path = tmp_path / "graph.npz"
-        save_npz(small_graph, path)
-        loaded = load_npz(path)
+        _save_npz(small_graph, path)
+        loaded = _load_npz(path)
         assert loaded.out_index.tolist() == small_graph.out_index.tolist()
         assert loaded.in_sources.tolist() == small_graph.in_sources.tolist()
         assert loaded.name == "tiny"
 
     def test_roundtrip_weighted_larger_graph(self, tmp_path):
-        graph = chung_lu_graph(200, 5.0, seed=2).with_random_weights(seed=3)
+        graph = _chung_lu_graph(200, 5.0, seed=2).with_random_weights(seed=3)
         path = tmp_path / "big.npz"
-        save_npz(graph, path)
-        loaded = load_npz(path)
+        _save_npz(graph, path)
+        loaded = _load_npz(path)
         assert loaded.is_weighted
         assert np.allclose(loaded.out_weights, graph.out_weights)
         assert loaded.num_edges == graph.num_edges

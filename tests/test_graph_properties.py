@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import degree_statistics, edge_coverage, from_edge_list, hot_vertex_mask, skew_report
+from repro.graph import degree_statistics, edge_coverage, hot_vertex_mask, skew_report
+from repro.graph.builder import _from_edge_list
 from repro.graph.properties import (
     DegreeStatistics,
     gini_coefficient,
@@ -41,7 +42,7 @@ class TestSkewReport:
     def test_star_graph_report(self):
         """A star graph: the hub covers all in-edges."""
         edges = [(i, 0) for i in range(1, 11)]
-        graph = from_edge_list(edges, num_vertices=11, name="star")
+        graph = _from_edge_list(edges, num_vertices=11, name="star")
         report = skew_report(graph)
         assert report.num_vertices == 11
         assert report.num_edges == 10
@@ -52,13 +53,13 @@ class TestSkewReport:
         assert report.out_edge_coverage_pct == 100.0
 
     def test_as_dict_keys(self):
-        graph = from_edge_list([(0, 1), (1, 0)], num_vertices=2)
+        graph = _from_edge_list([(0, 1), (1, 0)], num_vertices=2)
         d = skew_report(graph).as_dict()
         assert {"dataset", "vertices", "edges", "avg_degree"} <= set(d)
 
     def test_degree_statistics(self):
         edges = [(i, 0) for i in range(1, 11)]
-        graph = from_edge_list(edges, num_vertices=11)
+        graph = _from_edge_list(edges, num_vertices=11)
         stats = degree_statistics(graph)
         assert stats["in"].maximum == 10
         assert stats["out"].maximum == 1

@@ -5,7 +5,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import chung_lu_graph, from_edge_list, get_dataset
+from repro.graph import load
+from repro.graph.generators import _chung_lu_graph
+from repro.graph.builder import _from_edge_list
 from repro.graph.properties import hot_vertex_mask
 from repro.reorder import (
     DBGReordering,
@@ -21,7 +23,7 @@ from repro.reorder.base import select_degrees
 
 @pytest.fixture(scope="module")
 def skewed_graph():
-    return chung_lu_graph(1500, 10.0, exponent=1.95, seed=11, deduplicate=False)
+    return _chung_lu_graph(1500, 10.0, exponent=1.95, seed=11, deduplicate=False)
 
 
 ALL_TECHNIQUES = [
@@ -67,7 +69,7 @@ class TestPermutationValidity:
         )
 
     def test_edges_preserved_under_relabel(self, technique_cls):
-        graph = from_edge_list(
+        graph = _from_edge_list(
             [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], num_vertices=4, name="ring"
         )
         result = technique_cls().apply(graph)
@@ -126,7 +128,7 @@ class TestHubSort:
     def test_cold_relative_order_preserved(self):
         # Cold vertices 0..3 (degree 1 each), hot vertex 4 with degree 6.
         edges = [(0, 4), (1, 4), (2, 4), (3, 4)] + [(4, i) for i in range(4)] + [(4, 0), (4, 1)]
-        graph = from_edge_list(edges, num_vertices=5)
+        graph = _from_edge_list(edges, num_vertices=5)
         result = HubSortReordering(degree_source="total").apply(graph)
         # Vertex 4 must be first; cold vertices keep order 0,1,2,3 after it.
         assert result.permutation[4] == 0
@@ -199,14 +201,14 @@ class TestGorder:
                     if u != v:
                         edges.append((u, v))
         edges.append((0, 6))  # single bridge
-        graph = from_edge_list(edges, num_vertices=12)
+        graph = _from_edge_list(edges, num_vertices=12)
         result = GorderReordering(window=3).apply(graph)
         positions = result.inverse_permutation  # old id at each new position
         first_half = {int(v) for v in positions[:6]}
         assert first_half in ({0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11})
 
     def test_dbg_refinement_segregates_hot_vertices(self):
-        graph = chung_lu_graph(600, 8.0, exponent=1.95, seed=3, deduplicate=False)
+        graph = _chung_lu_graph(600, 8.0, exponent=1.95, seed=3, deduplicate=False)
         result = GorderReordering(window=4, dbg_refinement=True).apply(graph)
         degrees = result.graph.out_degrees
         hot = degrees >= graph.average_degree
@@ -221,7 +223,7 @@ class TestGorder:
 class TestDatasetIntegration:
     @pytest.mark.parametrize("name", ["lj", "uni"])
     def test_reordering_on_registry_datasets(self, name):
-        graph = get_dataset(name, scale=0.1)
+        graph = load(name, scale=0.1)
         for technique in (SortReordering(), HubSortReordering(), DBGReordering()):
             result = technique.apply(graph)
             assert result.graph.num_edges == graph.num_edges
@@ -237,7 +239,7 @@ class TestPermutationProperty:
     def test_random_graphs_produce_valid_permutations(self, n, seed, technique_index):
         rng = np.random.default_rng(seed)
         num_edges = max(1, 3 * n)
-        graph = from_edge_list(
+        graph = _from_edge_list(
             list(zip(rng.integers(0, n, num_edges).tolist(), rng.integers(0, n, num_edges).tolist())),
             num_vertices=n,
         )

@@ -5,7 +5,8 @@ import pytest
 
 from repro.analytics import get_application
 from repro.analytics.base import PULL, PUSH, AccessProfile, PropertySpec
-from repro.graph import chung_lu_graph, from_edge_list
+from repro.graph.generators import _chung_lu_graph
+from repro.graph.builder import _from_edge_list
 from repro.trace import (
     MemoryLayout,
     REGION_EDGE,
@@ -19,7 +20,7 @@ from repro.trace.layout import PAGE_BYTES, PC_PROPERTY_GATHER
 
 @pytest.fixture
 def small_graph():
-    return from_edge_list(
+    return _from_edge_list(
         [(0, 1), (0, 2), (1, 2), (2, 0), (3, 2), (3, 1)], num_vertices=4, name="tiny"
     )
 
@@ -68,8 +69,8 @@ class TestMemoryLayout:
         assert layout.region_of(probes).tolist() == [REGION_VERTEX, REGION_EDGE, REGION_PROPERTY, 3]
 
     def test_footprint_scales_with_graph(self):
-        small = MemoryLayout(chung_lu_graph(200, 4.0, seed=1), profile())
-        large = MemoryLayout(chung_lu_graph(2000, 4.0, seed=1), profile())
+        small = MemoryLayout(_chung_lu_graph(200, 4.0, seed=1), profile())
+        large = MemoryLayout(_chung_lu_graph(2000, 4.0, seed=1), profile())
         assert large.total_footprint_bytes > small.total_footprint_bytes
 
 
@@ -149,7 +150,7 @@ class TestTraceGeneration:
     def test_hot_vertices_dominate_property_accesses_on_skewed_graph(self):
         """The motivation claim: on a power-law graph most Property-Array
         reads target hot vertices."""
-        graph = chung_lu_graph(1000, 10.0, exponent=1.9, seed=4, deduplicate=False)
+        graph = _chung_lu_graph(1000, 10.0, exponent=1.9, seed=4, deduplicate=False)
         layout = MemoryLayout(graph, profile(1, 0))
         trace = generate_iteration_trace(graph, layout, PULL)
         gathers = trace.addresses[trace.pcs == PC_PROPERTY_GATHER]

@@ -18,7 +18,8 @@ import numpy as np
 import pytest
 
 from repro.analytics.base import PULL, PUSH, AccessProfile, PropertySpec
-from repro.graph import chung_lu_graph, from_edge_list
+from repro.graph.generators import _chung_lu_graph
+from repro.graph.builder import _from_edge_list
 # Only the seed-era API is imported at module level so the Sec. II-C
 # ordering regression tests still *collect* (and fail, rather than error)
 # against the pre-fix generator; the chunked-generation tests import the
@@ -103,7 +104,7 @@ def assert_matches_reference(graph, layout, direction, frontier=None):
 @pytest.fixture
 def zero_degree_graph():
     """Vertices 1 and 3 have no in-edges; vertex 4 has no edges at all."""
-    return from_edge_list(
+    return _from_edge_list(
         [(1, 0), (3, 0), (0, 2), (1, 2)], num_vertices=5, name="holes"
     )
 
@@ -119,7 +120,7 @@ class TestSecIICOrdering:
         assert_matches_reference(zero_degree_graph, layout, PUSH, frontier=frontier)
 
     def test_random_graph_matches_reference_both_directions(self):
-        graph = chung_lu_graph(120, 5.0, seed=7)
+        graph = _chung_lu_graph(120, 5.0, seed=7)
         layout = MemoryLayout(graph, profile(2, 2))
         assert_matches_reference(graph, layout, PULL)
         rng = np.random.default_rng(7)
@@ -127,7 +128,7 @@ class TestSecIICOrdering:
         assert_matches_reference(graph, layout, PUSH, frontier=frontier)
 
     def test_merged_and_split_profiles_match_reference(self):
-        graph = chung_lu_graph(80, 4.0, seed=9)
+        graph = _chung_lu_graph(80, 4.0, seed=9)
         split = AccessProfile(
             edge_properties=(PropertySpec("a", 8), PropertySpec("b", 4)),
             vertex_properties=(PropertySpec("c", 8),),
@@ -172,7 +173,7 @@ class TestChunkedGeneration:
     def test_iteration_chunks_concatenate_to_one_shot(self):
         from repro.trace import iter_iteration_trace_chunks
 
-        graph = chung_lu_graph(150, 6.0, seed=11)
+        graph = _chung_lu_graph(150, 6.0, seed=11)
         layout = MemoryLayout(graph, profile(2, 1))
         full = generate_iteration_trace(graph, layout, PULL)
         for budget in (1, 37, 256, 10**9):
@@ -192,7 +193,7 @@ class TestChunkedGeneration:
     def test_chunk_budget_respected_beyond_single_records(self):
         from repro.trace import iter_iteration_trace_chunks
 
-        graph = chung_lu_graph(150, 6.0, seed=11)
+        graph = _chung_lu_graph(150, 6.0, seed=11)
         layout = MemoryLayout(graph, profile(1, 1))
         degrees = (graph.in_index[1:] - graph.in_index[:-1]).astype(np.int64)
         record = int(degrees.max()) * 2 + 2  # largest single vertex record
@@ -205,7 +206,7 @@ class TestChunkedGeneration:
     def test_iteration_trace_length(self):
         from repro.trace import iteration_trace_length
 
-        graph = chung_lu_graph(90, 5.0, seed=13)
+        graph = _chung_lu_graph(90, 5.0, seed=13)
         layout = MemoryLayout(graph, profile(2, 2))
         assert iteration_trace_length(graph, layout, PULL) == len(
             generate_iteration_trace(graph, layout, PULL)
@@ -219,7 +220,7 @@ class TestChunkedGeneration:
         from repro.analytics import get_application
         from repro.trace import generate_execution_trace, iter_execution_trace
 
-        graph = chung_lu_graph(200, 5.0, seed=17)
+        graph = _chung_lu_graph(200, 5.0, seed=17)
         app = get_application("PR")
         layout = MemoryLayout(graph, app.access_profile())
         result = app.run(graph, root=0)
@@ -242,7 +243,7 @@ class TestChunkedGeneration:
     def test_invalid_budget_rejected(self):
         from repro.trace import iter_iteration_trace_chunks
 
-        graph = chung_lu_graph(40, 3.0, seed=1)
+        graph = _chung_lu_graph(40, 3.0, seed=1)
         layout = MemoryLayout(graph, profile())
         with pytest.raises(ValueError):
             list(iter_iteration_trace_chunks(graph, layout, PULL, max_accesses=0))
