@@ -8,7 +8,7 @@ backends and reports simulated accesses per second.  The acceptance bar is a
 >= 5x speed-up over the scalar reference for *each* scheme.
 
 As with the RRIP benchmark, the bar is carried by the compiled kernels
-(`repro.fastsim._native`); the portable NumPy engines are exact but their
+(`repro.fastsim.kernels`); the portable NumPy engines are exact but their
 set-parallel batches are bounded by the scaled-down LLC's 16 sets (and the
 globally shared predictor tables serialize part of the SHiP/Leeway/Hawkeye
 work), so the benchmark skips when no C compiler is available rather than
@@ -19,7 +19,7 @@ import pytest
 
 from repro.experiments.runner import build_workload, llc_trace_for, simulate_opt
 from repro.experiments.schemes import scheme_policy
-from repro.fastsim import SCALAR, VECTOR, _native
+from repro.fastsim import SCALAR, VECTOR, kernels
 from repro.perf.throughput import measure_throughput
 
 #: The fast path must beat the scalar reference by at least this factor.
@@ -53,7 +53,7 @@ def _replay_all(traces, llc_config, scheme, backend):
 
 
 def test_policy_matrix_throughput(benchmark, bench_config):
-    if not _native.available():
+    if not kernels.available():
         pytest.skip("no C compiler for the native kernels; NumPy engines are "
                     "exactness-oriented and not held to the 5x bar")
     traces = _fig6_llc_traces(bench_config)

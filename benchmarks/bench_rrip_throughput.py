@@ -6,7 +6,7 @@ both backends and reports simulated accesses per second.  The acceptance bar
 for the RRIP fast path is a >= 5x speed-up over the scalar reference for
 *each* policy.
 
-The bar is carried by the compiled kernel (`repro.fastsim._native`); the
+The bar is carried by the compiled kernel (`repro.fastsim.kernels`); the
 portable NumPy engine is exact but its set-parallel batches are only as wide
 as the scaled-down LLC's 16 sets, so the benchmark skips when no C compiler
 is available rather than measure an engine the dispatch would not pick for
@@ -17,7 +17,7 @@ import pytest
 
 from repro.experiments.runner import build_workload, llc_trace_for
 from repro.experiments.schemes import scheme_policy
-from repro.fastsim import SCALAR, VECTOR, _native
+from repro.fastsim import SCALAR, VECTOR, kernels
 from repro.perf.throughput import measure_throughput
 
 #: The fast path must beat the scalar reference by at least this factor.
@@ -45,7 +45,7 @@ def _replay_all(traces, llc_config, scheme, backend):
 
 
 def test_rrip_replay_throughput(benchmark, bench_config):
-    if not _native.available():
+    if not kernels.available():
         pytest.skip("no C compiler for the native kernel; NumPy RRIP engine is "
                     "exactness-oriented and not held to the 5x bar")
     traces = _fig6_llc_traces(bench_config)

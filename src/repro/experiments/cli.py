@@ -8,6 +8,8 @@
     repro sweep --corun PR,PR --datasets lj,pl --schemes RRIP,GRASP \
         --schedule poisson --partition 8:8          # multi-programmed co-run
     repro sweep --resume 20260807-101501-ab12cd34   # finish an interrupted run
+    repro plan explain --apps PR --datasets lj --schemes RRIP,GRASP \
+        --preset smoke                              # which route would run, and why
     repro runs                                      # list known runs
     repro graph info lj "rmat:scale=12,seed=7"      # describe graph specs
     repro graph ingest crawl.txt.gz                 # build the binary-CSR cache
@@ -39,6 +41,8 @@ from repro.experiments.runner import (
     CorunSpec,
     DataPoint,
     compare_policies_corun,
+    plan_corun_task,
+    plan_scheme_task,
     set_disk_memo,
 )
 from repro.experiments.schemes import (
@@ -83,6 +87,75 @@ def _csv(value: str) -> Tuple[str, ...]:
     return tuple(part.strip() for part in value.split(",") if part.strip())
 
 
+def _add_spec_args(parser: argparse.ArgumentParser) -> None:
+    """Arguments describing *what* to simulate — shared by ``sweep`` (which
+    runs the tasks) and ``plan explain`` (which only plans them)."""
+    parser.add_argument("--apps", type=_csv, default=None, help="comma-separated app names")
+    parser.add_argument("--datasets", type=_csv, default=None, help="comma-separated dataset names")
+    parser.add_argument(
+        "--graph", action="append", default=None, metavar="SPEC",
+        help="add one repro.graph.load spec as a dataset (repeatable; commas "
+             'stay inside the spec, e.g. --graph "rmat:scale=18,seed=7" or '
+             '--graph file:web-Google.txt.gz)',
+    )
+    parser.add_argument(
+        "--graph-cache", default=None, metavar="DIR",
+        help="binary-CSR cache root for file-backed graph specs "
+             "(default: REPRO_GRAPH_CACHE or .repro-cache/graphs)",
+    )
+    parser.add_argument(
+        "--schemes", type=_csv, default=None,
+        help=f"comma-separated schemes (known: {', '.join(POLICY_SPECS)})",
+    )
+    parser.add_argument(
+        "--figure", choices=sorted(FIGURE_PRESETS), default=None,
+        help="sweep a whole paper figure (schemes + dataset group)",
+    )
+    parser.add_argument(
+        "--preset", choices=sorted(CONFIG_PRESETS), default="default",
+        help="experiment scale preset (default: full scale)",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="override dataset scale")
+    parser.add_argument("--seed", type=int, default=None, help="override generation seed")
+    parser.add_argument("--reorder", default=None, help="software reordering (default: config)")
+    parser.add_argument("--baseline", default="RRIP", help="baseline scheme (default: RRIP)")
+    parser.add_argument(
+        "--corun", type=_csv, default=None, metavar="APPS",
+        help="co-run these apps on one shared LLC (comma-separated; pairs with "
+             "--datasets: one dataset broadcast to all apps, or one per app)",
+    )
+    parser.add_argument(
+        "--schedule", choices=SCHEDULES, default="round_robin",
+        help="co-run interleaving schedule (default: round_robin)",
+    )
+    parser.add_argument(
+        "--quantum", type=int, default=64,
+        help="co-run schedule quantum in accesses (default: 64)",
+    )
+    parser.add_argument(
+        "--partition", default=None, metavar="W1:W2[:...]",
+        help="static way-partition shares per co-runner, e.g. 8:8 "
+             "(default: unpartitioned shared LLC)",
+    )
+    parser.add_argument(
+        "--corun-seed", type=int, default=0,
+        help="seed of the poisson co-run schedule (default: 0)",
+    )
+    parser.add_argument(
+        "--streaming", action="store_true",
+        help="sweep full executions through the streaming pipeline",
+    )
+    parser.add_argument(
+        "--chunk-accesses", type=int, default=None,
+        help="chunk budget of the streaming pipeline",
+    )
+    parser.add_argument(
+        "--sim-backend", choices=("vector", "scalar", "verify"), default=None,
+        help="simulation backend (results are identical; default: vector)",
+    )
+    parser.add_argument("--cache-dir", default=None, help="content-addressed store root")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -95,75 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run (or resume) a policy-comparison sweep on the task service",
         description="Run a compare_policies sweep as a fault-tolerant task DAG.",
     )
-    sweep.add_argument("--apps", type=_csv, default=None, help="comma-separated app names")
-    sweep.add_argument("--datasets", type=_csv, default=None, help="comma-separated dataset names")
-    sweep.add_argument(
-        "--graph", action="append", default=None, metavar="SPEC",
-        help="add one repro.graph.load spec as a dataset (repeatable; commas "
-             'stay inside the spec, e.g. --graph "rmat:scale=18,seed=7" or '
-             '--graph file:web-Google.txt.gz)',
-    )
-    sweep.add_argument(
-        "--graph-cache", default=None, metavar="DIR",
-        help="binary-CSR cache root for file-backed graph specs "
-             "(default: REPRO_GRAPH_CACHE or .repro-cache/graphs)",
-    )
-    sweep.add_argument(
-        "--schemes", type=_csv, default=None,
-        help=f"comma-separated schemes (known: {', '.join(POLICY_SPECS)})",
-    )
-    sweep.add_argument(
-        "--figure", choices=sorted(FIGURE_PRESETS), default=None,
-        help="sweep a whole paper figure (schemes + dataset group)",
-    )
-    sweep.add_argument(
-        "--preset", choices=sorted(CONFIG_PRESETS), default="default",
-        help="experiment scale preset (default: full scale)",
-    )
-    sweep.add_argument("--scale", type=float, default=None, help="override dataset scale")
-    sweep.add_argument("--seed", type=int, default=None, help="override generation seed")
-    sweep.add_argument("--reorder", default=None, help="software reordering (default: config)")
-    sweep.add_argument("--baseline", default="RRIP", help="baseline scheme (default: RRIP)")
-    sweep.add_argument(
-        "--corun", type=_csv, default=None, metavar="APPS",
-        help="co-run these apps on one shared LLC (comma-separated; pairs with "
-             "--datasets: one dataset broadcast to all apps, or one per app)",
-    )
-    sweep.add_argument(
-        "--schedule", choices=SCHEDULES, default="round_robin",
-        help="co-run interleaving schedule (default: round_robin)",
-    )
-    sweep.add_argument(
-        "--quantum", type=int, default=64,
-        help="co-run schedule quantum in accesses (default: 64)",
-    )
-    sweep.add_argument(
-        "--partition", default=None, metavar="W1:W2[:...]",
-        help="static way-partition shares per co-runner, e.g. 8:8 "
-             "(default: unpartitioned shared LLC)",
-    )
-    sweep.add_argument(
-        "--corun-seed", type=int, default=0,
-        help="seed of the poisson co-run schedule (default: 0)",
-    )
-    sweep.add_argument(
-        "--streaming", action="store_true",
-        help="sweep full executions through the streaming pipeline",
-    )
-    sweep.add_argument(
-        "--chunk-accesses", type=int, default=None,
-        help="chunk budget of the streaming pipeline",
-    )
-    sweep.add_argument(
-        "--sim-backend", choices=("vector", "scalar", "verify"), default=None,
-        help="simulation backend (results are identical; default: vector)",
-    )
+    _add_spec_args(sweep)
     sweep.add_argument("--workers", type=int, default=None, help="worker count (default: REPRO_WORKERS or CPUs)")
     sweep.add_argument(
         "--worker-backend", choices=("process", "inline"), default="process",
         help="task transport (default: process pool)",
     )
-    sweep.add_argument("--cache-dir", default=None, help="content-addressed store root")
     sweep.add_argument("--run-id", default=None, help="explicit run id")
     sweep.add_argument("--resume", metavar="RUN_ID", default=None, help="resume a recorded run")
     sweep.add_argument("--max-attempts", type=int, default=4, help="executions per task before failing")
@@ -177,6 +187,29 @@ def build_parser() -> argparse.ArgumentParser:
     runs = sub.add_parser("runs", help="list recorded sweep runs")
     runs.add_argument("--cache-dir", default=None)
     runs.set_defaults(func=cmd_runs)
+
+    plan = sub.add_parser(
+        "plan",
+        help="inspect execution plans without running anything",
+        description="Capability-driven execution planning (repro.fastsim.plan).",
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+    explain = plan_sub.add_parser(
+        "explain",
+        help="print the planned route for every task of a sweep spec, and why",
+        description="For each (app, dataset, scheme) task of the spec, print "
+                    "the ExecutionPlan the runner would follow — route, engine, "
+                    "kernel tier, backend and every fallback reason — without "
+                    "building workloads or running simulations.  Cache-state "
+                    "probes (memoized traces/chunk stores) consult the same "
+                    "memo store a sweep would use.",
+    )
+    _add_spec_args(explain)
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON object mapping task keys to serialized plans",
+    )
+    explain.set_defaults(func=cmd_plan_explain)
 
     graph = sub.add_parser(
         "graph",
@@ -457,6 +490,42 @@ def cmd_runs(args: argparse.Namespace) -> int:
             )
     print(format_table(rows, title=f"runs under {root}"))
     return 0
+
+
+def cmd_plan_explain(args: argparse.Namespace) -> int:
+    """Print the ExecutionPlan for every task of the spec without running it."""
+    config = _config_from_args(args)
+    set_disk_memo(DiskMemo(_resolve_cache_dir(args.cache_dir)))
+    plans: Dict[str, object] = {}
+    status = 0
+    if args.corun:
+        spec = _corun_spec_from_args(args)
+        label = "+".join(f"{app}/{dataset}" for app, dataset in spec.pairs)
+        for scheme in args.schemes:
+            try:
+                plans[f"corun:{label}/{scheme}"] = plan_corun_task(spec, scheme, config)
+            except ValueError as error:
+                print(f"error: corun {scheme}: {error}", file=sys.stderr)
+                status = 1
+    else:
+        spec = _spec_from_args(args, config)
+        reorder = spec.resolved_reorder(config)
+        for dataset in spec.datasets:
+            for app in spec.apps:
+                for scheme in spec.all_schemes():
+                    plans[f"{app}/{dataset}/{scheme}"] = plan_scheme_task(
+                        app, dataset, reorder, scheme, config,
+                        streaming=spec.streaming,
+                    )
+    if args.json:
+        print(json.dumps({key: plan.to_json() for key, plan in plans.items()},
+                         indent=2, sort_keys=True))
+        return status
+    for key, plan in plans.items():
+        print(f"== {key} ==")
+        for line in plan.explain().splitlines():
+            print(f"  {line}")
+    return status
 
 
 def cmd_graph_info(args: argparse.Namespace) -> int:

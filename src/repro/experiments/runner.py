@@ -68,22 +68,35 @@ from repro.cache.stats import CacheStats
 from repro.core import AddressBoundRegisterFile, GraspClassifier
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.memo import ChunkSpill, DiskMemo, default_cache_dir
-from repro.fastsim import (
+from repro.fastsim.dispatch import VERIFY
+from repro.fastsim.plan import (
+    PLANNER,
+    ROUTE_CORUN_DELEGATE,
+    ROUTE_CORUN_VECTOR,
+    ROUTE_FUSED,
+    ROUTE_FUSED_MULTI,
+    ROUTE_OPT_SCALAR,
+    ROUTE_SCALAR,
+    ROUTE_VECTOR,
+    STAGE_CORUN,
+    STAGE_ONESHOT,
+    STAGE_ROI,
+    STAGE_STREAMING,
     CorunReplayStream,
+    ExecutionPlan,
     FilterStream,
     FusedPipeline,
+    MultiFusedPipeline,
     OptStream,
     PolicyReplayStream,
-    fused_native_supported,
+    SimRequest,
+    assert_stats_equal,
     resolve_chunk_next_use,
     run_filter,
-    supports_vector_corun,
     supports_vector_replay,
     vector_opt_replay,
     vector_policy_replay,
 )
-from repro.fastsim.dispatch import SCALAR, VECTOR, VERIFY, resolve_backend
-from repro.fastsim.filter import assert_stats_equal
 from repro.experiments.schemes import scheme_policy
 from repro.graph.csr import CSRGraph
 from repro.graph.csr import GraphError
@@ -528,6 +541,29 @@ def llc_trace_for(workload: Workload, config: ExperimentConfig) -> LLCTrace:
 # LLC simulation
 # ---------------------------------------------------------------------------
 
+def _policy_label(policy: ReplacementPolicy) -> str:
+    """Scheme label used when planning from a bare policy object."""
+    return getattr(policy, "name", type(policy).__name__)
+
+
+def _plan_replay(
+    policy: ReplacementPolicy,
+    backend: Optional[str],
+    stage: str = STAGE_ONESHOT,
+    **kwargs,
+) -> ExecutionPlan:
+    """Plan a single-policy request (one-shot/ROI/streaming stages)."""
+    return PLANNER.plan(
+        SimRequest(
+            schemes=(_policy_label(policy),),
+            policies=(policy,),
+            backend=backend,
+            stage=stage,
+            **kwargs,
+        )
+    )
+
+
 def simulate_llc_policy(
     llc_trace: LLCTrace,
     policy: ReplacementPolicy,
@@ -537,34 +573,34 @@ def simulate_llc_policy(
 ) -> CacheStats:
     """Replay an LLC trace under one replacement policy.
 
-    Under the ``vector`` backend, schemes with a vectorized engine — plain
-    LRU, the exact RRIP-family policies (SRRIP/BRRIP/DRRIP/GRASP, with the
-    trace's reuse-hint stream wired through) and the PR 4 engines for
-    SHiP-MEM, Hawkeye, Leeway and PIN-X (hint and PC streams wired through)
-    — dispatch to :func:`repro.fastsim.vector_policy_replay`; only the GRASP
-    ablation subclasses use the scalar simulator regardless of the backend.
+    Routing goes through :class:`repro.fastsim.plan.RoutePlanner`: schemes
+    with a vectorized engine — plain LRU, the exact RRIP-family policies
+    (SRRIP/BRRIP/DRRIP/GRASP, with the trace's reuse-hint stream wired
+    through) and the PR 4 engines for SHiP-MEM, Hawkeye, Leeway and PIN-X
+    (hint and PC streams wired through) — dispatch to
+    :func:`repro.fastsim.vector_policy_replay`; only the GRASP ablation
+    subclasses use the scalar simulator regardless of the backend.
     """
     if type(policy) is BeladyOptimal:
         # OPT cannot run online through SetAssociativeCache: its "scalar"
         # reference is the offline loop, which simulate_opt dispatches to
         # (with the same vector/scalar/verify semantics as every policy).
         return simulate_opt(llc_trace, llc_config, backend=backend)
-    mode = resolve_backend(backend)
-    if mode != SCALAR and supports_vector_replay(policy):
-        vector_stats = vector_policy_replay(
-            policy,
-            llc_trace.block_addresses,
-            llc_config,
-            hints=llc_trace.hints if use_hints else None,
-            regions=llc_trace.regions,
-            pcs=llc_trace.pcs,
-        )
-        if mode == VECTOR:
-            return vector_stats
+    plan = _plan_replay(policy, backend)
+    if plan.route == ROUTE_SCALAR:
+        return _scalar_llc_replay(llc_trace, policy, llc_config, use_hints)
+    vector_stats = vector_policy_replay(
+        policy,
+        llc_trace.block_addresses,
+        llc_config,
+        hints=llc_trace.hints if use_hints else None,
+        regions=llc_trace.regions,
+        pcs=llc_trace.pcs,
+    )
+    if plan.verify:
         scalar_stats = _scalar_llc_replay(llc_trace, policy, llc_config, use_hints)
         assert_stats_equal(scalar_stats, vector_stats, f"LLC {policy.name} replay")
-        return vector_stats
-    return _scalar_llc_replay(llc_trace, policy, llc_config, use_hints)
+    return vector_stats
 
 
 def _scalar_llc_replay(
@@ -589,14 +625,13 @@ def simulate_opt(
     offline reference loop, and ``verify`` runs both and asserts identical
     counts.
     """
-    mode = resolve_backend(backend)
-    if mode == SCALAR:
+    plan = PLANNER.plan(SimRequest(schemes=("OPT",), backend=backend))
+    if plan.route == ROUTE_OPT_SCALAR:
         return simulate_opt_misses(llc_trace.block_addresses, llc_config)
     vector_stats = vector_opt_replay(llc_trace.block_addresses, llc_config)
-    if mode == VECTOR:
-        return vector_stats
-    scalar_stats = simulate_opt_misses(llc_trace.block_addresses, llc_config)
-    assert_stats_equal(scalar_stats, vector_stats, "LLC OPT replay")
+    if plan.verify:
+        scalar_stats = simulate_opt_misses(llc_trace.block_addresses, llc_config)
+        assert_stats_equal(scalar_stats, vector_stats, "LLC OPT replay")
     return vector_stats
 
 
@@ -871,22 +906,26 @@ def simulate_llc_policy_streaming(
         return simulate_opt_streaming(
             workload, config, backend=backend, max_chunk_accesses=max_chunk_accesses
         )
-    mode = resolve_backend(backend if backend is not None else config.backend)
-    if mode == VECTOR and fused_native_supported(policy, config.hierarchy):
-        budget = _chunk_budget(config, max_chunk_accesses)
-        memo = active_disk_memo()
-        have_chunk_store = memo is not None and memo.contains(
-            "llcstream", _stream_key(workload, config, budget)
-        )
-        reuse_planned = shared_stream and memo is not None
-        if not have_chunk_store and not reuse_planned:
-            return _simulate_fused_streaming(workload, policy, config, use_hints, budget)
+    budget = _chunk_budget(config, max_chunk_accesses)
+    memo = active_disk_memo()
+    plan = _plan_replay(
+        policy,
+        backend if backend is not None else config.backend,
+        stage=STAGE_STREAMING,
+        hierarchy=config.hierarchy,
+        consumers=2 if shared_stream else 1,
+        have_memo=memo is not None,
+        have_chunk_store=memo is not None
+        and memo.contains("llcstream", _stream_key(workload, config, budget)),
+    )
+    if plan.route == ROUTE_FUSED:
+        return _simulate_fused_streaming(workload, policy, config, use_hints, budget)
     llc_config = config.hierarchy.llc
     vector_stream = None
     scalar_stream = None
-    if mode != SCALAR and supports_vector_replay(policy):
+    if plan.route == ROUTE_VECTOR:
         vector_stream = PolicyReplayStream(policy, llc_config)
-    if vector_stream is None or mode == VERIFY:
+    if vector_stream is None or plan.verify:
         scalar_stream = _ScalarLLCStream(policy, llc_config)
     for chunk in iter_llc_chunks(
         workload, config, max_chunk_accesses, backend=backend
@@ -932,7 +971,14 @@ def simulate_opt_streaming(
     filtered stream — use them at test scales only.
     """
     config = config or ExperimentConfig.default()
-    mode = resolve_backend(backend if backend is not None else config.backend)
+    plan = PLANNER.plan(
+        SimRequest(
+            schemes=("OPT",),
+            backend=backend if backend is not None else config.backend,
+            stage=STAGE_STREAMING,
+            hierarchy=config.hierarchy,
+        )
+    )
     llc_config = config.hierarchy.llc
     with ChunkSpill() as spill:
         starts: List[int] = []
@@ -953,7 +999,7 @@ def simulate_opt_streaming(
                 [spill.get("blocks", index) for index in range(count)]
             )
 
-        if mode == SCALAR:
+        if plan.route == ROUTE_OPT_SCALAR:
             return simulate_opt_misses(materialized(), llc_config)
         next_seen: dict = {}
         for index in reversed(range(count)):
@@ -973,7 +1019,7 @@ def simulate_opt_streaming(
             misses=stream.miss_count,
             evictions=stream.evictions,
         )
-        if mode == VERIFY:
+        if plan.verify:
             scalar_stats = simulate_opt_misses(materialized(), llc_config)
             assert_stats_equal(scalar_stats, stats, "streaming LLC OPT replay")
         return stats
@@ -1002,6 +1048,93 @@ def simulate_scheme_streaming(
         )
 
     return _memoised(_POLICY_STREAM_RUNS, "policystream", key, compute)
+
+
+def _fused_multi_targets(schemes, is_cached):
+    """Ordered unique schemes eligible for one shared fused-multi pass.
+
+    Filters out already-memoised schemes (nothing to compute), OPT
+    (offline) and ablation subclasses (no vector engine); returns the
+    surviving schemes with their live policy objects, aligned.
+    """
+    targets: List[str] = []
+    policies: List[ReplacementPolicy] = []
+    for scheme in dict.fromkeys(schemes):
+        if scheme == "OPT" or is_cached(scheme):
+            continue
+        policy = scheme_policy(scheme)
+        if not supports_vector_replay(policy):
+            continue
+        targets.append(scheme)
+        policies.append(policy)
+    return targets, policies
+
+
+def _maybe_fused_multi_streaming(
+    workload: Workload, schemes: Sequence[str], config: ExperimentConfig
+) -> None:
+    """Opportunistic fused multi-scheme full-execution pass.
+
+    When the planner picks the ``fused-multi`` route, every eligible
+    uncached scheme replays from one shared (natively threaded) filter
+    phase — the raw trace is generated and filtered once for all of them —
+    and the per-scheme stats land in the ``policystream`` memo, so the
+    per-scheme :func:`simulate_scheme_streaming` calls that follow are
+    pure memo hits.  Any other plan returns without side effects and the
+    staged materialize-once path runs exactly as before.
+    """
+    memo = active_disk_memo()
+    merged = workload.layout.profile.merged
+
+    def cached(scheme: str) -> bool:
+        key = policystream_memo_key(*workload.key, scheme, config, merged)
+        return key in _POLICY_STREAM_RUNS or (
+            memo is not None and memo.contains("policystream", key)
+        )
+
+    targets, policies = _fused_multi_targets(schemes, cached)
+    if len(targets) < 2:
+        return
+    budget = _chunk_budget(config, None)
+    plan = PLANNER.plan(
+        SimRequest(
+            schemes=tuple(targets),
+            policies=tuple(policies),
+            backend=config.backend,
+            stage=STAGE_STREAMING,
+            hierarchy=config.hierarchy,
+            have_memo=memo is not None,
+            have_chunk_store=memo is not None
+            and memo.contains("llcstream", _stream_key(workload, config, budget)),
+        )
+    )
+    if plan.route != ROUTE_FUSED_MULTI:
+        return
+    classifier = _hint_classifier(workload.layout, config.hierarchy.llc)
+    multi = MultiFusedPipeline(config.hierarchy, policies, classifier=classifier)
+    count = 0
+    for chunk in iter_execution_chunks(workload, budget):
+        multi.feed(chunk.trace)
+        count += 1
+    l1_hits, l2_hits = multi.upstream_hit_counts()
+    summary = {
+        "chunks": count,
+        "l1_hits": int(l1_hits),
+        "l2_hits": int(l2_hits),
+        "total_references": multi.total_references,
+    }
+    # Budget-less summary only — the budget-keyed manifest promises
+    # per-chunk ``llcchunk`` entries this path never writes (see
+    # _simulate_fused_streaming).
+    summary_key = _summary_key(workload, config)
+    _STREAM_SUMMARIES.setdefault(summary_key, summary)
+    if memo is not None and not memo.contains("llcstream", summary_key):
+        memo.put("llcstream", summary_key, summary)
+    for scheme, stats in zip(targets, multi.stats()):
+        key = policystream_memo_key(*workload.key, scheme, config, merged)
+        _POLICY_STREAM_RUNS[key] = stats
+        if memo is not None:
+            memo.put("policystream", key, stats)
 
 
 def execution_cycles(
@@ -1037,14 +1170,17 @@ def compare_policies_streaming(
     reorder = reorder or config.reorder
     timing: TimingModel = config.timing
     # Mirror compare_policies: when several schemes will replay the same
-    # stream and a memo can hold the filtered chunks, the staged
-    # persist-once path beats regenerating the trace per scheme (the fused
-    # gate checks for the active memo itself).
+    # stream, the planner first tries the fused multi-scheme route (one
+    # shared filter phase, N replays); when that is off the table the
+    # staged persist-once path materializes the filtered chunks for every
+    # scheme to replay (the per-scheme fused gate checks for the active
+    # memo itself).
     shared = len({baseline, *schemes}) > 1
     points: List[DataPoint] = []
     for dataset_name in dataset_names:
         for app_name in app_names:
             workload = build_workload(app_name, dataset_name, reorder=reorder, config=config)
+            _maybe_fused_multi_streaming(workload, (baseline, *schemes), config)
             baseline_stats = simulate_scheme_streaming(
                 workload, baseline, config, shared_stream=shared
             )
@@ -1137,9 +1273,20 @@ def simulate_corun(
     """
     config = config or ExperimentConfig.default()
     reorder = reorder or config.reorder
-    if scheme == "OPT":
-        raise ValueError("OPT is offline and has no co-run analogue")
-    if spec.num_streams == 1 and spec.partition is None:
+    # The planner rejects OPT (offline, no co-run analogue) and owns the
+    # delegate / vector / PIN-fallback decisions.
+    plan = PLANNER.plan(
+        SimRequest(
+            schemes=(scheme,),
+            policies=(scheme_policy(scheme),) if scheme != "OPT" else (),
+            backend=config.backend,
+            stage=STAGE_CORUN,
+            hierarchy=config.hierarchy,
+            partition=spec.partition,
+            num_streams=spec.num_streams,
+        )
+    )
+    if plan.route == ROUTE_CORUN_DELEGATE:
         app_name, dataset_name = spec.pairs[0]
         workload = build_workload(app_name, dataset_name, reorder=reorder, config=config)
         return simulate_scheme_streaming(workload, scheme, config)
@@ -1162,14 +1309,13 @@ def simulate_corun(
         )
         llc_config = config.hierarchy.llc
         policy = scheme_policy(scheme)
-        mode = resolve_backend(config.backend)
         vector_stream = None
         scalar_stream = None
-        if mode != SCALAR and supports_vector_corun(policy, spec.partition):
+        if plan.route == ROUTE_CORUN_VECTOR:
             vector_stream = CorunReplayStream(
                 policy, llc_config, spec.num_streams, partition=spec.partition
             )
-        if vector_stream is None or mode == VERIFY:
+        if vector_stream is None or plan.verify:
             scalar_stream = _ScalarCorunStream(
                 scheme_policy(scheme) if vector_stream is not None else policy,
                 llc_config,
@@ -1366,25 +1512,29 @@ def simulate_scheme(
     key = policy_memo_key(*workload.key, scheme, config, workload.layout.profile.merged)
 
     def compute() -> CacheStats:
-        if (
-            not shared_trace
-            and scheme != "OPT"
-            and resolve_backend(config.backend) == VECTOR
-        ):
-            policy = scheme_policy(scheme)
-            if fused_native_supported(policy, config.hierarchy):
-                trace_key = _roi_summary_key(workload, config)
-                memo = active_disk_memo()
-                cached = trace_key in _LLC_TRACES or (
-                    memo is not None and memo.contains("llctrace", trace_key)
-                )
-                if not cached:
-                    return _simulate_fused_roi(workload, policy, config)
+        policy = scheme_policy(scheme) if scheme != "OPT" else None
+        trace_key = _roi_summary_key(workload, config)
+        memo = active_disk_memo()
+        plan = PLANNER.plan(
+            SimRequest(
+                schemes=(scheme,),
+                policies=(policy,) if policy is not None else (),
+                backend=config.backend,
+                stage=STAGE_ROI,
+                hierarchy=config.hierarchy,
+                consumers=2 if shared_trace else 1,
+                have_memo=memo is not None,
+                have_trace_cache=trace_key in _LLC_TRACES
+                or (memo is not None and memo.contains("llctrace", trace_key)),
+            )
+        )
+        if plan.route == ROUTE_FUSED:
+            return _simulate_fused_roi(workload, policy, config)
         llc_trace = llc_trace_for(workload, config)
         if scheme == "OPT":
             return simulate_opt(llc_trace, config.hierarchy.llc, backend=config.backend)
         return simulate_llc_policy(
-            llc_trace, scheme_policy(scheme), config.hierarchy.llc, backend=config.backend
+            llc_trace, policy, config.hierarchy.llc, backend=config.backend
         )
 
     return _memoised(_POLICY_RUNS, "policy", key, compute)
@@ -1408,6 +1558,66 @@ def workload_cycles(workload: Workload, stats: CacheStats, config: ExperimentCon
 # multi-scheme comparison (shared by Figs. 5-9)
 # ---------------------------------------------------------------------------
 
+def _maybe_fused_multi_roi(
+    workload: Workload, schemes: Sequence[str], config: ExperimentConfig
+) -> None:
+    """Opportunistic fused multi-scheme ROI pass.
+
+    The ROI analogue of :func:`_maybe_fused_multi_streaming`: under the
+    ``fused-multi`` plan, one shared filter pass over the ROI stream feeds
+    every eligible uncached scheme's replay engine, stats land in the
+    ``policy`` memo and the shared L1/L2 counters in ``roisummary`` — the
+    filtered ROI trace is never materialized.  Any other plan leaves the
+    staged materialize-once behaviour untouched.
+    """
+    memo = active_disk_memo()
+    merged = workload.layout.profile.merged
+
+    def cached(scheme: str) -> bool:
+        key = policy_memo_key(*workload.key, scheme, config, merged)
+        return key in _POLICY_RUNS or (
+            memo is not None and memo.contains("policy", key)
+        )
+
+    targets, policies = _fused_multi_targets(schemes, cached)
+    if len(targets) < 2:
+        return
+    trace_key = _roi_summary_key(workload, config)
+    plan = PLANNER.plan(
+        SimRequest(
+            schemes=tuple(targets),
+            policies=tuple(policies),
+            backend=config.backend,
+            stage=STAGE_ROI,
+            hierarchy=config.hierarchy,
+            have_memo=memo is not None,
+            have_trace_cache=trace_key in _LLC_TRACES
+            or (memo is not None and memo.contains("llctrace", trace_key)),
+        )
+    )
+    if plan.route != ROUTE_FUSED_MULTI:
+        return
+    classifier = _hint_classifier(workload.layout, config.hierarchy.llc)
+    multi = MultiFusedPipeline(config.hierarchy, policies, classifier=classifier)
+    for piece in iter_trace_slices(roi_trace(workload), _chunk_budget(config, None)):
+        multi.feed(piece)
+    l1_hits, l2_hits = multi.upstream_hit_counts()
+    _store_roi_summary(
+        workload,
+        config,
+        {
+            "l1_hits": int(l1_hits),
+            "l2_hits": int(l2_hits),
+            "total_references": multi.total_references,
+        },
+    )
+    for scheme, stats in zip(targets, multi.stats()):
+        key = policy_memo_key(*workload.key, scheme, config, merged)
+        _POLICY_RUNS[key] = stats
+        if memo is not None:
+            memo.put("policy", key, stats)
+
+
 def compare_policies(
     app_names: Sequence[str],
     dataset_names: Sequence[str],
@@ -1425,14 +1635,18 @@ def compare_policies(
     config = config or ExperimentConfig.default()
     reorder = reorder or config.reorder
     timing: TimingModel = config.timing
-    # With several distinct schemes replaying one workload, materializing the
-    # filtered ROI trace once beats the fused single-pass route, which would
-    # regenerate the raw trace for every scheme.
+    # With several distinct schemes replaying one workload, the planner
+    # first tries the fused multi-scheme route (one shared filter phase, N
+    # replays, nothing materialized); otherwise the staged path
+    # materializes the filtered ROI trace once and replays every scheme
+    # from it — the per-scheme fused route would regenerate the raw trace
+    # for each.
     shared = len({baseline, *schemes}) > 1
     points: List[DataPoint] = []
     for dataset_name in dataset_names:
         for app_name in app_names:
             workload = build_workload(app_name, dataset_name, reorder=reorder, config=config)
+            _maybe_fused_multi_roi(workload, (baseline, *schemes), config)
             baseline_stats = simulate_scheme(workload, baseline, config, shared_trace=shared)
             baseline_cycles = workload_cycles(workload, baseline_stats, config)
             for scheme in schemes:
@@ -1456,6 +1670,82 @@ def compare_policies(
                     )
                 )
     return points
+
+
+# ---------------------------------------------------------------------------
+# task planning (sweep manifests, `repro plan explain`)
+# ---------------------------------------------------------------------------
+
+def plan_scheme_task(
+    app_name: str,
+    dataset_name: str,
+    reorder: str,
+    scheme: str,
+    config: ExperimentConfig,
+    streaming: bool = False,
+) -> ExecutionPlan:
+    """Plan one (app, dataset, scheme) task without building its workload.
+
+    Memo keys are computable from the experiment parameters alone, so the
+    memo-environment flags (cached ROI trace, persisted chunk store) are
+    probed directly from the on-disk store — the sweep service embeds
+    these plans in run manifests and ``repro plan explain`` answers before
+    any simulation runs.  The returned plan is exactly the one the
+    corresponding :func:`simulate_scheme` / :func:`simulate_scheme_streaming`
+    call would execute under the same memo state.
+    """
+    policies = (scheme_policy(scheme),) if scheme != "OPT" else ()
+    memo = active_disk_memo()
+    merged = config.merged_properties
+    if streaming:
+        budget = _chunk_budget(config, None)
+        stream_key = llcstream_summary_memo_key(
+            app_name, dataset_name, reorder, config, merged
+        ) + (budget,)
+        have_chunk_store = memo is not None and memo.contains("llcstream", stream_key)
+        have_trace_cache = False
+        stage = STAGE_STREAMING
+    else:
+        trace_key = llctrace_memo_key(app_name, dataset_name, reorder, config, merged)
+        have_trace_cache = trace_key in _LLC_TRACES or (
+            memo is not None and memo.contains("llctrace", trace_key)
+        )
+        have_chunk_store = False
+        stage = STAGE_ROI
+    return PLANNER.plan(
+        SimRequest(
+            schemes=(scheme,),
+            policies=policies,
+            backend=config.backend,
+            stage=stage,
+            hierarchy=config.hierarchy,
+            have_memo=memo is not None,
+            have_chunk_store=have_chunk_store,
+            have_trace_cache=have_trace_cache,
+        )
+    )
+
+
+def plan_corun_task(
+    spec: CorunSpec, scheme: str, config: ExperimentConfig
+) -> ExecutionPlan:
+    """Plan one co-run task (the co-run analogue of :func:`plan_scheme_task`).
+
+    Raises :class:`ValueError` for OPT, exactly as :func:`simulate_corun`
+    would.
+    """
+    policies = (scheme_policy(scheme),) if scheme != "OPT" else ()
+    return PLANNER.plan(
+        SimRequest(
+            schemes=(scheme,),
+            policies=policies,
+            backend=config.backend,
+            stage=STAGE_CORUN,
+            hierarchy=config.hierarchy,
+            partition=spec.partition,
+            num_streams=spec.num_streams,
+        )
+    )
 
 
 def geometric_mean_speedup(points: Sequence[DataPoint]) -> float:

@@ -73,6 +73,7 @@ from repro.experiments.runner import (
     llc_trace_for,
     llcstream_summary_memo_key,
     llctrace_memo_key,
+    plan_scheme_task,
     policy_memo_key,
     policystream_memo_key,
     set_disk_memo,
@@ -657,6 +658,28 @@ def manifest_path(cache_dir: Path | str, run_id: str) -> Path:
     return runs_root(cache_dir) / run_id / "manifest.json"
 
 
+def sweep_plans(spec: SweepSpec, config: ExperimentConfig) -> Dict[str, Any]:
+    """Execution plans for every simulated task of a sweep, manifest-ready.
+
+    One :meth:`~repro.fastsim.plan.ExecutionPlan.to_json` entry per
+    (app, dataset, scheme) replay task, keyed ``app/dataset/scheme``.
+    Plans are computed from the experiment parameters and the current memo
+    state alone (no workload is built), so they can be written before
+    execution starts — the same planning the workers will do when the
+    tasks actually run.
+    """
+    reorder = spec.resolved_reorder(config)
+    plans: Dict[str, Any] = {}
+    for dataset in spec.datasets:
+        for app in spec.apps:
+            for scheme in spec.all_schemes():
+                plan = plan_scheme_task(
+                    app, dataset, reorder, scheme, config, streaming=spec.streaming
+                )
+                plans[f"{app}/{dataset}/{scheme}"] = plan.to_json()
+    return plans
+
+
 def _write_manifest(
     path: Path,
     run_id: str,
@@ -677,6 +700,7 @@ def _write_manifest(
         "worker_backend": backend_name,
         "spec": spec.to_json(),
         "config": config_to_json(config),
+        "plans": sweep_plans(spec, config),
     }
     if scheduler is not None:
         payload["counters"] = scheduler.report.to_json()
@@ -895,5 +919,6 @@ __all__ = [
     "resume_sweep",
     "run_sweep",
     "runs_root",
+    "sweep_plans",
     "sweep_tasks",
 ]

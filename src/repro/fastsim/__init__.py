@@ -36,12 +36,22 @@ over whole traces:
     lazily-compiled translation unit (nothing compiles at import time).  The
     ``*_replay`` dispatchers use them automatically; set ``REPRO_NATIVE=0``
     or remove the compiler and everything transparently stays on NumPy.
-    (:mod:`repro.fastsim._native` remains as a thin facade for old imports.)
+    (:mod:`repro.fastsim._native` is a *deprecated* facade for old imports —
+    it emits a :class:`DeprecationWarning`; import the registry instead.)
 ``pipeline``
     The fused single-pass pipeline: L1/L2 filtering and the LLC replay of
     one policy run in a single native call per trace chunk, threaded across
     set-group shards (``REPRO_THREADS``), bit-identical to the staged
-    engines at any thread count.
+    engines at any thread count.  :class:`MultiFusedPipeline` is the
+    multi-scheme variant: one shared filter phase feeding N policies'
+    replay engines.
+``plan``
+    Capability-driven execution planning: :class:`~repro.fastsim.plan.RoutePlanner`
+    maps a :class:`~repro.fastsim.plan.SimRequest` to an explicit, serializable
+    :class:`~repro.fastsim.plan.ExecutionPlan` naming the route, engine,
+    kernel tier, backend and every fallback reason.  The experiment runner
+    routes all simulation through plans, and imports its engines through
+    this module's execution-surface re-exports.
 ``filter``
     The L1-D/L2 filter of pipeline stage 5 (both levels are always LRU, see
     Sec. IV of the paper), with a scalar reference path and an equivalence
@@ -116,9 +126,20 @@ from repro.fastsim.pin import (
 from repro.fastsim.pipeline import (
     FusedPipeline,
     FusedStats,
+    MultiFusedPipeline,
     effective_threads,
     fused_native_supported,
     fused_supported,
+)
+from repro.fastsim.plan import (
+    ENGINE_CAPABILITIES,
+    EngineCapabilities,
+    ExecutionPlan,
+    PLANNER,
+    RoutePlanner,
+    SimRequest,
+    capabilities_for,
+    plan_request,
 )
 from repro.fastsim.replay import (
     PolicyReplayStream,
@@ -159,7 +180,13 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "BACKENDS",
     "CorunReplayStream",
+    "ENGINE_CAPABILITIES",
+    "EngineCapabilities",
+    "ExecutionPlan",
+    "PLANNER",
+    "RoutePlanner",
     "SCALAR",
+    "SimRequest",
     "VECTOR",
     "VERIFY",
     "DenseIdMap",
@@ -168,6 +195,7 @@ __all__ = [
     "FilterStream",
     "FusedPipeline",
     "FusedStats",
+    "MultiFusedPipeline",
     "HawkeyeReplay",
     "HawkeyeSpec",
     "HawkeyeStream",
@@ -188,6 +216,7 @@ __all__ = [
     "ShipReplay",
     "ShipSpec",
     "ShipStream",
+    "capabilities_for",
     "default_backend",
     "effective_threads",
     "fused_native_supported",
@@ -209,6 +238,7 @@ __all__ = [
     "opt_replay",
     "pin_replay",
     "pin_spec",
+    "plan_request",
     "previous_occurrence_indices",
     "prior_leq_counts",
     "resolve_chunk_next_use",

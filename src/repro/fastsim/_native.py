@@ -1,4 +1,4 @@
-"""Backward-compatible facade over :mod:`repro.fastsim.kernels`.
+"""Deprecated facade over :mod:`repro.fastsim.kernels`.
 
 The compiled replay kernels historically lived here as one ~1.2k-line
 module; they now live in the kernel registry package
@@ -6,15 +6,26 @@ module; they now live in the kernel registry package
 with shared C steps in :mod:`~repro.fastsim.kernels.core` and the fused
 threaded pipeline in :mod:`~repro.fastsim.kernels.fused`.  This module
 re-exports the original API — ``available()`` plus the per-family
-``*_feed`` / ``*_replay`` wrappers — so existing imports keep working;
-new code should import from :mod:`repro.fastsim.kernels` and use
-capability probes (:func:`~repro.fastsim.kernels.has_capability`) instead
-of hard-coding function names.
+``*_feed`` / ``*_replay`` wrappers — so existing imports keep working,
+but importing it now emits a :class:`DeprecationWarning` (CI promotes
+repro deprecations to errors, so nothing inside the repo may import it).
+Import from :mod:`repro.fastsim.kernels` instead and use capability
+probes (:func:`~repro.fastsim.kernels.has_capability`) rather than
+hard-coding function names.
 """
 
 from __future__ import annotations
 
-from repro.fastsim.kernels import (
+import warnings
+
+warnings.warn(
+    "repro.fastsim._native is deprecated; import repro.fastsim.kernels "
+    "instead (same names, plus the capability-probe API)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.fastsim.kernels import (  # noqa: E402
     NATIVE_ENV_VAR,
     available,
     hawkeye_feed,

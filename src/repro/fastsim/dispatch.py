@@ -34,16 +34,25 @@ BACKEND_ENV_VAR = "REPRO_SIM_BACKEND"
 _default_backend: Optional[str] = None
 
 
-def _validate(name: str) -> str:
+def _validate(name: str, source: Optional[str] = None) -> str:
     if name not in BACKENDS:
-        raise ValueError(f"unknown simulation backend {name!r}; expected one of {BACKENDS}")
+        origin = f" (from {source})" if source else ""
+        raise ValueError(
+            f"unknown simulation backend {name!r}{origin}; expected one of {BACKENDS}"
+        )
     return name
 
 
 def set_default_backend(name: Optional[str]) -> None:
-    """Install a process-wide default backend (``None`` restores env/default)."""
+    """Install a process-wide default backend (``None`` restores env/default).
+
+    Accepts the same spellings as ``REPRO_SIM_BACKEND``: surrounding
+    whitespace and case are normalized before validation.
+    """
     global _default_backend
-    _default_backend = _validate(name) if name is not None else None
+    _default_backend = (
+        _validate(name.strip().lower()) if name is not None else None
+    )
 
 
 def default_backend() -> str:
@@ -52,7 +61,7 @@ def default_backend() -> str:
         return _default_backend
     env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
     if env:
-        return _validate(env)
+        return _validate(env, source=BACKEND_ENV_VAR)
     return VECTOR
 
 

@@ -22,7 +22,7 @@ from repro.cache import SetAssociativeCache
 from repro.cache.config import HierarchyConfig
 from repro.cache.policies import LRUPolicy
 from repro.cache.stats import CacheStats
-from repro.fastsim import _native
+from repro.fastsim import kernels
 from repro.fastsim.dispatch import SCALAR, VECTOR, resolve_backend
 from repro.fastsim.stackdist import (
     LRUReplay,
@@ -102,7 +102,7 @@ def vector_filter(trace: Trace, hierarchy: HierarchyConfig) -> FilterResult:
     # The block sort (and the previous-occurrence links derived from it) only
     # feeds the NumPy stack-distance engine; the compiled kernel tracks
     # recency in-line and needs neither.
-    occ = None if _native.available() else occurrence_order(head_blocks)
+    occ = None if kernels.available() else occurrence_order(head_blocks)
     l1_replay = lru_replay(
         head_blocks,
         hierarchy.l1.num_sets,

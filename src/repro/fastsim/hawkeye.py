@@ -23,7 +23,7 @@ block/PC ids and ring-buffer occupancy vectors and is the throughput path
 (the NumPy engine is the exactness/portability fallback, as for RRIP).
 
 :func:`hawkeye_replay` dispatches to the compiled kernel
-(:func:`repro.fastsim._native.hawkeye_replay`) when one is available and to
+(:func:`repro.fastsim.kernels.hawkeye_replay`) when one is available and to
 :func:`numpy_hawkeye_replay` otherwise; both are exact, including the final
 predictor contents.
 """
@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.policies.hawkeye import HawkeyePolicy, _OptGen
-from repro.fastsim import _native
+from repro.fastsim import kernels
 from repro.fastsim.leeway import _pc_array
 from repro.fastsim.rrip import _chunk_end
 from repro.fastsim.stackdist import (
@@ -131,7 +131,7 @@ class HawkeyeStream:
         self.spec = spec
         self._history = spec.history_factor * ways
         if use_native is None:
-            use_native = _native.available() and self._history > 0
+            use_native = kernels.available() and self._history > 0
         self._use_native = bool(use_native)
         self.misses_per_set = np.zeros(num_sets, dtype=np.int64)
         self.hit_count = 0
@@ -213,7 +213,7 @@ class HawkeyeStream:
         )
         self._last_access = grow_to(self._last_access, len(self._block_ids), -1)
         self._last_pc = grow_to(self._last_pc, len(self._block_ids), 0)
-        hits = _native.hawkeye_feed(
+        hits = kernels.hawkeye_feed(
             blocks,
             block_ids,
             pc_ids,
@@ -376,7 +376,7 @@ def hawkeye_replay(
 
     ``num_sets`` must be a power of two (set index is ``block & mask``,
     matching :class:`repro.cache.cache.SetAssociativeCache`).  Dispatches to
-    the compiled kernel (:mod:`repro.fastsim._native`) when available and to
+    the compiled kernel (:mod:`repro.fastsim.kernels`) when available and to
     :func:`numpy_hawkeye_replay` otherwise; both are exact.
     """
     blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
@@ -384,7 +384,7 @@ def hawkeye_replay(
     pc_values = _pc_array(pcs, n)
     unique_blocks, block_ids = np.unique(blocks, return_inverse=True)
     unique_pcs, pc_ids = np.unique(pc_values, return_inverse=True)
-    native = _native.hawkeye_replay(
+    native = kernels.hawkeye_replay(
         blocks,
         block_ids.astype(np.int64),
         int(unique_blocks.shape[0]),

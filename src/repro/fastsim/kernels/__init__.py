@@ -39,6 +39,7 @@ from repro.fastsim.kernels.hawkeye import hawkeye_feed, hawkeye_replay
 from repro.fastsim.kernels.fused import (
     FilterState,
     RegionTable,
+    fused_filter_feed,
     fused_hawkeye_feed,
     fused_leeway_feed,
     fused_lru_feed,
@@ -58,6 +59,7 @@ __all__ = [
     "available",
     "build_key",
     "capabilities",
+    "fused_filter_feed",
     "fused_hawkeye_feed",
     "fused_leeway_feed",
     "fused_lru_feed",

@@ -164,6 +164,15 @@ static void fused_filter(const int64_t *blocks, int64_t n, int32_t nthreads,
                  l1_clocks, l1_miss, l2_sets, l2_ways, l2_tags, l2_stamps,   \
                  l2_clocks, l2_miss, out)
 
+/* Filter-only entry: run the threaded L1/L2 phase and stop, leaving the
+ * "kept" placeholder (2) on every LLC-bound access.  Lets one filter pass
+ * feed any number of per-policy LLC engines (the fused multi-scheme route)
+ * without duplicating the filter work or materializing a filtered trace. */
+void fused_filter_only(FUSED_FILTER_ARGS, uint8_t *out)
+{
+    FUSED_RUN_FILTER();
+}
+
 /* Fused LRU pipeline: per-set LLC recency clocks (outcome-equivalent to the
  * staged engine's global clock; see kernels/core.py). */
 void fused_lru(FUSED_FILTER_ARGS, int32_t num_sets, int32_t ways,
@@ -326,6 +335,7 @@ register_kernel(
         name="fused",
         source=_SOURCE,
         functions={
+            "fused_filter_only": _FILTER_ARGTYPES + [p_u8],
             "fused_lru": _FILTER_ARGTYPES + [i32, i32, p_i64, p_i64, p_i64, p_i64, p_u8],
             "fused_rrip": _FILTER_ARGTYPES + [
                 p_i64, p_i64, p_i64, p_i32, i32,
@@ -353,6 +363,7 @@ register_kernel(
         },
         capabilities=(
             "fused",
+            "fused:filter",
             "fused:lru",
             "fused:rrip",
             "fused:pin",
@@ -448,6 +459,20 @@ def _prep(blocks, out_n):
     blocks = np.ascontiguousarray(blocks, dtype=np.int64)
     out = np.empty(out_n, dtype=np.uint8)
     return blocks, out
+
+
+def fused_filter_feed(blocks, nthreads, filt):
+    """Threaded L1/L2 filter phase over one chunk; ``None`` when unavailable.
+
+    Returns the per-access outcome vector with the LLC phase left unrun:
+    0 = L1 hit, 1 = L2 hit, 2 = kept (LLC-bound).
+    """
+    kernel = registry.lookup("fused_filter_only")
+    if kernel is None:
+        return None
+    blocks, out = _prep(blocks, len(blocks))
+    kernel(*_filter_args(blocks, len(blocks), nthreads, filt), as_u8(out))
+    return out
 
 
 def fused_lru_feed(blocks, nthreads, filt, num_sets, ways, tags, stamps,

@@ -17,7 +17,7 @@ deepest predicted-dead line, else plain LRU.  PC signatures are densified
 with one ``np.unique`` so the predictor is flat arrays rather than dicts.
 
 :func:`leeway_replay` dispatches to the compiled kernel
-(:func:`repro.fastsim._native.leeway_replay`) when one is available and to
+(:func:`repro.fastsim.kernels.leeway_replay`) when one is available and to
 :func:`numpy_leeway_replay` otherwise; both are exact, including the final
 predicted live distances.
 """
@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.policies.leeway import LeewayPolicy
-from repro.fastsim import _native
+from repro.fastsim import kernels
 from repro.fastsim.rrip import _chunk_end
 from repro.fastsim.stackdist import (
     DenseIdMap,
@@ -116,7 +116,7 @@ class LeewayStream:
         self.ways = ways
         self.spec = spec
         self._use_native = (
-            _native.available() if use_native is None else bool(use_native)
+            kernels.available() if use_native is None else bool(use_native)
         )
         self.tags = np.full((num_sets, ways), -1, dtype=np.int64)
         # positions[s, w] is way w's depth in set s's recency stack (0 = MRU);
@@ -170,7 +170,7 @@ class LeewayStream:
         self._votes = grow_to(self._votes, len(self._pc_ids), 0)
         hits = None
         if self._use_native:
-            hits = _native.leeway_feed(
+            hits = kernels.leeway_feed(
                 blocks,
                 pc_ids,
                 self.num_sets,
@@ -309,14 +309,14 @@ def leeway_replay(
 
     ``num_sets`` must be a power of two (set index is ``block & mask``,
     matching :class:`repro.cache.cache.SetAssociativeCache`).  Dispatches to
-    the compiled kernel (:mod:`repro.fastsim._native`) when available and to
+    the compiled kernel (:mod:`repro.fastsim.kernels`) when available and to
     :func:`numpy_leeway_replay` otherwise; both are exact.
     """
     blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
     n = int(blocks.shape[0])
     pc_values = _pc_array(pcs, n)
     unique_pcs, pc_ids = np.unique(pc_values, return_inverse=True)
-    native = _native.leeway_replay(
+    native = kernels.leeway_replay(
         blocks,
         pc_ids.astype(np.int64),
         int(unique_pcs.shape[0]),

@@ -22,7 +22,7 @@ so the engine's leftmost-way tie-break is exact with respect to the scalar
 reference even though the latter breaks ties in dict-insertion order.
 
 :func:`opt_replay` dispatches to the compiled kernel
-(:func:`repro.fastsim._native.opt_replay`) when one is available and to
+(:func:`repro.fastsim.kernels.opt_replay`) when one is available and to
 :func:`numpy_opt_replay` otherwise; both are exact.
 """
 
@@ -33,7 +33,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.fastsim import _native
+from repro.fastsim import kernels
 from repro.fastsim.rrip import _chunk_end
 from repro.fastsim.stackdist import occurrence_order, previous_occurrence_indices
 
@@ -132,7 +132,7 @@ class OptStream:
         self.num_sets = num_sets
         self.ways = ways
         self._use_native = (
-            _native.available() if use_native is None else bool(use_native)
+            kernels.available() if use_native is None else bool(use_native)
         )
         self.tags = np.full((num_sets, ways), -1, dtype=np.int64)
         self.next_values = np.zeros((num_sets, ways), dtype=np.int64)
@@ -157,7 +157,7 @@ class OptStream:
             return np.zeros(0, dtype=bool)
         hits = None
         if self._use_native:
-            hits = _native.opt_feed(
+            hits = kernels.opt_feed(
                 blocks,
                 np.ascontiguousarray(next_use, dtype=np.int64),
                 self.num_sets,
@@ -241,12 +241,12 @@ def opt_replay(block_addresses: np.ndarray, num_sets: int, ways: int) -> OptRepl
 
     ``num_sets`` must be a power of two (set index is ``block & mask``,
     matching the scalar reference).  Dispatches to the compiled kernel
-    (:mod:`repro.fastsim._native`) when available and to
+    (:mod:`repro.fastsim.kernels`) when available and to
     :func:`numpy_opt_replay` otherwise; both are exact.
     """
     blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
     next_use = next_use_indices(blocks)
-    native = _native.opt_replay(blocks, next_use, num_sets, ways)
+    native = kernels.opt_replay(blocks, next_use, num_sets, ways)
     if native is not None:
         native_hits, misses_per_set = native
         return OptReplay(hits=native_hits, misses_per_set=misses_per_set, ways=ways)

@@ -22,7 +22,7 @@ the pinned mask simply layers on top:
   nothing) and leave every piece of state untouched, including PSEL.
 
 :func:`pin_replay` dispatches to the compiled kernel
-(:func:`repro.fastsim._native.pin_replay`) when one is available and to
+(:func:`repro.fastsim.kernels.pin_replay`) when one is available and to
 :func:`numpy_pin_replay` otherwise; both are exact, including the final
 PSEL / bimodal-counter state and the per-set pinned populations.
 """
@@ -37,7 +37,7 @@ import numpy as np
 from repro.cache.hints import HINT_HIGH
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.policies.pin import PinningPolicy
-from repro.fastsim import _native
+from repro.fastsim import kernels
 from repro.fastsim.rrip import (
     RRIPSpec,
     _chunk_end,
@@ -142,7 +142,7 @@ class PinStream:
         self.ways = ways
         self.spec = spec
         self._use_native = (
-            _native.available() if use_native is None else bool(use_native)
+            kernels.available() if use_native is None else bool(use_native)
         )
         self.tags = np.full((num_sets, ways), -1, dtype=np.int64)
         self.rrpv = np.full((num_sets, ways), spec.max_rrpv, dtype=np.int32)
@@ -190,7 +190,7 @@ class PinStream:
             return np.zeros(0, dtype=bool)
         hits = None
         if self._use_native:
-            hits = _native.pin_feed(
+            hits = kernels.pin_feed(
                 blocks,
                 hint_values.astype(np.uint8),
                 self.num_sets,
@@ -350,13 +350,13 @@ def pin_replay(
 
     ``num_sets`` must be a power of two (set index is ``block & mask``,
     matching :class:`repro.cache.cache.SetAssociativeCache`).  Dispatches to
-    the compiled kernel (:mod:`repro.fastsim._native`) when available and to
+    the compiled kernel (:mod:`repro.fastsim.kernels`) when available and to
     :func:`numpy_pin_replay` otherwise; both are exact.
     """
     blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
     n = int(blocks.shape[0])
     hint_values = _hint_array(hints, n)
-    native = _native.pin_replay(
+    native = kernels.pin_replay(
         blocks,
         hint_values.astype(np.uint8),
         num_sets,

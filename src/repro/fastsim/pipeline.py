@@ -436,9 +436,152 @@ class FusedPipeline:
         return self.stats()
 
 
+class MultiFusedPipeline:
+    """One shared filter phase feeding N per-policy LLC replay engines.
+
+    The fused multi-scheme route: each raw trace chunk runs through the
+    threaded native L1/L2 filter exactly once
+    (:func:`repro.fastsim.kernels.fused.fused_filter_feed`), and the kept
+    accesses — compacted, hint-classified once — feed every policy's
+    :class:`~repro.fastsim.replay.PolicyReplayStream`.  Compared with
+    replaying the same N schemes one at a time, the raw trace is generated
+    once instead of N times and filtered once instead of N times, with no
+    filtered stream ever materialized to memory beyond the current chunk
+    or to disk at all.
+
+    Every policy must satisfy
+    :func:`~repro.fastsim.replay.supports_vector_replay`; per-policy LLC
+    statistics are bit-identical to running each policy alone through the
+    staged (or fused single-policy) pipeline.  Without the native filter
+    kernel the shared phase runs on the staged vector
+    :class:`~repro.fastsim.filter.FilterStream` — same results, NumPy-only
+    friendly — though the planner prefers the staged materialize-once path
+    in that environment.
+    """
+
+    def __init__(
+        self,
+        hierarchy: HierarchyConfig,
+        policies,
+        *,
+        classifier=None,
+        use_hints: bool = True,
+        threads: Optional[int] = None,
+    ) -> None:
+        from repro.fastsim.replay import supports_vector_replay
+
+        policies = list(policies)
+        if not policies:
+            raise ValueError("MultiFusedPipeline needs at least one policy")
+        for policy in policies:
+            if not supports_vector_replay(policy) or type(policy) is BeladyOptimal:
+                raise ValueError(
+                    f"policy {policy!r} has no vector replay engine; "
+                    "use supports_vector_replay() before dispatching"
+                )
+        self.hierarchy = hierarchy
+        self.policies = policies
+        requested = kernels.thread_count() if threads is None else int(threads)
+        self.threads = effective_threads(requested, hierarchy)
+        self.native = kernels.has_capability("fused:filter")
+        self._offset_bits = hierarchy.l1.block_offset_bits
+        self._use_hints = use_hints and classifier is not None
+        self._classifier = classifier
+        self._replays = [
+            PolicyReplayStream(policy, hierarchy.llc) for policy in policies
+        ]
+        if self.native:
+            self._filt = FilterState(
+                hierarchy.l1.num_sets, hierarchy.l1.ways,
+                hierarchy.l2.num_sets, hierarchy.l2.ways,
+            )
+            self._l1_hits = 0
+            self._l2_hits = 0
+            self._total = 0
+        else:
+            self._filter = FilterStream(hierarchy, backend="vector")
+
+    def feed(self, trace: Trace) -> None:
+        """Filter one raw chunk once; advance every policy's replay."""
+        n = len(trace)
+        if n == 0:
+            return
+        if self.native:
+            blocks = trace.block_addresses(self._offset_bits)
+            out = kernels.fused_filter_feed(blocks, self.threads, self._filt)
+            if out is None:
+                raise RuntimeError(
+                    "fused filter kernel disappeared mid-stream; "
+                    "construct a fresh MultiFusedPipeline"
+                )
+            keep = out == 2
+            kept_blocks = blocks[keep]
+            l1_hits = int(np.count_nonzero(out == 0))
+            self._total += n
+            self._l1_hits += l1_hits
+            self._l2_hits += n - l1_hits - int(kept_blocks.shape[0])
+        else:
+            keep = self._filter.feed(trace)
+            kept_blocks = None
+        addresses = trace.addresses[keep]
+        if kept_blocks is None:
+            kept_blocks = addresses >> self._offset_bits
+        hints = None
+        if self._use_hints:
+            hints = self._classifier.classify_array(addresses)
+        regions = np.asarray(trace.regions)[keep]
+        pcs = np.asarray(trace.pcs, dtype=np.int64)[keep]
+        for replay in self._replays:
+            replay.feed(kept_blocks, hints=hints, regions=regions, pcs=pcs)
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def total_references(self) -> int:
+        """Accesses fed so far (all levels see the same reference stream)."""
+        if self.native:
+            return self._total
+        return self._filter.total_references
+
+    def upstream_hit_counts(self):
+        """Aggregate ``(l1_hits, l2_hits)`` of the shared filter phase."""
+        if self.native:
+            return self._l1_hits, self._l2_hits
+        return self._filter.upstream_hit_counts()
+
+    def level_stats(self):
+        """``(l1_stats, l2_stats)`` of the shared filter phase."""
+        if not self.native:
+            return self._filter.level_stats()
+        hierarchy = self.hierarchy
+        kept = self._total - self._l1_hits - self._l2_hits
+        l1 = CacheStats.from_counts(
+            name=hierarchy.l1.name,
+            hits=self._l1_hits,
+            misses=self._total - self._l1_hits,
+            evictions=int(
+                np.maximum(0, self._filt.l1_misses - hierarchy.l1.ways).sum()
+            ),
+        )
+        l2 = CacheStats.from_counts(
+            name=hierarchy.l2.name,
+            hits=self._l2_hits,
+            misses=kept,
+            evictions=int(
+                np.maximum(0, self._filt.l2_misses - hierarchy.l2.ways).sum()
+            ),
+        )
+        return l1, l2
+
+    def stats(self):
+        """Per-policy LLC :class:`CacheStats`, in constructor policy order."""
+        return [replay.stats() for replay in self._replays]
+
+
 __all__ = [
     "FusedPipeline",
     "FusedStats",
+    "MultiFusedPipeline",
     "effective_threads",
     "fused_native_supported",
     "fused_supported",

@@ -31,7 +31,7 @@ so :func:`rrip_spec` returns ``None`` for anything else and the caller falls
 back to the scalar simulator.
 
 :func:`rrip_replay` dispatches to the compiled kernel
-(:func:`repro.fastsim._native.rrip_replay`) when one is available and to
+(:func:`repro.fastsim.kernels.rrip_replay`) when one is available and to
 :func:`numpy_rrip_replay` otherwise; both are exact, including the final
 PSEL / bimodal-counter state, which the equivalence tests compare against
 the scalar policies.
@@ -53,7 +53,7 @@ import numpy as np
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.policies.rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
 from repro.core.grasp import GraspPolicy
-from repro.fastsim import _native
+from repro.fastsim import kernels
 from repro.fastsim.stackdist import previous_occurrence_indices
 
 
@@ -236,7 +236,7 @@ class RRIPStream:
         self.ways = ways
         self.spec = spec
         self._use_native = (
-            _native.available() if use_native is None else bool(use_native)
+            kernels.available() if use_native is None else bool(use_native)
         )
         self.tags = np.full((num_sets, ways), -1, dtype=np.int64)
         self.rrpv = np.full((num_sets, ways), spec.max_rrpv, dtype=np.int32)
@@ -275,7 +275,7 @@ class RRIPStream:
             return np.zeros(0, dtype=bool)
         hits = None
         if self._use_native:
-            hits = _native.rrip_feed(
+            hits = kernels.rrip_feed(
                 blocks,
                 hint_values.astype(np.uint8),
                 self.num_sets,
@@ -398,13 +398,13 @@ def rrip_replay(
 
     ``num_sets`` must be a power of two (set index is ``block & mask``,
     matching :class:`repro.cache.cache.SetAssociativeCache`).  Dispatches to
-    the compiled kernel (:mod:`repro.fastsim._native`) when available and to
+    the compiled kernel (:mod:`repro.fastsim.kernels`) when available and to
     :func:`numpy_rrip_replay` otherwise; both are exact.
     """
     blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
     n = int(blocks.shape[0])
     hint_values = _hint_array(hints, n)
-    native = _native.rrip_replay(
+    native = kernels.rrip_replay(
         blocks,
         hint_values.astype(np.uint8),
         num_sets,

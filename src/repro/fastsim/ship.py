@@ -21,7 +21,7 @@ RRIP engine walks leader-set PSEL updates.  Signatures are densified with one
 table is unbounded, so no aliasing is introduced).
 
 :func:`ship_replay` dispatches to the compiled kernel
-(:func:`repro.fastsim._native.ship_replay`) when one is available and to
+(:func:`repro.fastsim.kernels.ship_replay`) when one is available and to
 :func:`numpy_ship_replay` otherwise; both are exact, including the final
 SHCT contents.
 """
@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.policies.ship import ShipMemPolicy
-from repro.fastsim import _native
+from repro.fastsim import kernels
 from repro.fastsim.rrip import _chunk_end
 from repro.fastsim.stackdist import (
     DenseIdMap,
@@ -125,7 +125,7 @@ class ShipStream:
         self.ways = ways
         self.spec = spec
         self._use_native = (
-            _native.available() if use_native is None else bool(use_native)
+            kernels.available() if use_native is None else bool(use_native)
         )
         self.tags = np.full((num_sets, ways), -1, dtype=np.int64)
         self.rrpv = np.full((num_sets, ways), spec.max_rrpv, dtype=np.int32)
@@ -166,7 +166,7 @@ class ShipStream:
         self._shct = grow_to(self._shct, len(self._sig_ids), _UNSEEN)
         hits = None
         if self._use_native:
-            hits = _native.ship_feed(
+            hits = kernels.ship_feed(
                 blocks,
                 sig_ids,
                 self.num_sets,
@@ -310,12 +310,12 @@ def ship_replay(
 
     ``num_sets`` must be a power of two (set index is ``block & mask``,
     matching :class:`repro.cache.cache.SetAssociativeCache`).  Dispatches to
-    the compiled kernel (:mod:`repro.fastsim._native`) when available and to
+    the compiled kernel (:mod:`repro.fastsim.kernels`) when available and to
     :func:`numpy_ship_replay` otherwise; both are exact.
     """
     blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
     signatures, sig_ids = _dense_signatures(blocks, spec.region_shift)
-    native = _native.ship_replay(
+    native = kernels.ship_replay(
         blocks,
         sig_ids.astype(np.int64),
         int(signatures.shape[0]),

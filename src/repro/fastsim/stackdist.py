@@ -368,11 +368,11 @@ class LRUStream:
     """
 
     def __init__(self, num_sets: int, ways: int, use_native: Optional[bool] = None) -> None:
-        from repro.fastsim import _native
+        from repro.fastsim import kernels
 
         self.num_sets = num_sets
         self.ways = ways
-        self._use_native = _native.available() if use_native is None else bool(use_native)
+        self._use_native = kernels.available() if use_native is None else bool(use_native)
         self.tags = np.full(num_sets * ways, -1, dtype=np.int64)
         self.stamps = np.zeros(num_sets * ways, dtype=np.int64)
         self.misses_per_set = np.zeros(num_sets, dtype=np.int64)
@@ -401,14 +401,14 @@ class LRUStream:
 
     def feed(self, block_addresses: np.ndarray) -> np.ndarray:
         """Replay one chunk; returns its hit mask and advances the state."""
-        from repro.fastsim import _native
+        from repro.fastsim import kernels
 
         blocks = np.ascontiguousarray(block_addresses, dtype=np.int64)
         if blocks.shape[0] == 0:
             return np.zeros(0, dtype=bool)
         hits = None
         if self._use_native:
-            hits = _native.lru_feed(
+            hits = kernels.lru_feed(
                 blocks, self.num_sets, self.ways,
                 self.tags, self.stamps, self.misses_per_set, self._state,
             )
@@ -479,12 +479,12 @@ def lru_replay(
     ``num_sets`` must be a power of two (the set index is ``block & mask``,
     matching :class:`repro.cache.cache.SetAssociativeCache`).
 
-    Dispatches to the compiled kernel (:mod:`repro.fastsim._native`) when one
+    Dispatches to the compiled kernel (:mod:`repro.fastsim.kernels`) when one
     is available and to :func:`numpy_lru_replay` otherwise; both are exact.
     """
-    from repro.fastsim import _native
+    from repro.fastsim import kernels
 
-    native = _native.lru_replay(np.asarray(block_addresses, dtype=np.int64), num_sets, ways)
+    native = kernels.lru_replay(np.asarray(block_addresses, dtype=np.int64), num_sets, ways)
     if native is not None:
         hits, misses_per_set = native
         return LRUReplay(hits=hits, misses_per_set=misses_per_set, ways=ways)

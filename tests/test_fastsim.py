@@ -27,7 +27,7 @@ from repro.fastsim import (
     VECTOR,
     VERIFY,
     FastSimMismatchError,
-    _native,
+    kernels,
     default_backend,
     lru_replay,
     numpy_lru_replay,
@@ -111,7 +111,7 @@ class TestLRUReplayEquivalence:
         assert replay.evictions == 2
 
     def test_native_and_numpy_engines_agree(self):
-        if not _native.available():
+        if not kernels.available():
             pytest.skip("no C compiler available for the native kernel")
         rng = np.random.default_rng(99)
         for _ in range(10):

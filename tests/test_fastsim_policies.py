@@ -35,7 +35,7 @@ from repro.fastsim import (
     SCALAR,
     VECTOR,
     VERIFY,
-    _native,
+    kernels,
     hawkeye_spec,
     leeway_spec,
     numpy_hawkeye_replay,
@@ -362,7 +362,7 @@ class TestPolicyReplayEquivalence:
             assert replay.evictions == expected.evictions
 
     def test_native_and_numpy_engines_agree(self):
-        if not _native.available():
+        if not kernels.available():
             pytest.skip("no C compiler available for the native kernel")
         rng = np.random.default_rng(77)
         for policy_name in sorted(POLICIES):

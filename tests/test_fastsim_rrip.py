@@ -33,7 +33,7 @@ from repro.fastsim import (
     SCALAR,
     VECTOR,
     VERIFY,
-    _native,
+    kernels,
     numpy_rrip_replay,
     rrip_replay,
     rrip_spec,
@@ -189,7 +189,7 @@ class TestRRIPReplayEquivalence:
         _assert_replay_matches(replay, policy, expected_hits, expected_stats, spec)
 
     def test_native_and_numpy_engines_agree(self):
-        if not _native.available():
+        if not kernels.available():
             pytest.skip("no C compiler available for the native kernel")
         rng = np.random.default_rng(77)
         for policy_name in sorted(POLICIES):

@@ -14,7 +14,7 @@ from repro.experiments import (
 from repro.experiments.memo import DiskMemo, MEMO_VERSION, default_cache_dir
 from repro.experiments.runner import active_disk_memo, build_workload, set_disk_memo
 from repro.experiments.schemes import scheme_policy
-from repro.fastsim import fused_native_supported
+from repro.fastsim import fused_native_supported, kernels
 
 
 @pytest.fixture(autouse=True)
@@ -133,11 +133,16 @@ class TestParallelRunner:
         )
         memo = DiskMemo(cache_dir)
         assert memo.entry_count("workload") == len(self.DATASETS)
-        # Multi-scheme comparisons materialize the filtered ROI trace once
-        # and share it across schemes (the fused single-pass route is for
-        # single-consumer replays); the budget-less timing counters ride
-        # along for workload_cycles.
-        assert memo.entry_count("llctrace") == len(self.DATASETS)
+        # With the fused filter kernel, multi-scheme comparisons take the
+        # fused-multi route: one shared filter pass feeds every scheme's
+        # replay and no filtered ROI trace is ever materialized.  Without
+        # it, the staged path materializes the trace once per workload and
+        # shares it across schemes.  The budget-less timing counters ride
+        # along for workload_cycles either way.
+        if kernels.has_capability("fused:filter"):
+            assert memo.entry_count("llctrace") == 0
+        else:
+            assert memo.entry_count("llctrace") == len(self.DATASETS)
         assert memo.entry_count("roisummary") == len(self.DATASETS)
         assert memo.entry_count("policy") == len(self.DATASETS) * len(self.SCHEMES)
         # A fresh "invocation": cold in-memory tables, warm disk.
@@ -173,13 +178,18 @@ class TestParallelRunner:
         # The workers persisted the chunked LLC streams and per-scheme
         # full-execution results for reuse across schemes and invocations.
         memo = DiskMemo(cache_dir)
-        # Multi-scheme streaming comparisons persist the filtered chunk
-        # store once and replay every scheme from it; two llcstream entries
-        # per stream (the budget-keyed chunk manifest and the budget-less
-        # counter summary).  The fused single-pass route only engages for
-        # single-consumer streams.
-        assert memo.entry_count("llcstream") == 2 * len(self.DATASETS)
-        assert memo.entry_count("llcchunk") > len(self.DATASETS)
+        # With the fused filter kernel, multi-scheme streaming comparisons
+        # take the fused-multi route: one shared filter pass per workload,
+        # no chunk store, only the budget-less counter summary.  Without
+        # it, the staged path persists the filtered chunk store once and
+        # replays every scheme from it — two llcstream entries per stream
+        # (the budget-keyed chunk manifest and the budget-less summary).
+        if kernels.has_capability("fused:filter"):
+            assert memo.entry_count("llcstream") == len(self.DATASETS)
+            assert memo.entry_count("llcchunk") == 0
+        else:
+            assert memo.entry_count("llcstream") == 2 * len(self.DATASETS)
+            assert memo.entry_count("llcchunk") > len(self.DATASETS)
         assert memo.entry_count("policystream") == len(self.DATASETS) * len(self.SCHEMES)
 
     def test_single_consumer_stream_skips_chunk_store(self, tmp_path):

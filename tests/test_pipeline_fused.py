@@ -27,6 +27,7 @@ from repro.core import AddressBoundRegisterFile, GraspClassifier
 from repro.experiments.runner import LLCTrace, simulate_llc_policy
 from repro.fastsim import (
     FusedPipeline,
+    MultiFusedPipeline,
     effective_threads,
     fused_native_supported,
     fused_supported,
@@ -164,6 +165,68 @@ class TestFusedInvariances:
         assert got.l2_stats == want.l2_stats
         assert got.llc_stats == want.llc_stats
         assert fallback.total_references == native.total_references
+
+
+class TestMultiFusedPipeline:
+    """The multi-scheme shared-filter pipeline matches every per-policy
+    reference, native or not (the phases differ only in where the filter
+    runs; the replay engines are the same)."""
+
+    NAMES = ("lru", "grasp", "ship-mem", "hawkeye")
+
+    def _run_multi(self, trace, classifier, names, threads=2, chunk=3333):
+        multi = MultiFusedPipeline(
+            HIERARCHY,
+            [create_policy(name) for name in names],
+            classifier=classifier,
+            threads=threads,
+        )
+        for piece in iter_trace_slices(trace, chunk):
+            multi.feed(piece)
+        return multi
+
+    def test_matches_scalar_reference(self, trace, classifier, scalar_reference):
+        multi = self._run_multi(trace, classifier, self.NAMES)
+        l1, l2 = multi.level_stats()
+        assert multi.total_references == len(trace)
+        for name, got in zip(self.NAMES, multi.stats()):
+            want = scalar_reference(name)
+            assert l1 == want.l1_stats
+            assert l2 == want.l2_stats
+            for field in ("hits", "misses", "evictions", "bypasses",
+                          "region_accesses", "region_misses"):
+                assert getattr(got, field) == getattr(want.llc_stats, field), (name, field)
+
+    @needs_native
+    def test_thread_and_chunk_invariant(self, trace, classifier):
+        base = self._run_multi(trace, classifier, self.NAMES, threads=1)
+        for threads, chunk in ((2, 3333), (8, 17), (2, 10**9)):
+            other = self._run_multi(trace, classifier, self.NAMES, threads, chunk)
+            for a, b in zip(base.stats(), other.stats()):
+                assert (a.hits, a.misses, a.evictions) == (b.hits, b.misses, b.evictions)
+
+    @needs_native
+    def test_filter_stream_fallback_matches_native(self, trace, classifier, monkeypatch):
+        native = self._run_multi(trace, classifier, self.NAMES)
+        assert native.native
+        monkeypatch.setattr(
+            "repro.fastsim.pipeline.kernels.has_capability", lambda cap: False
+        )
+        fallback = self._run_multi(trace, classifier, self.NAMES)
+        assert not fallback.native
+        assert fallback.level_stats() == native.level_stats()
+        for a, b in zip(native.stats(), fallback.stats()):
+            assert (a.hits, a.misses, a.evictions) == (b.hits, b.misses, b.evictions)
+
+    def test_rejects_non_vector_policies(self):
+        from repro.cache.policies import BeladyOptimal
+
+        with pytest.raises(ValueError, match="no vector replay engine"):
+            MultiFusedPipeline(HIERARCHY, [create_policy("random")])
+        with pytest.raises(ValueError, match="no vector replay engine"):
+            MultiFusedPipeline(HIERARCHY, [BeladyOptimal(HIERARCHY.llc)])
+        with pytest.raises(ValueError, match="at least one policy"):
+            MultiFusedPipeline(HIERARCHY, [])
 
 
 class TestSupportPredicates:

@@ -54,7 +54,7 @@ from repro.fastsim import (
     PolicyReplayStream,
     RRIPStream,
     ShipStream,
-    _native,
+    kernels,
     hawkeye_replay,
     hawkeye_spec,
     leeway_replay,
@@ -77,7 +77,7 @@ from repro.trace import Trace, generate_execution_trace, iter_execution_trace
 GEOMETRY = (8, 4)
 CHUNK_SIZES = (1, 97, 1024, 10**9)
 
-BACKENDS = [True, False] if _native.available() else [False]
+BACKENDS = [True, False] if kernels.available() else [False]
 
 
 @pytest.fixture(scope="module")
